@@ -1,0 +1,25 @@
+"""Shared setup for the benchmark suite.
+
+Each benchmark regenerates one table or figure of the paper on a reduced grid
+(quick mode) so the whole suite completes in minutes.  The IPU cost model is
+fitted once up front so its (cached) construction does not pollute the first
+benchmark's timing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import default_cost_model
+from repro.hw.spec import IPU_MK2
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_cost_model():
+    """Fit and cache the IPU MK2 cost model before any benchmark runs."""
+    return default_cost_model(IPU_MK2)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,19 @@
+"""Ablation benchmark: contribution of T10's individual mechanisms."""
+
+from conftest import run_once
+
+from repro.experiments import ablation
+
+
+def test_ablation_mechanisms(benchmark):
+    rows = run_once(benchmark, ablation.run, workloads=(("bert", 1),), quick=True)
+    by_variant = {row["variant"]: row for row in rows}
+    full = by_variant["full"]
+    no_reconcile = by_variant["no-reconciliation"]
+    greedy = by_variant["greedy-active"]
+    assert full["latency_ms"] is not None
+    # The full pipeline is never worse than either ablated variant, and both
+    # ablations still beat (or at worst match) the Roller baseline.
+    assert full["latency_ms"] <= no_reconcile["latency_ms"] * 1.02
+    assert full["latency_ms"] <= greedy["latency_ms"] * 1.02
+    assert no_reconcile["latency_ms"] <= no_reconcile["roller_ms"] * 1.1

@@ -1,0 +1,12 @@
+"""Benchmark regenerating Figure 2 (b): per-core memory footprint under VGM."""
+
+from conftest import run_once
+
+from repro.experiments import fig02_memory_footprint
+
+
+def test_fig02_memory_footprint(benchmark):
+    rows = run_once(benchmark, fig02_memory_footprint.run)
+    assert len(rows) == 5
+    # Removing the VGM region frees room for meaningfully larger sub-operators.
+    assert all(row["removable_ratio_pct"] > 0 for row in rows)

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 8: cost-model accuracy per operator type."""
+
+from conftest import run_once
+
+from repro.experiments import fig08_cost_model
+
+
+def test_fig08_cost_model_accuracy(benchmark):
+    rows = run_once(benchmark, fig08_cost_model.run)
+    by_type = {row["op_type"]: row for row in rows}
+    # Near-perfect accuracy everywhere except convolution (vendor black-box kernels).
+    assert by_type["matmul"]["r2"] > 0.9
+    assert by_type["conv2d"]["mape_pct"] > by_type["matmul"]["mape_pct"]

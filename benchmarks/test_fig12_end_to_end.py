@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 12: end-to-end DNN inference latency on the IPU."""
+
+from conftest import run_once
+
+from repro.experiments import fig12_end_to_end
+
+
+def test_fig12_end_to_end_latency(benchmark):
+    rows = run_once(benchmark, fig12_end_to_end.run, quick=True)
+    assert rows
+    # T10 never loses to Roller, and the average speedup is in the paper's range.
+    speedups = [row["t10_speedup_vs_roller"] for row in rows if "t10_speedup_vs_roller" in row]
+    assert speedups
+    assert all(s >= 1.0 for s in speedups)
+    assert max(s for s in speedups) <= 12.0
+    # PopART cannot fit NeRF at all (the "x" marker of the figure).
+    nerf_rows = [row for row in rows if row["model"] == "nerf"]
+    assert nerf_rows and all(row["popart_ms"] is None for row in nerf_rows)

@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 13: compute vs inter-core transfer breakdown."""
+
+from conftest import run_once
+
+from repro.experiments import fig13_breakdown
+
+
+def test_fig13_latency_breakdown(benchmark):
+    rows = run_once(benchmark, fig13_breakdown.run, quick=True)
+    roller = [row for row in rows if row["compiler"] == "Roller"]
+    t10 = [row for row in rows if row["compiler"] == "T10"]
+    assert roller and t10
+    # Roller spends most of its time on inter-core transfers; T10 much less.
+    assert sum(r["transfer_fraction_pct"] for r in roller) / len(roller) > 40
+    assert sum(r["transfer_fraction_pct"] for r in t10) / len(t10) < 50

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 14: per-core inter-core bandwidth utilisation."""
+
+from conftest import run_once
+
+from repro.experiments import fig14_bandwidth
+
+
+def test_fig14_bandwidth_utilization(benchmark):
+    rows = run_once(benchmark, fig14_bandwidth.run, quick=True)
+    assert rows
+    pairs = [
+        (row["roller_gbps"], row["t10_gbps"])
+        for row in rows
+        if row["roller_gbps"] is not None and row["t10_gbps"] is not None
+    ]
+    assert pairs
+    # Utilisation stays below the 5.5 GB/s link roofline for both systems.
+    assert all(roller < 5.5 and t10 < 5.6 for roller, t10 in pairs)

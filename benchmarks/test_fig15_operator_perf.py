@@ -1,0 +1,15 @@
+"""Benchmark regenerating Figure 15: per-operator speedup distribution (T10 vs Roller)."""
+
+from conftest import run_once
+
+from repro.experiments import fig15_operator_perf
+
+
+def test_fig15_operator_speedups(benchmark):
+    rows = run_once(benchmark, fig15_operator_perf.run, quick=True)
+    assert rows
+    # The paper reports >80% of operators improved and <10% regressed; allow slack.
+    improved = sum(row["improved_pct"] for row in rows) / len(rows)
+    regressed = sum(row["regressed_pct"] for row in rows) / len(rows)
+    assert improved > 60
+    assert regressed < 25

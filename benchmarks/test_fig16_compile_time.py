@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 16: T10 compilation time per model."""
+
+from conftest import run_once
+
+from repro.experiments import fig16_compile_time
+
+
+def test_fig16_compile_time(benchmark):
+    rows = run_once(benchmark, fig16_compile_time.run, quick=True)
+    assert rows
+    assert all(row["status"] in ("ok", "oom") for row in rows)
+    # Plan caching keeps compilation bounded even for repeated layers.
+    assert all(row["compile_time_s"] < 300 for row in rows)

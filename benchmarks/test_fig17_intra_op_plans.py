@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 17: intra-operator plan spaces and baselines."""
+
+from conftest import run_once
+
+from repro.experiments import fig17_intra_op_plans
+
+
+def test_fig17_intra_op_plan_space(benchmark):
+    rows = run_once(benchmark, fig17_intra_op_plans.run, quick=True)
+    assert rows
+    for row in rows:
+        assert row["pareto_plans"] >= 1
+        assert row["candidates"] >= row["pareto_plans"]
+        # The frontier's fastest plan beats (or matches) the Roller plan point.
+        if "roller_us" in row:
+            assert row["fastest_us"] <= row["roller_us"] * 1.05

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 18: search-space size reduction."""
+
+from conftest import run_once
+
+from repro.experiments import fig18_search_space
+
+
+def test_fig18_search_space_sizes(benchmark):
+    rows = run_once(benchmark, fig18_search_space.run)
+    assert len(rows) == 5
+    for row in rows:
+        # Constraints cut the complete space by many orders of magnitude, and
+        # the Pareto filter leaves at most tens of plans.
+        assert row["complete_space"] > row["filtered_space"]
+        assert row["filtered_space"] >= row["optimized_space"]
+        assert row["optimized_space"] <= 100
+    conv = next(row for row in rows if row["operator"].startswith("Conv"))
+    assert conv["complete_space"] > 1e12

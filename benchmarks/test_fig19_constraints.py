@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 19: compile time vs performance under constraints."""
+
+from conftest import run_once
+
+from repro.experiments import fig19_constraints
+
+
+def test_fig19_constraint_sweep(benchmark):
+    rows = run_once(
+        benchmark, fig19_constraints.run, models=("nerf",), batch_size=1, quick=False
+    )
+    assert len(rows) == len(fig19_constraints.CONSTRAINT_SWEEP)
+    strict = next(row for row in rows if row["setting"] == "strict")
+    thorough = next(row for row in rows if row["setting"] == "thorough")
+    # Stricter settings compile faster; the resulting latency stays near-optimal.
+    assert strict["compile_time_s"] <= thorough["compile_time_s"]
+    if strict["latency_ms"] and thorough["latency_ms"]:
+        assert strict["latency_ms"] <= thorough["latency_ms"] * 1.5

@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 20: inter-operator reconciliation trajectories."""
+
+from conftest import run_once
+
+from repro.experiments import fig20_inter_op
+
+
+def test_fig20_inter_op_reconciliation(benchmark):
+    rows = run_once(benchmark, fig20_inter_op.run, workloads=(("bert", 1), ("nerf", 1)), quick=True)
+    assert rows
+    for row in rows:
+        if row.get("status") == "oom":
+            continue
+        # The chosen configuration is never worse than the starting point.
+        assert row["chosen_est_ms"] <= row["initial_est_ms"] * 1.001
+        assert 0 <= row["chosen_idle_pct"] <= 100

@@ -1,0 +1,22 @@
+"""Benchmark regenerating Figure 21: scalability with core count."""
+
+from conftest import run_once
+
+from repro.experiments import fig21_scalability
+
+
+def test_fig21_scalability(benchmark):
+    rows = run_once(
+        benchmark,
+        fig21_scalability.run,
+        workloads=(("nerf", 1), ("resnet", 8)),
+        core_counts=(736, 1472, 2944),
+        quick=False,
+    )
+    assert rows
+    for row in rows:
+        if row["t10_ms"] is not None and row["roller_ms"] is not None:
+            assert row["t10_ms"] <= row["roller_ms"]
+    # T10 keeps improving (or at least does not regress) from half to full chip.
+    nerf = {row["cores"]: row for row in rows if row["model"] == "nerf"}
+    assert nerf[1472]["t10_ms"] <= nerf[736]["t10_ms"] * 1.05

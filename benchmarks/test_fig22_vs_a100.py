@@ -1,0 +1,14 @@
+"""Benchmark regenerating Figure 22: IPU+T10 vs A100+TensorRT on the DNN models."""
+
+from conftest import run_once
+
+from repro.experiments import fig22_vs_a100
+
+
+def test_fig22_vs_a100(benchmark):
+    rows = run_once(benchmark, fig22_vs_a100.run, quick=True)
+    assert rows
+    # At batch size 1 the IPU with T10 beats the HBM-bound GPU on at least one model.
+    bs1 = [row for row in rows if row["batch"] == 1 and row.get("ipu_speedup_vs_a100")]
+    assert bs1
+    assert any(row["ipu_speedup_vs_a100"] > 1.0 for row in bs1)

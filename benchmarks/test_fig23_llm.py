@@ -1,0 +1,25 @@
+"""Benchmark regenerating Figure 23: LLM decoder-layer latency vs the A100."""
+
+from conftest import run_once
+
+from repro.experiments import fig23_llm
+
+
+def test_fig23_llm_latency(benchmark):
+    rows = run_once(
+        benchmark,
+        fig23_llm.run,
+        models=("opt-1.3b", "opt-13b", "llama2-13b"),
+        batch_sizes=(2, 128),
+        quick=False,
+    )
+    assert rows
+    small_batch = [row for row in rows if row["batch"] == 2 and row.get("ipu_speedup_vs_a100")]
+    large_batch = [row for row in rows if row["batch"] == 128 and row.get("ipu_speedup_vs_a100")]
+    # Decode at tiny batches is HBM-bound on the GPU: the IPU wins clearly,
+    # and the advantage shrinks at larger batches.
+    assert small_batch and all(row["ipu_speedup_vs_a100"] > 1.0 for row in small_batch)
+    if large_batch:
+        avg_small = sum(r["ipu_speedup_vs_a100"] for r in small_batch) / len(small_batch)
+        avg_large = sum(r["ipu_speedup_vs_a100"] for r in large_batch) / len(large_batch)
+        assert avg_large < avg_small

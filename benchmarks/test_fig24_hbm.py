@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 24: emulated HBM bandwidth sweep."""
+
+from conftest import run_once
+
+from repro.experiments import fig24_hbm
+
+
+def test_fig24_hbm_sweep(benchmark):
+    rows = run_once(
+        benchmark,
+        fig24_hbm.run,
+        workloads=(("opt-1.3b", 8), ("opt-13b", 8)),
+        bandwidths_gbps=(200, 800, 6400),
+        quick=False,
+    )
+    assert rows
+    for model in ("opt-1.3b", "opt-13b"):
+        series = {row["hbm_gbps"]: row for row in rows if row["model"] == model}
+        if not series or series[200]["t10_single_op_ms"] is None:
+            continue
+        # More HBM bandwidth never hurts, and grouping helps when bandwidth is low.
+        assert series[6400]["t10_single_op_ms"] <= series[200]["t10_single_op_ms"]
+        assert series[200]["t10_inter_op_ms"] <= series[200]["t10_single_op_ms"] * 1.2

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Table 2: the evaluated model inventory."""
+
+from conftest import run_once
+
+from repro.experiments import tab02_models
+
+
+def test_tab02_model_inventory(benchmark):
+    rows = run_once(benchmark, tab02_models.run)
+    names = {row["model"] for row in rows}
+    assert {"bert", "vit", "resnet", "nerf", "opt-13b", "llama2-13b", "retnet-1.3b"} <= names
+    for row in rows:
+        assert row["built_parameters_m"] > 0

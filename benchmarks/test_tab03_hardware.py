@@ -1,0 +1,16 @@
+"""Benchmark regenerating Table 3: hardware specifications."""
+
+from conftest import run_once
+
+from repro.experiments import tab03_hardware
+
+
+def test_tab03_hardware_specs(benchmark):
+    rows = run_once(benchmark, tab03_hardware.run)
+    by_device = {row["device"]: row for row in rows}
+    ipu, a100 = by_device["IPU-MK2"], by_device["A100"]
+    # The structural comparison Table 3 makes: far more on-chip memory on the
+    # IPU, far more off-chip bandwidth on the GPU, similar peak FLOPS.
+    assert ipu["local_cache_mb"] > 40 * a100["local_cache_mb"]
+    assert a100["offchip_bw_gbps"] > 100 * ipu["offchip_bw_gbps"]
+    assert 0.5 < ipu["fp16_tflops"] / a100["fp16_tflops"] < 1.5

@@ -1,0 +1,46 @@
+"""LLM serving study: OPT decoder layers on the IPU with T10 versus an A100.
+
+Run with::
+
+    python examples/llm_serving.py
+
+Mirrors the §6.7 experiment of the paper: decode-mode transformer layers are
+memory-bandwidth-bound on a GPU (every weight is re-read from HBM for a
+handful of tokens), while T10 keeps the weights resident in the IPU's
+distributed on-chip memory and only shifts small activations between cores.
+"""
+
+from __future__ import annotations
+
+from repro import Executor, IPU_MK2, T10Compiler
+from repro.baselines import GPURooflineModel
+from repro.models import build_opt
+
+
+def main() -> None:
+    executor = Executor(IPU_MK2)
+    compiler = T10Compiler(IPU_MK2)
+    gpu = GPURooflineModel()
+
+    print(f"{'model':<10} {'batch':>6} {'A100 (ms)':>12} {'IPU+T10 (ms)':>14} {'speedup':>9}")
+    for size in ("1.3b", "6.7b", "13b"):
+        for batch in (2, 8, 32, 128):
+            graph = build_opt(batch, size=size)
+            gpu_latency = gpu.estimate(graph).total_time
+            ipu = executor.evaluate(compiler, graph)
+            if not ipu.ok:
+                print(f"opt-{size:<6} {batch:>6} {gpu_latency * 1e3:>12.3f} {'does not fit':>14}")
+                continue
+            speedup = gpu_latency / ipu.latency
+            print(
+                f"opt-{size:<6} {batch:>6} {gpu_latency * 1e3:>12.3f} "
+                f"{ipu.latency * 1e3:>14.3f} {speedup:>8.2f}x"
+            )
+    print(
+        "\nThe IPU advantage is largest at small batch sizes (HBM-bound decoding) "
+        "and shrinks as both devices become compute-bound, as in Figure 23."
+    )
+
+
+if __name__ == "__main__":
+    main()

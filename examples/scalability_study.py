@@ -1,0 +1,38 @@
+"""Scalability study: how T10 and Roller scale with the number of cores.
+
+Run with::
+
+    python examples/scalability_study.py
+
+Reproduces the shape of Figure 21: smaller chips are emulated by restricting
+the cores available to the compiler, larger ones with the Virtual-IPU
+configuration whose inter-chip links lower the effective inter-core
+bandwidth.  T10 keeps improving with more cores; Roller's VGM traffic does
+not, and can regress once shifts cross the chip boundary.
+"""
+
+from __future__ import annotations
+
+from repro import Executor, T10Compiler
+from repro.baselines import RollerCompiler
+from repro.experiments.fig21_scalability import chip_for_cores
+from repro.models import build_resnet
+
+
+def main() -> None:
+    graph = build_resnet(8)
+    print(f"Workload: {graph.summary()}\n")
+    print(f"{'cores':>6} {'chip':<12} {'Roller (ms)':>12} {'T10 (ms)':>10} {'T10 transfer (ms)':>18}")
+    for cores in (368, 736, 1472, 2944, 5888):
+        chip = chip_for_cores(cores)
+        executor = Executor(chip)
+        roller = executor.evaluate(RollerCompiler(chip), graph)
+        t10 = executor.evaluate(T10Compiler(chip), graph)
+        roller_ms = f"{roller.latency * 1e3:.2f}" if roller.ok else "x"
+        t10_ms = f"{t10.latency * 1e3:.2f}" if t10.ok else "x"
+        transfer = f"{t10.intercore_time * 1e3:.2f}" if t10.ok else "x"
+        print(f"{cores:>6} {chip.name:<12} {roller_ms:>12} {t10_ms:>10} {transfer:>18}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim so editable installs work without network access.
+
+The project metadata lives in pyproject.toml; this file only exists because
+the execution environment has no `wheel` package installed, which the
+PEP 517 editable-install path requires.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""repro — a reproduction of T10 (SOSP 2024).
+
+T10 is a deep-learning compiler for inter-core connected AI chips (e.g. the
+Graphcore IPU MK2).  This package reimplements the compiler — the rTensor
+abstraction, compute-shift execution plans, the fitted cost model, the
+Pareto-optimal intra-operator search and the holistic inter-operator memory
+reconciliation — together with every substrate the paper's evaluation needs:
+an analytical chip simulator standing in for the IPU, the VGM-based baseline
+compilers (Roller, Ansor, PopART), an A100 roofline model, and builders for
+the evaluated DNN/LLM workloads.
+
+Quick start::
+
+    from repro import T10Compiler, Executor, IPU_MK2
+    from repro.models import build_bert
+
+    graph = build_bert(batch_size=1, num_layers=2)
+    executor = Executor(IPU_MK2)
+    result = executor.evaluate(T10Compiler(IPU_MK2), graph)
+    print(result.latency, result.comm_fraction)
+"""
+
+from repro.core import (
+    CompiledModel,
+    CostModel,
+    SearchConstraints,
+    T10Compiler,
+    default_cost_model,
+)
+from repro.hw import A100, IPU_MK2, ChipSimulator, ChipSpec, scaled_ipu, virtual_ipu
+from repro.runtime import EvaluationResult, Executor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A100",
+    "ChipSimulator",
+    "ChipSpec",
+    "CompiledModel",
+    "CostModel",
+    "EvaluationResult",
+    "Executor",
+    "IPU_MK2",
+    "SearchConstraints",
+    "T10Compiler",
+    "__version__",
+    "default_cost_model",
+    "scaled_ipu",
+    "virtual_ipu",
+]

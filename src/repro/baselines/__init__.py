@@ -1,0 +1,37 @@
+"""Baseline systems the paper compares T10 against.
+
+* :class:`RollerCompiler` and :class:`AnsorCompiler` — DL compilers using the
+  virtual-global-memory (VGM) abstraction and load-compute-store execution;
+* :class:`PopARTCompiler` — the vendor library behaviour;
+* :class:`GPURooflineModel` — A100 + TensorRT latency model for §6.6/§6.7.
+"""
+
+from repro.baselines.ansor import AnsorCompiler
+from repro.baselines.base import BaselineCompilation, TileChoice, VGMBaselineCompiler
+from repro.baselines.gpu import GPUEstimate, GPUOpEstimate, GPURooflineModel
+from repro.baselines.popart import PopARTCompiler
+from repro.baselines.roller import RollerCompiler
+from repro.baselines.vgm import (
+    VGMFootprint,
+    live_activation_bytes,
+    model_weight_bytes,
+    operator_vgm_footprint,
+    vgm_reservation_per_core,
+)
+
+__all__ = [
+    "AnsorCompiler",
+    "BaselineCompilation",
+    "GPUEstimate",
+    "GPUOpEstimate",
+    "GPURooflineModel",
+    "PopARTCompiler",
+    "RollerCompiler",
+    "TileChoice",
+    "VGMBaselineCompiler",
+    "VGMFootprint",
+    "live_activation_bytes",
+    "model_weight_bytes",
+    "operator_vgm_footprint",
+    "vgm_reservation_per_core",
+]

@@ -1,0 +1,309 @@
+"""Shared machinery for the VGM-based baseline compilers (Roller, Ansor, PopART).
+
+The baselines all follow the load-compute-store paradigm of §2.2: every model
+tensor lives in a virtual global memory spread across the cores, the active
+operator is partitioned into per-core sub-operators, and each sub-operator
+fetches its tiles from VGM, computes locally and stores results back.
+
+The per-core VGM traffic is modelled with the classic blocked-reuse bound:
+each core must fetch at least its compulsory working set once, and when the
+local memory left over after the VGM reservation is too small to hold it, the
+traffic grows as ``2 · flops / sqrt(available elements)`` (the tiling
+communication lower bound).  Fetches contend for the owning cores' links
+(fan-in contention), which is what keeps the baselines' effective bandwidth
+at the 2.6–3.9 GB/s the paper measures for Roller.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.baselines.vgm import vgm_reservation_per_core
+from repro.hw.program import ComputeStep, DeviceProgram, LoadStoreStep
+from repro.hw.spec import ChipSpec
+from repro.ir.expr import TensorExpression
+from repro.ir.graph import OperatorGraph
+from repro.ir.operator import Operator
+from repro.utils import ceil_div, prod
+
+
+@dataclass(frozen=True)
+class TileChoice:
+    """The sub-operator configuration a baseline picked for one operator."""
+
+    op_name: str
+    cores_used: int
+    partition: Mapping[str, int]
+    subtask_shape: Mapping[str, int]
+    steps: int
+    load_bytes_per_step: int
+    store_bytes: int
+    working_set_bytes: int
+    fan_in: float
+    flops_per_step: float
+
+    @property
+    def total_load_bytes(self) -> int:
+        """Per-core bytes fetched from VGM over the whole operator."""
+        return self.load_bytes_per_step * self.steps + self.store_bytes
+
+
+@dataclass
+class BaselineCompilation:
+    """Result of compiling a graph with one of the VGM baselines."""
+
+    graph: OperatorGraph
+    chip: ChipSpec
+    compiler_name: str
+    status: str
+    program: DeviceProgram | None = None
+    op_tiles: dict[str, TileChoice] = field(default_factory=dict)
+    compile_time_seconds: float = 0.0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the model fits and a program was produced."""
+        return self.status == "ok" and self.program is not None
+
+    def summary(self) -> str:
+        """One-line description of the compilation result."""
+        if not self.ok:
+            return f"{self.compiler_name}: {self.graph.name} -> {self.status} ({self.error})"
+        assert self.program is not None
+        return (
+            f"{self.compiler_name}: {self.graph.name} -> {len(self.program)} steps, "
+            f"VGM reserve {self.program.reserved_per_core / 1024:.1f} KiB/core"
+        )
+
+
+class VGMBaselineCompiler:
+    """Base class for load-compute-store compilers targeting the IPU."""
+
+    #: Human-readable compiler name (overridden by subclasses).
+    name = "vgm-baseline"
+    #: Whether intermediate activations are freed when no longer live.
+    liveness = True
+    #: How many consecutive operators' outputs stay resident at once.
+    liveness_window = 2
+    #: Coefficient of the fan-in contention model.
+    fan_in_coefficient = 0.18
+    #: Extra per-core scratch the runtime keeps (code, control state).
+    runtime_reserve_bytes = 16 * 1024
+
+    def __init__(self, chip: ChipSpec) -> None:
+        self.chip = chip
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def compile(self, graph: OperatorGraph) -> BaselineCompilation:
+        """Compile ``graph`` into a load-compute-store device program."""
+        start = time.perf_counter()
+        reserve = vgm_reservation_per_core(
+            graph, self.chip, liveness=self.liveness, window=self.liveness_window
+        )
+        reserve += self.runtime_reserve_bytes
+        program = DeviceProgram(name=f"{graph.name}-{self.name}")
+        program.reserved_per_core = reserve
+
+        result = BaselineCompilation(
+            graph=graph, chip=self.chip, compiler_name=self.name, status="ok"
+        )
+        if reserve > self.chip.sram_per_core:
+            result.status = "oom"
+            result.error = (
+                f"VGM reservation {reserve / 1024:.1f} KiB exceeds per-core memory"
+            )
+            result.compile_time_seconds = time.perf_counter() - start
+            return result
+
+        # Model inputs are assumed resident on chip before the measured
+        # inference starts, mirroring how the T10 programs are measured.
+        operators = graph.operators
+        available = self.chip.sram_per_core - reserve
+        for operator in operators:
+            tile = self.plan_operator(operator, available)
+            if tile is None:
+                result.status = "oom"
+                result.error = f"operator {operator.name!r} does not fit its sub-operator"
+                result.compile_time_seconds = time.perf_counter() - start
+                return result
+            result.op_tiles[operator.name] = tile
+            self._emit_operator(program, operator, tile)
+
+        result.program = program
+        result.compile_time_seconds = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Operator planning (overridable pieces)
+    # ------------------------------------------------------------------ #
+    def plan_operator(self, operator: Operator, available: int) -> TileChoice | None:
+        """Pick the sub-operator configuration of one operator.
+
+        Returns ``None`` when even the smallest sub-operator cannot fit the
+        per-core memory left after the VGM reservation.
+        """
+        expr = operator.expr
+        partition = self.partition_output(expr)
+        cores_used = max(1, prod(partition.values()))
+        sub = {
+            axis: ceil_div(extent, partition.get(axis, 1))
+            for axis, extent in expr.axes.items()
+        }
+        output_tile = expr.tensor_bytes(expr.output, sub)
+        input_bytes = sum(self._input_slice_bytes(expr, spec, sub) for spec in expr.inputs)
+        flops_per_core = expr.flops(sub)
+
+        budget = available - output_tile
+        if budget <= 0:
+            return None
+        working_set = min(input_bytes, budget)
+        total_loads = self.load_volume(expr, input_bytes, flops_per_core, budget)
+
+        steps = self.num_steps(expr, total_loads, working_set, input_bytes)
+        load_per_step = ceil_div(total_loads, steps)
+        if not self.fits(working_set + output_tile, available):
+            return None
+
+        return TileChoice(
+            op_name=operator.name,
+            cores_used=min(cores_used, self.chip.num_cores),
+            partition=partition,
+            subtask_shape=sub,
+            steps=steps,
+            load_bytes_per_step=load_per_step,
+            store_bytes=output_tile,
+            working_set_bytes=working_set + output_tile,
+            fan_in=self.fan_in(expr, partition),
+            flops_per_step=flops_per_core / steps,
+        )
+
+    def partition_output(self, expr: TensorExpression) -> dict[str, int]:
+        """Spread the cores over the output axes with balanced tiles.
+
+        The split of the axis with the currently largest per-core extent is
+        repeatedly doubled until the core budget is exhausted, which keeps the
+        per-core output tile roughly square — the tiling both Roller's
+        hardware-aligned rTiles and the vendor library converge to.
+        """
+        out_axes = [dim.primary for dim in expr.output.dims]
+        partition = {axis: 1 for axis in expr.axes}
+        if not out_axes:
+            return partition
+        while True:
+            used = prod(partition.values())
+            candidates = [
+                axis
+                for axis in out_axes
+                if partition[axis] * 2 <= expr.axes[axis] and used * 2 <= self.chip.num_cores
+            ]
+            if not candidates:
+                break
+            largest = max(candidates, key=lambda a: ceil_div(expr.axes[a], partition[a]))
+            partition[largest] *= 2
+        return partition
+
+    def load_volume(
+        self,
+        expr: TensorExpression,
+        compulsory_bytes: int,
+        flops_per_core: float,
+        budget_bytes: int,
+    ) -> int:
+        """Per-core bytes fetched from VGM for one operator.
+
+        Each core must fetch its compulsory working set at least once; when
+        the local budget cannot hold it, tiling forces re-fetches and the
+        traffic follows the ``2·flops/sqrt(M)`` blocked-reuse bound.
+        """
+        if compulsory_bytes <= budget_bytes:
+            # The whole working set fits at once: every element is fetched once.
+            return int(compulsory_bytes)
+        if expr.flops_per_point <= 1.0 or not expr.reduction_axes:
+            # Streaming operators have no reuse to lose even when tiled.
+            return int(compulsory_bytes)
+        budget_elems = max(1, budget_bytes // expr.dtype.bytes)
+        reuse_limited = 2.0 * flops_per_core / math.sqrt(budget_elems) * expr.dtype.bytes
+        return int(max(compulsory_bytes, reuse_limited))
+
+    def num_steps(
+        self,
+        expr: TensorExpression,
+        total_loads: int,
+        working_set: int,
+        compulsory_bytes: int,
+    ) -> int:
+        """How many load/compute iterations the sub-operator is split into."""
+        if working_set <= 0:
+            return 1
+        return max(1, ceil_div(total_loads, max(working_set, 1)))
+
+    def fan_in(self, expr: TensorExpression, partition: Mapping[str, int]) -> float:
+        """Average number of cores contending for one owner core's link."""
+        sharing_degrees = []
+        for spec in expr.inputs:
+            missing = [axis for axis in expr.axes if not spec.has_axis(axis)]
+            sharing_degrees.append(prod(partition.get(axis, 1) for axis in missing))
+        if not sharing_degrees:
+            return 1.0
+        average = sum(sharing_degrees) / len(sharing_degrees)
+        return min(4.0, 1.0 + self.fan_in_coefficient * math.log2(average + 1.0))
+
+    def fits(self, working_set: int, available: int) -> bool:
+        """Whether the per-core working set fits the memory left after VGM."""
+        return working_set <= available
+
+    @staticmethod
+    def _input_slice_bytes(expr: TensorExpression, spec, sub: Mapping[str, int]) -> int:
+        """Bytes of one input tensor a core actually touches.
+
+        For pure data-movement operators (gather-style, ``flops_axes`` set)
+        only one element per output point is read, so the touched slice is
+        bounded by the number of iterated points rather than the whole shard.
+        """
+        slice_bytes = expr.tensor_bytes(spec, sub)
+        if expr.flops_axes is None:
+            return slice_bytes
+        points = expr.flops(sub) / max(expr.flops_per_point, 1e-9)
+        touched = int(points) * expr.dtype.bytes
+        return min(slice_bytes, max(touched, expr.dtype.bytes))
+
+    # ------------------------------------------------------------------ #
+    def _emit_operator(
+        self, program: DeviceProgram, operator: Operator, tile: TileChoice
+    ) -> None:
+        program.add(
+            LoadStoreStep(
+                op_name=operator.name,
+                bytes_per_core=tile.load_bytes_per_step,
+                cores_used=tile.cores_used,
+                fan_in=tile.fan_in,
+                count=tile.steps,
+            )
+        )
+        program.add(
+            ComputeStep(
+                op_name=operator.name,
+                op_type=operator.op_type,
+                subtask_shape=dict(tile.subtask_shape),
+                flops=tile.flops_per_step,
+                bytes_accessed=tile.load_bytes_per_step + tile.store_bytes,
+                cores_used=tile.cores_used,
+                count=tile.steps,
+            )
+        )
+        program.add(
+            LoadStoreStep(
+                op_name=operator.name,
+                bytes_per_core=tile.store_bytes,
+                cores_used=tile.cores_used,
+                fan_in=max(1.0, tile.fan_in * 0.6),
+                count=1,
+            )
+        )
+        program.record_op_memory(operator.name, tile.working_set_bytes)

@@ -1,0 +1,99 @@
+"""A100 + TensorRT roofline model (paper §6.6 and §6.7).
+
+The GPU comparison in the paper is a bandwidth-versus-FLOPS argument: with a
+40 MB L2, an A100 must stream every operator's weights (and any activations
+that do not fit) from HBM, so small-batch inference is memory-bound and
+latency is governed by ``bytes / 1.94 TB/s``; at large batch sizes compute
+intensity rises and latency approaches ``flops / 312 TFLOPS``.  A roofline
+with a per-kernel launch overhead captures exactly that crossover, which is
+all Figures 22 and 23 rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.spec import A100, GPUSpec
+from repro.ir.graph import OperatorGraph
+from repro.ir.operator import Operator
+
+
+@dataclass(frozen=True)
+class GPUOpEstimate:
+    """Roofline estimate for one operator on the GPU."""
+
+    op_name: str
+    compute_time: float
+    memory_time: float
+    overhead: float
+
+    @property
+    def total(self) -> float:
+        """Latency of this kernel."""
+        return max(self.compute_time, self.memory_time) + self.overhead
+
+    @property
+    def bound(self) -> str:
+        """Which roofline term dominates ("compute" or "memory")."""
+        return "compute" if self.compute_time >= self.memory_time else "memory"
+
+
+@dataclass
+class GPUEstimate:
+    """End-to-end GPU latency estimate for one model."""
+
+    model_name: str
+    per_op: list[GPUOpEstimate] = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        """Sum of per-kernel latencies (TensorRT executes the graph serially)."""
+        return sum(op.total for op in self.per_op)
+
+    @property
+    def memory_bound_fraction(self) -> float:
+        """Fraction of kernels whose latency is bandwidth-limited."""
+        if not self.per_op:
+            return 0.0
+        bound = sum(1 for op in self.per_op if op.bound == "memory")
+        return bound / len(self.per_op)
+
+
+class GPURooflineModel:
+    """Estimates DNN inference latency on a global-shared-memory GPU."""
+
+    def __init__(self, spec: GPUSpec = A100) -> None:
+        self.spec = spec
+
+    def estimate_operator(self, operator: Operator) -> GPUOpEstimate:
+        """Roofline latency of a single operator."""
+        hbm_bytes = self._hbm_traffic(operator)
+        compute_time = operator.total_flops / self.spec.effective_flops
+        memory_time = hbm_bytes / self.spec.effective_bandwidth
+        return GPUOpEstimate(
+            op_name=operator.name,
+            compute_time=compute_time,
+            memory_time=memory_time,
+            overhead=self.spec.kernel_launch_overhead,
+        )
+
+    def estimate(self, graph: OperatorGraph) -> GPUEstimate:
+        """Roofline latency of a whole model."""
+        estimate = GPUEstimate(model_name=graph.name)
+        for operator in graph.operators:
+            estimate.per_op.append(self.estimate_operator(operator))
+        return estimate
+
+    # ------------------------------------------------------------------ #
+    def _hbm_traffic(self, operator: Operator) -> float:
+        """Bytes an operator must move over HBM.
+
+        Weights are always streamed from HBM: the model does not fit the L2
+        cache, so every kernel re-reads its parameters.  Activations stream
+        through the L2; only the part that exceeds half the cache spills.
+        """
+        expr = operator.expr
+        weights = expr.weight_bytes
+        activations = expr.activation_bytes + expr.output_bytes
+        spill = max(0, activations - self.spec.l2_cache_bytes // 2)
+        return float(weights + spill + min(activations, self.spec.l2_cache_bytes // 2) * 0.1)

@@ -1,0 +1,30 @@
+"""Roller-style baseline compiler (Zhu et al., OSDI '22), adapted to the IPU.
+
+Roller builds execution plans from hardware-aligned tiles ("rTiles") and picks,
+per operator, the plan that uses as much of the per-core local memory as
+possible — which maximises data reuse and compute intensity.  On the IPU it
+relies on the virtual-global-memory abstraction of §2.2: all model tensors are
+spread across the cores' reserved VGM regions and every sub-operator fetches
+its tiles from there.
+
+The behaviour this reproduction needs from Roller (and that the paper
+evaluates against) is:
+
+* single-operator tiles sized to the local memory left after the VGM
+  reservation (good compute intensity, so Roller beats the vendor library);
+* load-compute-store execution with fan-in contention and duplicated data,
+  so 50%–74% of the end-to-end time goes to inter-core transfers;
+* per-operator greedy choices with no inter-operator memory reconciliation.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import VGMBaselineCompiler
+
+
+class RollerCompiler(VGMBaselineCompiler):
+    """Load-compute-store compiler that maximises per-core tile size."""
+
+    name = "Roller"
+    liveness = True
+    fan_in_coefficient = 0.22

@@ -1,0 +1,104 @@
+"""Virtual global memory (VGM) accounting (paper §2.2, Figure 2).
+
+Compilers designed for global-shared-memory chips support the IPU by
+reserving a slice of every core's scratchpad and abstracting the union as a
+"virtual global memory" that stores every tensor of the model.  The active
+operator's sub-operators then *load* their tiles from VGM into a separate
+local region, compute, and *store* results back — duplicating data and adding
+remote traffic.
+
+This module quantifies that overhead: how much per-core memory the VGM
+reservation takes, how large the per-core active-operator region is, and how
+much larger the sub-operator region could be if the VGM were removed (the
+ratios reported in Figure 2 (b)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.spec import ChipSpec
+from repro.ir.graph import OperatorGraph
+from repro.ir.operator import Operator
+from repro.utils import ceil_div
+
+
+def model_weight_bytes(graph: OperatorGraph) -> int:
+    """Bytes of persistent weights stored in VGM for the whole model."""
+    return graph.total_weight_bytes
+
+
+def live_activation_bytes(
+    graph: OperatorGraph, *, liveness: bool = True, window: int = 2
+) -> int:
+    """Bytes of activations stored in VGM.
+
+    ``window`` models how aggressively a compiler reclaims intermediate
+    tensors: a tight compiler keeps only the tensors flowing between adjacent
+    operators resident (``window=2``), while a coarser runtime holds a whole
+    layer's worth of intermediates at once (larger window) — which is what
+    makes activation-heavy models such as NeRF impossible to fit for the
+    vendor library.  ``liveness=False`` keeps every intermediate tensor of the
+    model resident for the whole execution.
+    """
+    outputs = [op.output_bytes for op in graph.operators]
+    if not outputs:
+        return 0
+    if not liveness:
+        return sum(outputs)
+    window = max(1, window)
+    live = 0
+    for index in range(len(outputs)):
+        live = max(live, sum(outputs[index : index + window]))
+    return live
+
+
+def vgm_reservation_per_core(
+    graph: OperatorGraph,
+    chip: ChipSpec,
+    *,
+    liveness: bool = True,
+    window: int = 2,
+) -> int:
+    """Per-core bytes reserved for the VGM region."""
+    total = model_weight_bytes(graph) + live_activation_bytes(
+        graph, liveness=liveness, window=window
+    )
+    return ceil_div(total, chip.num_cores)
+
+
+@dataclass(frozen=True)
+class VGMFootprint:
+    """Per-core memory breakdown of one operator under the VGM abstraction."""
+
+    op_name: str
+    active_region_bytes: int
+    """Per-core share of the active operator's tensors held in VGM."""
+    sub_operator_bytes: int
+    """Per-core working set the sub-operator loads from VGM."""
+
+    @property
+    def removable_ratio(self) -> float:
+        """Potential sub-operator growth from removing the VGM copy.
+
+        Matches the "Ratio" row of Figure 2 (b): merging the active-operator
+        region into the sub-operator region allows the sub-operator to grow by
+        ``active / sub``.
+        """
+        if self.sub_operator_bytes == 0:
+            return 0.0
+        return self.active_region_bytes / self.sub_operator_bytes
+
+
+def operator_vgm_footprint(
+    operator: Operator,
+    chip: ChipSpec,
+    sub_operator_bytes: int,
+) -> VGMFootprint:
+    """Footprint of one operator given the baseline's sub-operator working set."""
+    active_region = ceil_div(operator.total_bytes, chip.num_cores)
+    return VGMFootprint(
+        op_name=operator.name,
+        active_region_bytes=active_region,
+        sub_operator_bytes=sub_operator_bytes,
+    )

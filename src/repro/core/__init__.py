@@ -1,0 +1,46 @@
+"""T10 compiler core: rTensor, compute-shift plans, cost model, schedulers.
+
+This package is the paper's primary contribution.  The usual entry point is
+:class:`~repro.core.compiler.T10Compiler`.
+"""
+
+from repro.core.compiler import CompiledModel, T10Compiler, default_cost_model
+from repro.core.constraints import (
+    DEFAULT_CONSTRAINTS,
+    FAST_CONSTRAINTS,
+    THOROUGH_CONSTRAINTS,
+    SearchConstraints,
+)
+from repro.core.cost_model import CommModel, CostModel, KernelSample, LinearKernelModel
+from repro.core.inter_op import InterOpScheduler, ModelSchedule, OperatorSchedule
+from repro.core.intra_op import IntraOpOptimizer, SearchSpaceStats
+from repro.core.pareto import pareto_front
+from repro.core.placement import PlacementPlan
+from repro.core.plan import OperatorPlan, ShiftOp, build_library_plan, build_plan
+from repro.core.rtensor import RTensorConfig
+
+__all__ = [
+    "CommModel",
+    "CompiledModel",
+    "CostModel",
+    "DEFAULT_CONSTRAINTS",
+    "FAST_CONSTRAINTS",
+    "InterOpScheduler",
+    "IntraOpOptimizer",
+    "KernelSample",
+    "LinearKernelModel",
+    "ModelSchedule",
+    "OperatorPlan",
+    "OperatorSchedule",
+    "PlacementPlan",
+    "RTensorConfig",
+    "SearchConstraints",
+    "SearchSpaceStats",
+    "ShiftOp",
+    "T10Compiler",
+    "THOROUGH_CONSTRAINTS",
+    "build_library_plan",
+    "build_plan",
+    "default_cost_model",
+    "pareto_front",
+]

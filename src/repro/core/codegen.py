@@ -1,0 +1,129 @@
+"""Code generation: from a model schedule to a device program (paper §4.4/§5).
+
+T10 maps an optimised execution plan onto the accelerator through three
+abstract device interfaces — ``allocate``, ``compute`` and ``shift``.  In this
+reproduction the target is the analytical simulator, so "code generation"
+means emitting a :class:`~repro.hw.program.DeviceProgram`: the sequence of
+setup, compute-set, shift and all-to-all steps, plus the per-operator memory
+bookkeeping the simulator checks against the scratchpad capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.inter_op import ModelSchedule, OperatorSchedule
+from repro.hw.program import (
+    AllToAllStep,
+    ComputeStep,
+    DeviceProgram,
+    SetupStep,
+    ShiftStep,
+)
+from repro.hw.spec import ChipSpec
+from repro.ir.graph import OperatorGraph
+from repro.ir.operator import Operator
+from repro.ir.tensor import TensorRole
+
+
+def generate_program(
+    graph: OperatorGraph,
+    schedule: ModelSchedule,
+    chip: ChipSpec,
+) -> DeviceProgram:
+    """Emit the device program for a reconciled model schedule."""
+    program = DeviceProgram(name=graph.name)
+    program.idle_memory_per_core = schedule.idle_memory_per_core
+
+    # Model inputs/outputs are assumed to be resident on chip before the
+    # measured inference starts (the paper warms models up so that weights and
+    # inputs are already in device memory); off-chip streaming is studied
+    # separately in the emulated-HBM experiment (§6.8).
+    operators = graph.operators
+    previous: Operator | None = None
+    for operator in operators:
+        entry = schedule.per_op[operator.name]
+        if previous is not None:
+            transition = _layout_transition_bytes(previous, operator, schedule)
+            if transition > 0:
+                program.add(
+                    AllToAllStep(
+                        op_name=operator.name,
+                        total_bytes=transition,
+                        cores_used=entry.active_plan.cores_used,
+                    )
+                )
+        _emit_operator(program, operator, entry)
+        previous = operator
+    return program
+
+
+def _emit_operator(
+    program: DeviceProgram, operator: Operator, entry: OperatorSchedule
+) -> None:
+    """Emit setup, compute and shift steps for one operator."""
+    plan = entry.active_plan
+    if entry.setup_bytes > 0:
+        program.add(
+            SetupStep(
+                op_name=operator.name,
+                bytes_per_core=entry.setup_bytes,
+                cores_used=plan.cores_used,
+            )
+        )
+    program.add(
+        ComputeStep(
+            op_name=operator.name,
+            op_type=plan.op_type,
+            subtask_shape=dict(plan.subtask_shape),
+            flops=plan.flops_per_step,
+            bytes_accessed=plan.bytes_per_step,
+            cores_used=plan.cores_used,
+            count=plan.num_steps,
+        )
+    )
+    for shift in plan.shift_ops:
+        if shift.num_steps <= 0 or shift.bytes_per_step <= 0:
+            continue
+        program.add(
+            ShiftStep(
+                op_name=operator.name,
+                tensor_name=shift.tensor_name,
+                bytes_per_core=shift.bytes_per_step,
+                cores_used=plan.cores_used,
+                ring_size=max(2, shift.ring_size),
+                contention=1.0,
+                count=shift.num_steps,
+            )
+        )
+    # The extra memory an active operator needs on top of its idle footprint.
+    extra = max(0, plan.memory_bytes - entry.idle_plan.idle_bytes)
+    program.record_op_memory(operator.name, extra)
+
+
+def _layout_transition_bytes(
+    producer: Operator,
+    consumer: Operator,
+    schedule: ModelSchedule,
+) -> int:
+    """Bytes exchanged to re-layout an intermediate tensor between operators.
+
+    If the producer's output partitioning differs from the partitioning the
+    consumer expects for its activation input, T10 inserts an all-to-all
+    exchange of the intermediate tensor (paper §5, inter-operator transition).
+    """
+    producer_plan = schedule.per_op[producer.name].active_plan
+    consumer_plan = schedule.per_op[consumer.name].active_plan
+
+    producer_output = producer.output.name
+    producer_cfg = producer_plan.rtensors.get(producer_output)
+    consumer_cfg = None
+    for spec in consumer.inputs:
+        if spec.role is not TensorRole.WEIGHT:
+            consumer_cfg = consumer_plan.rtensors.get(spec.name)
+            break
+    if producer_cfg is None or consumer_cfg is None:
+        return 0
+    if producer_cfg.fs == consumer_cfg.fs and producer_cfg.ft == consumer_cfg.ft:
+        return 0
+    return producer.output_bytes

@@ -1,0 +1,137 @@
+"""The T10 compiler front door.
+
+``T10Compiler.compile`` runs the full pipeline of the paper on an operator
+graph:
+
+1. fit (or reuse) the cost model against the target chip,
+2. search Pareto-optimal compute-shift plans per operator (§4.3.1),
+3. reconcile memory across operators to pick idle/active plans (§4.3.2),
+4. generate the device program (§4.4).
+
+The result is a :class:`CompiledModel` carrying the program, the schedule,
+per-operator plan frontiers, search-space statistics and the compile time —
+everything the evaluation figures need.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.codegen import generate_program
+from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
+from repro.core.cost_model import CostModel
+from repro.core.inter_op import InterOpScheduler, ModelSchedule
+from repro.core.intra_op import IntraOpOptimizer, SearchSpaceStats
+from repro.core.plan import OperatorPlan
+from repro.hw.memory import OutOfChipMemoryError
+from repro.hw.program import DeviceProgram
+from repro.hw.spec import IPU_MK2, ChipSpec
+from repro.ir.graph import OperatorGraph
+
+#: Cost models are expensive enough to fit that sharing them across compiler
+#: instances targeting the same chip is worthwhile (they are deterministic).
+_COST_MODEL_CACHE: dict[tuple[str, int], CostModel] = {}
+
+
+def default_cost_model(chip: ChipSpec) -> CostModel:
+    """Fitted cost model for ``chip``, cached per chip configuration."""
+    key = (chip.name, chip.num_cores)
+    if key not in _COST_MODEL_CACHE:
+        _COST_MODEL_CACHE[key] = CostModel.fit(chip)
+    return _COST_MODEL_CACHE[key]
+
+
+@dataclass
+class CompiledModel:
+    """Result of compiling one operator graph for one chip."""
+
+    graph: OperatorGraph
+    chip: ChipSpec
+    status: str
+    program: DeviceProgram | None = None
+    schedule: ModelSchedule | None = None
+    pareto_plans: dict[str, list[OperatorPlan]] = field(default_factory=dict)
+    search_stats: dict[str, SearchSpaceStats] = field(default_factory=dict)
+    compile_time_seconds: float = 0.0
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether compilation produced a runnable program."""
+        return self.status == "ok" and self.program is not None
+
+    def plan_for(self, op_name: str) -> OperatorPlan:
+        """Active execution plan chosen for one operator."""
+        if self.schedule is None:
+            raise RuntimeError("model did not compile successfully")
+        return self.schedule.per_op[op_name].active_plan
+
+    def summary(self) -> str:
+        """One-paragraph description of the compilation result."""
+        if not self.ok:
+            return f"{self.graph.name} on {self.chip.name}: {self.status} ({self.error})"
+        assert self.schedule is not None and self.program is not None
+        return (
+            f"{self.graph.name} on {self.chip.name}: {len(self.graph)} operators, "
+            f"{len(self.program)} program steps, "
+            f"idle memory {self.schedule.idle_memory_per_core / 1024:.1f} KiB/core, "
+            f"estimated {self.schedule.est_total_time * 1e3:.3f} ms, "
+            f"compiled in {self.compile_time_seconds:.2f}s"
+        )
+
+
+class T10Compiler:
+    """End-to-end compiler for inter-core connected intelligence processors."""
+
+    def __init__(
+        self,
+        chip: ChipSpec = IPU_MK2,
+        *,
+        cost_model: CostModel | None = None,
+        constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+    ) -> None:
+        self.chip = chip
+        self.cost_model = cost_model or default_cost_model(chip)
+        self.constraints = constraints
+        self.intra_op = IntraOpOptimizer(chip, self.cost_model, constraints)
+        self.inter_op = InterOpScheduler(chip, self.cost_model)
+
+    # ------------------------------------------------------------------ #
+    def compile(self, graph: OperatorGraph) -> CompiledModel:
+        """Compile ``graph`` into a device program (or an OOM diagnosis)."""
+        start = time.perf_counter()
+        pareto: dict[str, list[OperatorPlan]] = {}
+        stats: dict[str, SearchSpaceStats] = {}
+        try:
+            for operator in graph.operators:
+                pareto[operator.name] = self.intra_op.pareto_plans(operator)
+                stats[operator.name] = self.intra_op.search_space_stats(operator)
+            schedule = self.inter_op.reconcile(pareto)
+            program = generate_program(graph, schedule, self.chip)
+        except (OutOfChipMemoryError, ValueError) as error:
+            return CompiledModel(
+                graph=graph,
+                chip=self.chip,
+                status="oom",
+                pareto_plans=pareto,
+                search_stats=stats,
+                compile_time_seconds=time.perf_counter() - start,
+                error=str(error),
+            )
+        elapsed = time.perf_counter() - start
+        return CompiledModel(
+            graph=graph,
+            chip=self.chip,
+            status="ok",
+            program=program,
+            schedule=schedule,
+            pareto_plans=pareto,
+            search_stats=stats,
+            compile_time_seconds=elapsed,
+        )
+
+    def compile_operator(self, operator) -> list[OperatorPlan]:
+        """Convenience wrapper: Pareto plans of a single operator."""
+        return self.intra_op.pareto_plans(operator)

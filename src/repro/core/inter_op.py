@@ -1,0 +1,274 @@
+"""Holistic inter-operator memory reconciliation (paper §4.3.2, Algorithm 1).
+
+To execute a whole model from on-chip memory, every operator is given two
+plans: an *idle* plan (memory-efficient layout of its persistent tensors held
+while other operators run) and an *active* plan (latency-efficient layout used
+while executing).  Transitioning idle → active costs a setup phase that
+redistributes weight data over the inter-core links.
+
+Starting from the most memory-efficient idle plan for every operator, the
+scheduler repeatedly "promotes" the idle plan of the operator with the best
+setup-time-saved per idle-byte-added ratio, re-evaluating the end-to-end time
+estimate at each step and keeping the best configuration seen.
+
+Identical operators (e.g. the repeated layers of a transformer) share the same
+Pareto frontier, so the search groups them and promotes whole groups at once —
+this keeps the reconciliation pass fast even for models with hundreds of
+operators, mirroring the paper's observation that the policy explores only
+``sum(num idle plans)`` promising combinations instead of their product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.cost_model import CostModel
+from repro.core.plan import OperatorPlan
+from repro.hw.memory import OutOfChipMemoryError
+from repro.hw.spec import ChipSpec
+
+
+@dataclass(frozen=True)
+class OperatorSchedule:
+    """Final (idle, active) plan pair chosen for one operator."""
+
+    op_name: str
+    idle_plan: OperatorPlan
+    active_plan: OperatorPlan
+    setup_bytes: int
+    setup_time_est: float
+    active_time_est: float
+
+    @property
+    def total_time_est(self) -> float:
+        """Setup plus active execution time estimate."""
+        return self.setup_time_est + self.active_time_est
+
+
+@dataclass
+class ModelSchedule:
+    """End-to-end schedule for a whole operator graph."""
+
+    per_op: dict[str, OperatorSchedule]
+    idle_memory_per_core: int
+    est_total_time: float
+    search_history: list[tuple[int, float]] = field(default_factory=list)
+    """(idle memory per core, estimated end-to-end time) at every search step."""
+
+    @property
+    def est_setup_time(self) -> float:
+        """Total estimated setup time across operators."""
+        return sum(entry.setup_time_est for entry in self.per_op.values())
+
+    @property
+    def est_active_time(self) -> float:
+        """Total estimated active execution time across operators."""
+        return sum(entry.active_time_est for entry in self.per_op.values())
+
+
+@dataclass
+class _OpGroup:
+    """Operators that share one Pareto frontier (identical signature)."""
+
+    names: list[str]
+    frontier: list[OperatorPlan]
+    idle_index: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.names)
+
+    @property
+    def idle_plan(self) -> OperatorPlan:
+        return self.frontier[self.idle_index]
+
+
+class InterOpScheduler:
+    """Implements the greedy memory-reconciliation policy of Algorithm 1."""
+
+    def __init__(
+        self, chip: ChipSpec, cost_model: CostModel, *, max_search_steps: int = 512
+    ) -> None:
+        self.chip = chip
+        self.cost_model = cost_model
+        self.max_search_steps = max_search_steps
+
+    # ------------------------------------------------------------------ #
+    def reconcile(
+        self, pareto_plans: Mapping[str, Sequence[OperatorPlan]]
+    ) -> ModelSchedule:
+        """Choose idle/active plans for every operator of a model.
+
+        ``pareto_plans`` maps operator names to their Pareto frontier sorted
+        by increasing memory footprint.  Raises
+        :class:`~repro.hw.memory.OutOfChipMemoryError` if even the most
+        memory-efficient configuration cannot fit on the chip.
+        """
+        groups = self._group_operators(pareto_plans)
+        capacity = self.chip.sram_per_core
+
+        history: list[tuple[int, float]] = []
+        best_time = float("inf")
+        best_state: list[int] | None = None
+
+        for _ in range(self.max_search_steps):
+            idle_total = self._idle_total(groups)
+            if idle_total > capacity:
+                break
+            total_time = self._estimate_total_time(groups, idle_total)
+            history.append((idle_total, total_time))
+            if total_time < best_time:
+                best_time = total_time
+                best_state = [group.idle_index for group in groups]
+            promotion = self._best_promotion(groups, idle_total, capacity)
+            if promotion is None:
+                break
+            groups[promotion].idle_index += 1
+
+        if best_state is None or best_time == float("inf"):
+            raise OutOfChipMemoryError(
+                self._idle_total(groups), capacity, "inter-operator reconciliation"
+            )
+
+        for group, index in zip(groups, best_state):
+            group.idle_index = index
+        return self._build_schedule(groups, history)
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _group_operators(
+        pareto_plans: Mapping[str, Sequence[OperatorPlan]]
+    ) -> list[_OpGroup]:
+        groups: dict[int, _OpGroup] = {}
+        for name, frontier in pareto_plans.items():
+            frontier_list = list(frontier)
+            if not frontier_list:
+                raise ValueError(f"operator {name!r} has no feasible plan")
+            # Frontiers are cached per operator signature, so identical
+            # operators share the same list object; group them by identity.
+            key = id(frontier)
+            if key in groups:
+                groups[key].names.append(name)
+            else:
+                groups[key] = _OpGroup(names=[name], frontier=frontier_list)
+        return list(groups.values())
+
+    @staticmethod
+    def _idle_total(groups: Sequence[_OpGroup]) -> int:
+        return sum(group.idle_plan.idle_bytes * group.count for group in groups)
+
+    def _available_active(self, idle_total: int, idle_plan: OperatorPlan) -> int:
+        """Per-core memory available to one operator's active plan.
+
+        While an operator executes, its own idle (weight) footprint is
+        subsumed by the active plan; every other operator keeps its idle
+        footprint resident.
+        """
+        return self.chip.sram_per_core - idle_total + idle_plan.idle_bytes
+
+    def _select_active(
+        self,
+        frontier: Sequence[OperatorPlan],
+        idle_plan: OperatorPlan,
+        available: int,
+    ) -> OperatorPlan | None:
+        """Best-fitting active plan for one operator.
+
+        Among the plans whose active footprint fits in ``available`` bytes,
+        pick the one minimising setup-plus-execution time: a slightly slower
+        plan whose weight layout matches the idle plan can beat the raw
+        fastest plan once the idle→active transition is accounted for.
+        """
+        best: OperatorPlan | None = None
+        best_cost = float("inf")
+        for plan in frontier:
+            if plan.memory_bytes > available:
+                continue
+            cost = plan.time_est + self.cost_model.setup_time(plan.setup_bytes_from(idle_plan))
+            if cost < best_cost:
+                best = plan
+                best_cost = cost
+        if best is None and idle_plan.memory_bytes <= available:
+            best = idle_plan
+        return best
+
+    def _estimate_total_time(self, groups: Sequence[_OpGroup], idle_total: int) -> float:
+        total = 0.0
+        for group in groups:
+            idle_plan = group.idle_plan
+            available = self._available_active(idle_total, idle_plan)
+            active = self._select_active(group.frontier, idle_plan, available)
+            if active is None:
+                return float("inf")
+            setup_bytes = active.setup_bytes_from(idle_plan)
+            per_op = self.cost_model.setup_time(setup_bytes) + active.time_est
+            total += per_op * group.count
+        return total
+
+    def _best_promotion(
+        self, groups: Sequence[_OpGroup], idle_total: int, capacity: int
+    ) -> int | None:
+        """Group whose idle-plan promotion saves the most setup time per byte."""
+        best_index: int | None = None
+        best_ratio = 0.0
+        for index, group in enumerate(groups):
+            if group.idle_index + 1 >= len(group.frontier):
+                continue
+            current_idle = group.frontier[group.idle_index]
+            next_idle = group.frontier[group.idle_index + 1]
+            delta_mem = (next_idle.idle_bytes - current_idle.idle_bytes) * group.count
+            if idle_total + max(delta_mem, 0) > capacity:
+                continue
+            available = self._available_active(idle_total, current_idle)
+            active = self._select_active(group.frontier, current_idle, available)
+            if active is None:
+                continue
+            current_setup = self.cost_model.setup_time(active.setup_bytes_from(current_idle))
+            next_setup = self.cost_model.setup_time(active.setup_bytes_from(next_idle))
+            saved = (current_setup - next_setup) * group.count
+            if delta_mem <= 0:
+                if saved >= 0:
+                    # A free promotion: no extra idle memory, take it eagerly.
+                    return index
+                continue
+            ratio = saved / delta_mem
+            if ratio > best_ratio:
+                best_ratio = ratio
+                best_index = index
+        return best_index
+
+    def _build_schedule(
+        self, groups: Sequence[_OpGroup], history: list[tuple[int, float]]
+    ) -> ModelSchedule:
+        idle_total = self._idle_total(groups)
+        per_op: dict[str, OperatorSchedule] = {}
+        total_time = 0.0
+        for group in groups:
+            idle_plan = group.idle_plan
+            available = self._available_active(idle_total, idle_plan)
+            active = self._select_active(group.frontier, idle_plan, available)
+            if active is None:
+                raise OutOfChipMemoryError(
+                    idle_total, self.chip.sram_per_core, group.names[0]
+                )
+            setup_bytes = active.setup_bytes_from(idle_plan)
+            setup_time = self.cost_model.setup_time(setup_bytes)
+            for name in group.names:
+                per_op[name] = OperatorSchedule(
+                    op_name=name,
+                    idle_plan=idle_plan,
+                    active_plan=active,
+                    setup_bytes=setup_bytes,
+                    setup_time_est=setup_time,
+                    active_time_est=active.time_est,
+                )
+                total_time += setup_time + active.time_est
+        return ModelSchedule(
+            per_op=per_op,
+            idle_memory_per_core=idle_total,
+            est_total_time=total_time,
+            search_history=history,
+        )

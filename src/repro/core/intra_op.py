@@ -1,0 +1,157 @@
+"""Intra-operator plan search: enumerate, filter, cost, keep the Pareto set.
+
+This is the first stage of T10's two-level optimisation (paper §4.3.1).  For
+one operator it:
+
+1. enumerates candidate operator partition factors under the parallelism and
+   padding constraints (:mod:`repro.core.partition`),
+2. enumerates temporal-factor combinations per tensor,
+3. costs every surviving candidate with the fitted cost model, and
+4. keeps the Pareto-optimal execution-time / memory-footprint frontier.
+
+Results are cached per operator signature: identical operators (the repeated
+layers of a transformer, say) are searched once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
+from repro.core.cost_model import CostModel
+from repro.core.pareto import pareto_front
+from repro.core.partition import (
+    complete_space_size,
+    enumerate_operator_partitions,
+    temporal_factor_choices,
+)
+from repro.core.plan import OperatorPlan, build_library_plan, build_plan
+from repro.hw.spec import ChipSpec
+from repro.ir.operator import Operator
+
+
+@dataclass(frozen=True)
+class SearchSpaceStats:
+    """Plan-space sizes at each stage of the search (Figure 18)."""
+
+    complete: float
+    filtered: float
+    evaluated: int
+    optimized: int
+
+
+class IntraOpOptimizer:
+    """Searches Pareto-optimal compute-shift plans for individual operators."""
+
+    def __init__(
+        self,
+        chip: ChipSpec,
+        cost_model: CostModel,
+        constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+    ) -> None:
+        self.chip = chip
+        self.cost_model = cost_model
+        self.constraints = constraints
+        self._pareto_cache: dict[tuple, list[OperatorPlan]] = {}
+        self._stats_cache: dict[tuple, SearchSpaceStats] = {}
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def pareto_plans(self, operator: Operator) -> list[OperatorPlan]:
+        """Pareto-optimal plans of ``operator``, sorted by increasing memory.
+
+        Raises :class:`ValueError` if no feasible plan exists (the operator
+        cannot fit the chip at all).
+        """
+        signature = operator.signature()
+        if signature not in self._pareto_cache:
+            self._search(operator)
+        plans = self._pareto_cache[signature]
+        if not plans:
+            raise ValueError(
+                f"no feasible execution plan for operator {operator.name!r} "
+                f"on chip {self.chip.name}"
+            )
+        return plans
+
+    def enumerate_plans(self, operator: Operator) -> list[OperatorPlan]:
+        """All costed candidate plans (used by the plan-space studies)."""
+        candidates = list(self._candidate_plans(operator))
+        return candidates
+
+    def search_space_stats(self, operator: Operator) -> SearchSpaceStats:
+        """Complete / filtered / Pareto plan-space sizes for ``operator``."""
+        signature = operator.signature()
+        if signature not in self._stats_cache:
+            self._search(operator)
+        return self._stats_cache[signature]
+
+    def clear_cache(self) -> None:
+        """Drop cached search results (used when constraints change)."""
+        self._pareto_cache.clear()
+        self._stats_cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def _search(self, operator: Operator) -> None:
+        signature = operator.signature()
+        candidates = list(self._candidate_plans(operator))
+        fitting = [
+            plan for plan in candidates if plan.memory_bytes <= self.chip.sram_per_core
+        ]
+        frontier = pareto_front(
+            fitting,
+            memory=lambda plan: plan.memory_bytes,
+            time=lambda plan: plan.time_est,
+        )
+        self._pareto_cache[signature] = frontier
+        self._stats_cache[signature] = SearchSpaceStats(
+            complete=complete_space_size(operator.expr, self.chip.num_cores),
+            filtered=float(len(candidates)),
+            evaluated=len(candidates),
+            optimized=len(frontier),
+        )
+
+    def _candidate_plans(self, operator: Operator) -> Iterable[OperatorPlan]:
+        expr = operator.expr
+        if expr.library_fallback:
+            yield build_library_plan(expr, self.chip, self.cost_model)
+            return
+
+        produced = 0
+        fops = enumerate_operator_partitions(expr, self.chip.num_cores, self.constraints)
+        per_tensor_choices = self._per_tensor_choice_budget(len(expr.all_tensors))
+        for fop in fops:
+            for temporal in self._temporal_combinations(expr, fop, per_tensor_choices):
+                plan = build_plan(expr, self.chip, self.cost_model, fop, temporal)
+                if plan is None:
+                    continue
+                produced += 1
+                yield plan
+                if produced >= self.constraints.max_plans:
+                    return
+
+    def _per_tensor_choice_budget(self, num_tensors: int) -> int:
+        """How many temporal factors to consider per tensor."""
+        budget = self.constraints.max_temporal_combos
+        per_tensor = max(2, int(round(budget ** (1.0 / max(num_tensors, 1)))))
+        return per_tensor
+
+    def _temporal_combinations(
+        self,
+        expr,
+        fop: Mapping[str, int],
+        per_tensor_choices: int,
+    ) -> Iterable[dict[str, int]]:
+        names = [spec.name for spec in expr.all_tensors]
+        choices = [
+            temporal_factor_choices(expr, spec, fop, max_choices=per_tensor_choices)
+            for spec in expr.all_tensors
+        ]
+        combos = itertools.product(*choices)
+        for combo in itertools.islice(combos, self.constraints.max_temporal_combos):
+            yield dict(zip(names, combo))

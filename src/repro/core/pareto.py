@@ -1,0 +1,83 @@
+"""Pareto-frontier utilities for the intra-operator plan search (paper §4.3.1).
+
+A plan is Pareto-optimal when no other plan is both faster and uses no more
+memory.  T10 keeps the whole frontier per operator (rather than a single
+"best" plan) so the inter-operator scheduler can later trade memory between
+operators.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    items: Iterable[T],
+    *,
+    memory: Callable[[T], float],
+    time: Callable[[T], float],
+) -> list[T]:
+    """Return the Pareto-optimal subset of ``items`` minimising both objectives.
+
+    The result is sorted by increasing memory (and therefore decreasing time).
+    Duplicates on either objective keep only the best counterpart so the
+    frontier is strictly decreasing in time as memory grows.
+    """
+    candidates = sorted(items, key=lambda item: (memory(item), time(item)))
+    frontier: list[T] = []
+    best_time = float("inf")
+    for item in candidates:
+        item_time = time(item)
+        if item_time < best_time:
+            if frontier and memory(frontier[-1]) == memory(item):
+                frontier[-1] = item
+            else:
+                frontier.append(item)
+            best_time = item_time
+    return frontier
+
+
+def dominates(
+    a: T,
+    b: T,
+    *,
+    memory: Callable[[T], float],
+    time: Callable[[T], float],
+) -> bool:
+    """Whether ``a`` dominates ``b`` (no worse on both, strictly better on one)."""
+    mem_a, mem_b = memory(a), memory(b)
+    time_a, time_b = time(a), time(b)
+    if mem_a > mem_b or time_a > time_b:
+        return False
+    return mem_a < mem_b or time_a < time_b
+
+
+def hypervolume(
+    frontier: Sequence[T],
+    *,
+    memory: Callable[[T], float],
+    time: Callable[[T], float],
+    reference: tuple[float, float],
+) -> float:
+    """Hypervolume of a 2-D frontier against a reference point.
+
+    Used by tests as a scalar measure that a richer frontier is at least as
+    good as a poorer one.
+    """
+    ref_memory, ref_time = reference
+    points = sorted(
+        ((memory(item), time(item)) for item in frontier), key=lambda p: p[0]
+    )
+    volume = 0.0
+    previous_time = ref_time
+    for mem, duration in points:
+        if mem > ref_memory or duration > ref_time:
+            continue
+        width = ref_memory - mem
+        height = previous_time - duration
+        if height > 0:
+            volume += width * height
+            previous_time = duration
+    return volume

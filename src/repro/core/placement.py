@@ -1,0 +1,170 @@
+"""Sub-tensor placement and rotation checking (paper §4.4, Figure 10).
+
+For a chosen execution plan, every core must initially hold the sub-tensor
+partitions its first sub-task needs, and after every rotation step the data
+dependencies must still be satisfied.  :class:`PlacementPlan` materialises the
+core grid implied by ``F_op``, assigns partition indices per tensor, simulates
+the circular shifts and verifies the two invariants T10's placement relies
+on: every ring position is visited exactly once per cycle, and at every step
+every core holds a partition of each tensor it consumes.
+
+This module is intentionally explicit rather than fast — it exists to check
+plans (tests, examples), not to schedule them (the simulator works from the
+analytical plan metrics).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.plan import OperatorPlan
+from repro.core.rtensor import RTensorConfig
+from repro.ir.expr import TensorExpression
+from repro.utils import prod
+
+
+@dataclass
+class TensorPlacement:
+    """Placement state of one tensor: which partition each core currently holds."""
+
+    config: RTensorConfig
+    ring_position: list[int]
+    """Current ring position (partition id within the sub-tensor) per core."""
+    sub_tensor_id: list[int]
+    """Which sub-tensor (spatial slice) each core works on; fixed over time."""
+
+    @property
+    def ring_size(self) -> int:
+        """Cores per rotation ring for this tensor."""
+        return self.config.temporal_factor
+
+    def rotate(self) -> None:
+        """Advance the rotation by one step (each core receives its neighbour's part)."""
+        if self.ring_size <= 1:
+            return
+        self.ring_position = [
+            (position + 1) % self.ring_size for position in self.ring_position
+        ]
+
+
+@dataclass
+class PlacementPlan:
+    """Concrete placement of a plan's tensors onto a logical core grid."""
+
+    expr: TensorExpression
+    plan: OperatorPlan
+    cores: list[tuple[int, ...]]
+    axis_order: list[str]
+    tensors: dict[str, TensorPlacement] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, expr: TensorExpression, plan: OperatorPlan) -> "PlacementPlan":
+        """Materialise the placement of ``plan`` on its logical core grid."""
+        axis_order = list(plan.fop.keys())
+        ranges = [range(plan.fop[axis]) for axis in axis_order]
+        cores = list(itertools.product(*ranges))
+        placement = cls(expr=expr, plan=plan, cores=cores, axis_order=axis_order)
+        for name, config in plan.rtensors.items():
+            placement.tensors[name] = placement._place_tensor(config)
+        return placement
+
+    def _place_tensor(self, config: RTensorConfig) -> TensorPlacement:
+        spec = config.spec
+        present_axes = [axis for axis in self.axis_order if spec.has_axis(axis)]
+        missing_axes = [axis for axis in self.axis_order if not spec.has_axis(axis)]
+        missing_sizes = [self.plan.fop[axis] for axis in missing_axes]
+
+        sub_tensor_id: list[int] = []
+        ring_position: list[int] = []
+        ring_size = config.temporal_factor
+        for core in self.cores:
+            coord = dict(zip(self.axis_order, core))
+            # Spatial slice: determined by the coordinates of the axes the
+            # tensor carries (ascending order keeps dependencies aligned
+            # after rotation, as required by §4.4).
+            spatial_key = tuple(coord[axis] for axis in present_axes)
+            sub_tensor_id.append(self._linearize(spatial_key, [self.plan.fop[a] for a in present_axes]))
+            # Ring membership: cores differing only in missing-axis
+            # coordinates share the sub-tensor; their linear index modulo the
+            # temporal factor is their starting position in the ring.
+            missing_key = tuple(coord[axis] for axis in missing_axes)
+            linear = self._linearize(missing_key, missing_sizes)
+            ring_position.append(linear % ring_size if ring_size > 0 else 0)
+        return TensorPlacement(
+            config=config, ring_position=ring_position, sub_tensor_id=sub_tensor_id
+        )
+
+    @staticmethod
+    def _linearize(key: tuple[int, ...], sizes: list[int]) -> int:
+        index = 0
+        for value, size in zip(key, sizes):
+            index = index * max(size, 1) + value
+        return index
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_cores(self) -> int:
+        """Cores used by the placement."""
+        return len(self.cores)
+
+    def partitions_at(self, core_index: int) -> dict[str, tuple[int, int]]:
+        """(sub-tensor id, ring position) currently held by one core, per tensor."""
+        return {
+            name: (placement.sub_tensor_id[core_index], placement.ring_position[core_index])
+            for name, placement in self.tensors.items()
+        }
+
+    def step(self) -> None:
+        """Perform one rotation step (shift every rotated tensor once)."""
+        for placement in self.tensors.values():
+            placement.rotate()
+
+    # ------------------------------------------------------------------ #
+    # Invariant checks
+    # ------------------------------------------------------------------ #
+    def verify_ring_coverage(self) -> bool:
+        """Every core sees every partition of its sub-tensor exactly once per cycle."""
+        for placement in self.tensors.values():
+            ring = placement.ring_size
+            if ring <= 1:
+                continue
+            seen: list[set[int]] = [set() for _ in range(self.num_cores)]
+            positions = list(placement.ring_position)
+            for _ in range(ring):
+                for core_index, position in enumerate(positions):
+                    if position in seen[core_index]:
+                        return False
+                    seen[core_index].add(position)
+                positions = [(p + 1) % ring for p in positions]
+            if any(len(s) != ring for s in seen):
+                return False
+        return True
+
+    def verify_replica_consistency(self) -> bool:
+        """Cores sharing a sub-tensor are evenly spread over its ring positions.
+
+        With ``P`` sharing cores and a ring of ``t`` partitions, each partition
+        must be held by exactly ``P / t`` cores at any time — otherwise some
+        partition would be missing from the chip.
+        """
+        for placement in self.tensors.values():
+            ring = placement.ring_size
+            sharing = placement.config.sharing_degree
+            expected = max(1, sharing // ring)
+            groups: dict[int, dict[int, int]] = {}
+            for sub_id, position in zip(placement.sub_tensor_id, placement.ring_position):
+                counts = groups.setdefault(sub_id, {})
+                counts[position] = counts.get(position, 0) + 1
+            for counts in groups.values():
+                if len(counts) != ring:
+                    return False
+                if any(count != expected for count in counts.values()):
+                    return False
+        return True
+
+    def verify(self) -> bool:
+        """All placement invariants hold."""
+        return self.verify_ring_coverage() and self.verify_replica_consistency()

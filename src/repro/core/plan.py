@@ -1,0 +1,325 @@
+"""Compute-shift execution plans and their analytical metrics (paper §4.2).
+
+An :class:`OperatorPlan` captures one way of running one operator with the
+compute-shift paradigm: the operator partition factor ``F_op``, one rTensor
+configuration per tensor, the aligned rotating paces, and everything derived
+from them — the per-step sub-task, the number of compute-shift steps, the
+inter-core shift schedule, the per-core memory footprint, and the cost-model
+estimates of compute and communication time.  The intra-operator optimizer
+enumerates many candidate plans, keeps the Pareto-optimal ones, and the
+inter-operator scheduler later picks an (idle, active) pair per operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.cost_model import CostModel
+from repro.core.partition import (
+    align_rotation_paces,
+    derive_rtensor,
+    sub_extents,
+    tensor_sharing_degree,
+)
+from repro.core.rtensor import RTensorConfig
+from repro.hw.spec import ChipSpec
+from repro.ir.expr import TensorExpression
+from repro.utils import ceil_div, prod
+
+
+@dataclass(frozen=True)
+class ShiftOp:
+    """One tensor's shift schedule inside a plan (consumed by codegen)."""
+
+    tensor_name: str
+    bytes_per_step: int
+    num_steps: int
+    ring_size: int
+
+
+@dataclass(frozen=True)
+class OperatorPlan:
+    """One candidate compute-shift execution plan for an operator."""
+
+    op_type: str
+    fop: Mapping[str, int]
+    rtensors: Mapping[str, RTensorConfig]
+    rotation_paces: Mapping[str, int]
+    cores_used: int
+    num_steps: int
+    subtask_shape: Mapping[str, int]
+    flops_per_step: float
+    bytes_per_step: int
+    compute_time_est: float
+    comm_time_est: float
+    shift_ops: tuple[ShiftOp, ...]
+    memory_bytes: int
+    dtype_bytes: int
+
+    # ------------------------------------------------------------------ #
+    @property
+    def time_est(self) -> float:
+        """Estimated active-state execution time (compute + communication)."""
+        return self.compute_time_est + self.comm_time_est
+
+    @property
+    def data_bytes(self) -> int:
+        """Per-core bytes of tensor partitions (memory without the shift buffer)."""
+        return sum(config.partition_bytes for config in self.rtensors.values())
+
+    @property
+    def idle_bytes(self) -> int:
+        """Per-core bytes held while the operator is idle.
+
+        Only persistent tensors (weights) stay resident between executions;
+        activations are produced and consumed by neighbouring operators and
+        their memory is reclaimed by liveness analysis (paper §4.4).
+        """
+        from repro.ir.tensor import TensorRole
+
+        return sum(
+            config.partition_bytes
+            for config in self.rtensors.values()
+            if config.spec.role is TensorRole.WEIGHT
+        )
+
+    @property
+    def total_shift_bytes(self) -> int:
+        """Per-core inter-core traffic over the whole operator."""
+        return sum(op.bytes_per_step * op.num_steps for op in self.shift_ops)
+
+    @property
+    def comm_fraction_est(self) -> float:
+        """Estimated fraction of time spent shifting."""
+        total = self.time_est
+        return self.comm_time_est / total if total > 0 else 0.0
+
+    def tensor_partition_bytes(self) -> dict[str, int]:
+        """Per-tensor per-core footprint (used for setup-cost estimation)."""
+        return {name: config.partition_bytes for name, config in self.rtensors.items()}
+
+    def setup_bytes_from(self, idle: "OperatorPlan | None") -> int:
+        """Per-core bytes that must move to transition ``idle`` → this plan.
+
+        The setup phase redistributes persistent tensor data over the
+        inter-core links so that every core holds the weight partitions the
+        active plan expects (paper §4.3.2).  Data a core already holds under
+        the idle plan does not need to move again, so only the per-tensor
+        growth counts.  Activations are laid out by their producer operator
+        (or an explicit inter-operator transition), not by the setup phase.
+        """
+        from repro.ir.tensor import TensorRole
+
+        mine = {
+            name: config.partition_bytes
+            for name, config in self.rtensors.items()
+            if config.spec.role is TensorRole.WEIGHT
+        }
+        if idle is None:
+            return sum(mine.values())
+        theirs = idle.tensor_partition_bytes()
+        return sum(max(0, size - theirs.get(name, 0)) for name, size in mine.items())
+
+    def describe(self) -> str:
+        """Compact human-readable plan summary (used by the examples)."""
+        fop = ", ".join(f"{axis}={factor}" for axis, factor in self.fop.items() if factor > 1)
+        return (
+            f"{self.op_type}[{fop or 'replicated'}] on {self.cores_used} cores: "
+            f"{self.num_steps} steps, {self.memory_bytes / 1024:.1f} KiB/core, "
+            f"est {self.time_est * 1e6:.1f} us ({self.comm_fraction_est:.0%} shift)"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Plan construction
+# --------------------------------------------------------------------------- #
+def build_plan(
+    expr: TensorExpression,
+    chip: ChipSpec,
+    cost_model: CostModel,
+    fop: Mapping[str, int],
+    temporal_factors: Mapping[str, int],
+) -> OperatorPlan | None:
+    """Build and cost one execution plan candidate.
+
+    ``temporal_factors`` maps tensor names to the chosen temporal partition
+    factor.  Returns ``None`` when the combination is infeasible (a temporal
+    factor that no dimension can host, or more sub-operators than cores).
+    """
+    used = prod(fop.values())
+    if used > chip.num_cores:
+        return None
+
+    configs: dict[str, RTensorConfig] = {}
+    for spec in expr.all_tensors:
+        factor = temporal_factors.get(spec.name, 1)
+        config = derive_rtensor(expr, spec, fop, factor)
+        if config is None:
+            return None
+        configs[spec.name] = config
+    configs, paces = align_rotation_paces(expr, configs, fop)
+
+    extents = sub_extents(expr, fop)
+    steps_per_axis = {
+        axis: max(1, ceil_div(extents[axis], max(pace, 1))) for axis, pace in paces.items()
+    }
+    num_steps = prod(steps_per_axis.values())
+
+    subtask_shape = {
+        axis: (paces[axis] if axis in paces else extents[axis]) for axis in expr.axes
+    }
+    flops_per_step = expr.flops(subtask_shape)
+    bytes_per_step = sum(expr.tensor_bytes(spec, subtask_shape) for spec in expr.all_tensors)
+    compute_time = num_steps * cost_model.compute_time(
+        expr.op_type, subtask_shape, flops_per_step, bytes_per_step
+    )
+
+    shift_ops = _build_shift_schedule(expr, configs, fop, steps_per_axis)
+    comm_time = sum(
+        op.num_steps * cost_model.shift_time(op.bytes_per_step) for op in shift_ops
+    )
+
+    memory = sum(config.partition_bytes for config in configs.values())
+    memory += chip.shift_buffer_bytes
+
+    return OperatorPlan(
+        op_type=expr.op_type,
+        fop=dict(fop),
+        rtensors=configs,
+        rotation_paces=paces,
+        cores_used=used,
+        num_steps=num_steps,
+        subtask_shape=subtask_shape,
+        flops_per_step=flops_per_step,
+        bytes_per_step=bytes_per_step,
+        compute_time_est=compute_time,
+        comm_time_est=comm_time,
+        shift_ops=tuple(shift_ops),
+        memory_bytes=memory,
+        dtype_bytes=expr.dtype.bytes,
+    )
+
+
+def _build_shift_schedule(
+    expr: TensorExpression,
+    configs: Mapping[str, RTensorConfig],
+    fop: Mapping[str, int],
+    steps_per_axis: Mapping[str, int],
+) -> list[ShiftOp]:
+    """Derive the per-tensor shift operations of one plan.
+
+    The rotated axes form a loop nest.  T10 places the axis of the smaller
+    tensor innermost (paper §4.4, sub-operator computation scheduling), so the
+    small tensor is the one re-streamed by outer iterations.  A tensor rotating
+    along axis ``k`` performs ``steps_k - 1`` shifts per cycle and one cycle
+    per iteration of the loops outside ``k``.
+    """
+    # Order rotation axes outermost-first by the size of the tensors rotating
+    # along them (largest first → smallest tensor innermost).
+    axis_sizes: dict[str, int] = {}
+    for config in configs.values():
+        axis = config.rotation_axis
+        if axis is None:
+            continue
+        size = config.sub_tensor_bytes
+        axis_sizes[axis] = min(axis_sizes.get(axis, size), size)
+    ordered_axes = sorted(axis_sizes, key=lambda axis: -axis_sizes[axis])
+    axis_position = {axis: index for index, axis in enumerate(ordered_axes)}
+
+    shift_ops: list[ShiftOp] = []
+    for name, config in configs.items():
+        axis = config.rotation_axis
+        if axis is None:
+            continue
+        steps_k = steps_per_axis.get(axis, config.rotation_steps)
+        if steps_k <= 1:
+            continue
+        outer_iters = prod(
+            steps_per_axis[other]
+            for other in ordered_axes
+            if axis_position[other] < axis_position[axis]
+        )
+        num_shift_steps = (steps_k - 1) * outer_iters
+        shift_ops.append(
+            ShiftOp(
+                tensor_name=name,
+                bytes_per_step=config.bytes_per_shift,
+                num_steps=num_shift_steps,
+                ring_size=config.temporal_factor,
+            )
+        )
+
+    shift_ops.extend(_reduction_merge_ops(expr, configs, fop))
+    return shift_ops
+
+
+def _reduction_merge_ops(
+    expr: TensorExpression,
+    configs: Mapping[str, RTensorConfig],
+    fop: Mapping[str, int],
+) -> list[ShiftOp]:
+    """Partial-result merge traffic when reduction axes are spatially split.
+
+    If a reduction axis is partitioned across cores and the output rTensor is
+    replicated (not rotated), each core ends up with a partial output that
+    must be combined over a ring of the sharing cores.
+    """
+    output = expr.output
+    sharing = tensor_sharing_degree(expr, output, fop)
+    if sharing <= 1:
+        return []
+    config = configs[output.name]
+    if config.is_rotated:
+        return []
+    merge_bytes = ceil_div(config.sub_tensor_bytes, sharing)
+    return [
+        ShiftOp(
+            tensor_name=f"{output.name}.partial",
+            bytes_per_step=merge_bytes,
+            num_steps=sharing - 1,
+            ring_size=sharing,
+        )
+    ]
+
+
+def build_library_plan(
+    expr: TensorExpression,
+    chip: ChipSpec,
+    cost_model: CostModel,
+) -> OperatorPlan:
+    """Trivial plan for operators executed by the vendor library (paper §4.2).
+
+    The operator's data is spread evenly over all cores and executed without
+    inter-core rotation; its time comes from the generic cost model.
+    """
+    axis, extent = next(iter(expr.axes.items()))
+    used = min(chip.num_cores, extent)
+    fop = {name: 1 for name in expr.axes}
+    fop[axis] = used
+    extents = sub_extents(expr, fop)
+    subtask_shape = dict(extents)
+    flops = expr.flops(subtask_shape)
+    nbytes = sum(expr.tensor_bytes(spec, subtask_shape) for spec in expr.all_tensors)
+    configs = {}
+    for spec in expr.all_tensors:
+        config = derive_rtensor(expr, spec, fop, 1)
+        assert config is not None
+        configs[spec.name] = config
+    memory = sum(c.partition_bytes for c in configs.values()) + chip.shift_buffer_bytes
+    return OperatorPlan(
+        op_type=expr.op_type,
+        fop=fop,
+        rtensors=configs,
+        rotation_paces={},
+        cores_used=used,
+        num_steps=1,
+        subtask_shape=subtask_shape,
+        flops_per_step=flops,
+        bytes_per_step=nbytes,
+        compute_time_est=cost_model.compute_time(expr.op_type, subtask_shape, flops, nbytes),
+        comm_time_est=0.0,
+        shift_ops=(),
+        memory_bytes=memory,
+        dtype_bytes=expr.dtype.bytes,
+    )

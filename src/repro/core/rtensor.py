@@ -1,0 +1,193 @@
+"""The RotatingTensor (rTensor) abstraction (paper §4.1).
+
+An rTensor describes how one tensor of an operator is partitioned, mapped and
+shifted over the interconnected cores:
+
+* the **spatial partition factor** ``f_s`` splits the tensor into sub-tensors,
+  one per group of cores, following the operator partition factor ``F_op``;
+* the **sharing degree** ``P`` is the number of cores that need the same
+  sub-tensor (the product of ``F_op`` over the axes the tensor lacks);
+* the **temporal partition factor** ``f_t`` further splits each sub-tensor
+  into partitions that circulate around rotation rings of ``prod(f_t)``
+  cores; the sub-tensor is replicated once per ring (``P / prod(f_t)`` rings);
+* the **rotating pace** ``rp`` sets how many elements move per compute-shift
+  step along the rotated dimension.
+
+The configuration directly determines the two quantities every trade-off in
+the paper is about: the per-core memory footprint (one partition per core)
+and the inter-core traffic (a partition travels around its ring once per full
+rotation cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.tensor import TensorSpec
+from repro.utils import ceil_div, prod
+
+
+@dataclass(frozen=True)
+class RTensorConfig:
+    """Concrete rTensor configuration of one tensor inside an execution plan."""
+
+    spec: TensorSpec
+    shape: tuple[int, ...]
+    dtype_bytes: int
+    fs: tuple[int, ...]
+    ft: tuple[int, ...]
+    rp: tuple[int, ...]
+    sharing_degree: int
+    sub_shape: tuple[int, ...] | None = None
+    """Explicit sub-tensor shape (includes compound-axis halos); derived from
+    ``shape``/``fs`` when not provided."""
+
+    def __post_init__(self) -> None:
+        rank = len(self.shape)
+        for name, vector in (("fs", self.fs), ("ft", self.ft), ("rp", self.rp)):
+            if len(vector) != rank:
+                raise ValueError(
+                    f"{name} has length {len(vector)}, expected rank {rank} for {self.spec.name}"
+                )
+        if self.sub_shape is not None and len(self.sub_shape) != rank:
+            raise ValueError(
+                f"sub_shape has length {len(self.sub_shape)}, expected rank {rank} "
+                f"for {self.spec.name}"
+            )
+        if any(f <= 0 for f in self.fs) or any(f <= 0 for f in self.ft):
+            raise ValueError("partition factors must be positive")
+        if self.sharing_degree < 1:
+            raise ValueError("sharing_degree must be >= 1")
+        if self.temporal_factor > self.sharing_degree:
+            raise ValueError(
+                f"temporal factor {self.temporal_factor} exceeds sharing degree "
+                f"{self.sharing_degree} for tensor {self.spec.name}"
+            )
+        for dim, (extent, parts) in enumerate(zip(self.sub_tensor_shape, self.ft)):
+            if parts > max(extent, 1):
+                raise ValueError(
+                    f"temporal factor {parts} exceeds sub-tensor extent {extent} "
+                    f"on dim {dim} of {self.spec.name}"
+                )
+        for dim, (pace, part_len) in enumerate(zip(self.rp, self.partition_shape)):
+            if pace > part_len:
+                raise ValueError(
+                    f"rotating pace {pace} exceeds partition length {part_len} "
+                    f"on dim {dim} of {self.spec.name}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Shapes
+    # ------------------------------------------------------------------ #
+    @property
+    def sub_tensor_shape(self) -> tuple[int, ...]:
+        """Shape of one spatially partitioned sub-tensor (halo included)."""
+        if self.sub_shape is not None:
+            return self.sub_shape
+        return tuple(ceil_div(extent, parts) for extent, parts in zip(self.shape, self.fs))
+
+    @property
+    def partition_shape(self) -> tuple[int, ...]:
+        """Shape of the slice one core holds (one temporal partition)."""
+        return tuple(
+            ceil_div(extent, parts) for extent, parts in zip(self.sub_tensor_shape, self.ft)
+        )
+
+    @property
+    def temporal_factor(self) -> int:
+        """Total temporal splitting ``prod(f_t)`` (ring length)."""
+        return prod(self.ft)
+
+    @property
+    def num_rings(self) -> int:
+        """Number of rotation rings sharing replicas of each sub-tensor."""
+        return max(1, self.sharing_degree // self.temporal_factor)
+
+    @property
+    def rotation_dim(self) -> Optional[int]:
+        """Dimension index along which partitions rotate (None if replicated)."""
+        for index, parts in enumerate(self.ft):
+            if parts > 1:
+                return index
+        return None
+
+    @property
+    def rotation_axis(self) -> Optional[str]:
+        """Primary axis name of the rotated dimension (None if replicated)."""
+        dim = self.rotation_dim
+        if dim is None:
+            return None
+        return self.spec.dims[dim].primary
+
+    @property
+    def is_rotated(self) -> bool:
+        """Whether this tensor circulates between cores during execution."""
+        return self.temporal_factor > 1
+
+    # ------------------------------------------------------------------ #
+    # Sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def tensor_bytes(self) -> int:
+        """Bytes of the whole tensor."""
+        return prod(self.shape) * self.dtype_bytes
+
+    @property
+    def sub_tensor_bytes(self) -> int:
+        """Bytes of one sub-tensor."""
+        return prod(self.sub_tensor_shape) * self.dtype_bytes
+
+    @property
+    def partition_bytes(self) -> int:
+        """Bytes one core holds for this tensor (its memory footprint)."""
+        return prod(self.partition_shape) * self.dtype_bytes
+
+    # ------------------------------------------------------------------ #
+    # Rotation behaviour
+    # ------------------------------------------------------------------ #
+    @property
+    def rotation_steps(self) -> int:
+        """Compute-shift steps needed for a full cycle over the sub-tensor.
+
+        With a rotating pace of ``rp`` elements along the rotated dimension,
+        one cycle over a sub-tensor of length ``L`` takes ``L / rp`` steps
+        (Figure 6 (c)/(d) of the paper).
+        """
+        dim = self.rotation_dim
+        if dim is None:
+            return 1
+        pace = max(self.rp[dim], 1)
+        return max(1, ceil_div(self.sub_tensor_shape[dim], pace))
+
+    @property
+    def bytes_per_shift(self) -> int:
+        """Bytes each core sends in one shift step of this tensor."""
+        if not self.is_rotated:
+            return 0
+        return ceil_div(self.sub_tensor_bytes, self.rotation_steps)
+
+    @property
+    def shifted_bytes_per_cycle(self) -> int:
+        """Bytes each core sends over one full rotation cycle.
+
+        Every partition except the one a core already holds must pass through
+        it, so the per-core traffic of a cycle is one sub-tensor minus one
+        shift tile.
+        """
+        if not self.is_rotated:
+            return 0
+        return self.bytes_per_shift * (self.rotation_steps - 1)
+
+    @property
+    def replication_bytes(self) -> int:
+        """Extra on-chip bytes caused by replicating the sub-tensor per ring."""
+        return (self.num_rings - 1) * self.sub_tensor_bytes
+
+    def describe(self) -> str:
+        """Compact human-readable summary used in example output."""
+        return (
+            f"{self.spec.name}: fs={list(self.fs)} ft={list(self.ft)} rp={list(self.rp)} "
+            f"P={self.sharing_degree} rings={self.num_rings} "
+            f"partition={self.partition_bytes / 1024:.1f}KiB"
+        )

@@ -1,0 +1,67 @@
+"""Experiment harness: one module per table/figure of the paper's evaluation.
+
+Every module exposes ``run(...) -> list[dict]`` (the rows/series the paper
+reports) and a ``main()`` that prints them; see DESIGN.md for the experiment
+index and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.experiments import (
+    ablation,
+    fig02_memory_footprint,
+    fig08_cost_model,
+    fig12_end_to_end,
+    fig13_breakdown,
+    fig14_bandwidth,
+    fig15_operator_perf,
+    fig16_compile_time,
+    fig17_intra_op_plans,
+    fig18_search_space,
+    fig19_constraints,
+    fig20_inter_op,
+    fig21_scalability,
+    fig22_vs_a100,
+    fig23_llm,
+    fig24_hbm,
+    tab02_models,
+    tab03_hardware,
+)
+from repro.experiments.common import (
+    COMPILER_ORDER,
+    build_workload,
+    evaluate_workload,
+    format_table,
+    make_compilers,
+    print_table,
+)
+
+#: All experiment modules keyed by their paper artefact id.
+ALL_EXPERIMENTS = {
+    "fig02": fig02_memory_footprint,
+    "fig08": fig08_cost_model,
+    "fig12": fig12_end_to_end,
+    "fig13": fig13_breakdown,
+    "fig14": fig14_bandwidth,
+    "fig15": fig15_operator_perf,
+    "fig16": fig16_compile_time,
+    "fig17": fig17_intra_op_plans,
+    "fig18": fig18_search_space,
+    "fig19": fig19_constraints,
+    "fig20": fig20_inter_op,
+    "fig21": fig21_scalability,
+    "fig22": fig22_vs_a100,
+    "fig23": fig23_llm,
+    "fig24": fig24_hbm,
+    "tab02": tab02_models,
+    "tab03": tab03_hardware,
+    "ablation": ablation,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "COMPILER_ORDER",
+    "build_workload",
+    "evaluate_workload",
+    "format_table",
+    "make_compilers",
+    "print_table",
+]

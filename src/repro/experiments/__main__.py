@@ -1,0 +1,65 @@
+"""Command-line runner for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig12           # full grid
+    python -m repro.experiments fig12 --quick   # reduced grid
+    python -m repro.experiments all --quick     # every figure/table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.common import print_table
+
+
+def _run_one(name: str, *, quick: bool) -> None:
+    module = ALL_EXPERIMENTS[name]
+    start = time.perf_counter()
+    rows = module.run(quick=quick)
+    elapsed = time.perf_counter() - start
+    title = f"{name} — {module.__doc__.strip().splitlines()[0]} ({elapsed:.1f}s)"
+    print_table(rows, title=title)
+    print()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.experiments``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the tables and figures of the T10 paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig12), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run the reduced grids used by the benchmark suite",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, module in ALL_EXPERIMENTS.items():
+            summary = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:8s} {summary}")
+        return 0
+    if args.experiment == "all":
+        for name in ALL_EXPERIMENTS:
+            _run_one(name, quick=args.quick)
+        return 0
+    if args.experiment not in ALL_EXPERIMENTS:
+        print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
+        return 2
+    _run_one(args.experiment, quick=args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

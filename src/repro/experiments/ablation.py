@@ -1,0 +1,100 @@
+"""Ablation study: which of T10's mechanisms contribute how much.
+
+DESIGN.md calls out three load-bearing design choices of the compiler; this
+experiment disables each in turn and measures the end-to-end latency impact on
+a workload:
+
+* **no-reconciliation** — skip the inter-operator memory reconciliation
+  (Algorithm 1): every operator keeps the memory-minimal idle plan, so setup
+  time is not traded against idle memory;
+* **greedy-active** — restrict the intra-operator search to a single
+  core-count target and a handful of plans (akin to picking the first
+  reasonable plan instead of the Pareto frontier);
+* **full** — the complete T10 pipeline.
+
+The Roller baseline is included as the reference point the ablations degrade
+toward.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines import RollerCompiler
+from repro.core import T10Compiler, default_cost_model
+from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
+from repro.core.inter_op import InterOpScheduler
+from repro.experiments.common import build_workload, print_table
+from repro.hw.spec import IPU_MK2, ChipSpec
+from repro.runtime import Executor
+
+#: Constraints approximating a single greedy plan choice per operator.
+GREEDY_CONSTRAINTS = SearchConstraints(
+    core_count_samples=1,
+    max_factorizations_per_target=8,
+    max_temporal_combos=4,
+)
+
+
+def _variant_compiler(variant: str, chip: ChipSpec) -> T10Compiler:
+    """Build the T10 compiler variant for one ablation arm."""
+    if variant == "full":
+        return T10Compiler(chip, cost_model=default_cost_model(chip))
+    if variant == "greedy-active":
+        return T10Compiler(
+            chip, cost_model=default_cost_model(chip), constraints=GREEDY_CONSTRAINTS
+        )
+    if variant == "no-reconciliation":
+        compiler = T10Compiler(chip, cost_model=default_cost_model(chip))
+        compiler.inter_op = InterOpScheduler(
+            chip, compiler.cost_model, max_search_steps=1
+        )
+        return compiler
+    raise ValueError(f"unknown ablation variant {variant!r}")
+
+
+VARIANTS: tuple[str, ...] = ("full", "no-reconciliation", "greedy-active")
+
+
+def run(
+    *,
+    chip: ChipSpec = IPU_MK2,
+    workloads: Sequence[tuple[str, int]] = (("bert", 1), ("nerf", 1)),
+    variants: Sequence[str] = VARIANTS,
+    quick: bool = False,
+) -> list[dict]:
+    """One row per (workload, variant) plus a Roller reference row."""
+    if quick:
+        workloads = tuple(workloads)[:1]
+    executor = Executor(chip)
+    rows: list[dict] = []
+    for model_name, batch in workloads:
+        graph = build_workload(model_name, batch, quick=quick)
+        roller = executor.evaluate(RollerCompiler(chip), graph)
+        for variant in variants:
+            compiler = _variant_compiler(variant, chip)
+            result = executor.evaluate(compiler, graph)
+            rows.append(
+                {
+                    "model": model_name,
+                    "batch": batch,
+                    "variant": variant,
+                    "latency_ms": result.latency * 1e3 if result.ok else None,
+                    "setup_ms": (
+                        result.simulation.setup_time * 1e3 if result.ok else None
+                    ),
+                    "comm_fraction_pct": result.comm_fraction * 100 if result.ok else None,
+                    "roller_ms": roller.latency * 1e3 if roller.ok else None,
+                    "status": result.status,
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    """Print the ablation table."""
+    print_table(run(quick=True), title="Ablation: contribution of T10's mechanisms")
+
+
+if __name__ == "__main__":
+    main()

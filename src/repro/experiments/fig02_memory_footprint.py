@@ -1,0 +1,49 @@
+"""Figure 2 (b): per-core memory footprint of representative operators under VGM.
+
+For each representative operator the VGM baseline keeps two per-core regions:
+its share of the active operator's tensors inside the virtual global memory
+("Active Operator") and the sub-operator working set loaded from it
+("Sub-operator").  The "Ratio" row is how much the sub-operator could grow if
+the duplicated VGM region were merged into it — the opportunity T10 exploits.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import RollerCompiler, operator_vgm_footprint
+from repro.experiments.common import print_table
+from repro.experiments.operators import FIG2_OPERATORS
+from repro.hw.spec import IPU_MK2, ChipSpec
+
+
+def run(*, chip: ChipSpec = IPU_MK2, quick: bool = False) -> list[dict]:
+    """Compute the Figure 2 (b) rows.
+
+    ``quick`` is accepted for harness uniformity; the study is cheap either way.
+    """
+    del quick
+    compiler = RollerCompiler(chip)
+    rows: list[dict] = []
+    for label, factory in FIG2_OPERATORS.items():
+        operator = factory()
+        available = chip.sram_per_core - compiler.runtime_reserve_bytes
+        tile = compiler.plan_operator(operator, available)
+        sub_bytes = tile.working_set_bytes if tile is not None else 0
+        footprint = operator_vgm_footprint(operator, chip, sub_bytes)
+        rows.append(
+            {
+                "operator": label,
+                "active_operator_kib": footprint.active_region_bytes / 1024,
+                "sub_operator_kib": footprint.sub_operator_bytes / 1024,
+                "removable_ratio_pct": footprint.removable_ratio * 100,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    """Print the Figure 2 (b) table."""
+    print_table(run(), title="Figure 2(b): per-core memory footprint under VGM")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Figure 12: end-to-end inference latency of the DNN models on the IPU.
+
+For every (model, batch size) pair the four compilers — PopART, Ansor, Roller
+and T10 — are compiled and measured on the simulated chip.  Models that do
+not fit the distributed on-chip memory are reported with a missing latency
+(the "✖" markers of the paper's figure).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import (
+    COMPILER_ORDER,
+    batch_sizes_for,
+    evaluate_workload,
+    latency_ms,
+    print_table,
+)
+from repro.hw.spec import IPU_MK2, ChipSpec
+from repro.models import DNN_MODELS
+
+
+def run(
+    *,
+    chip: ChipSpec = IPU_MK2,
+    models: Sequence[str] = DNN_MODELS,
+    compiler_names: Sequence[str] = COMPILER_ORDER,
+    batch_sizes: Sequence[int] | None = None,
+    quick: bool = False,
+) -> list[dict]:
+    """Produce one row per (model, batch size) with per-compiler latencies."""
+    rows: list[dict] = []
+    for model_name in models:
+        sizes = batch_sizes if batch_sizes is not None else batch_sizes_for(model_name, quick=quick)
+        for batch in sizes:
+            results = evaluate_workload(
+                model_name,
+                batch,
+                chip=chip,
+                compiler_names=compiler_names,
+                quick=quick,
+            )
+            row: dict = {"model": model_name, "batch": batch}
+            for name in compiler_names:
+                row[f"{name.lower()}_ms"] = latency_ms(results[name])
+            t10 = results.get("T10")
+            roller = results.get("Roller")
+            if t10 is not None and roller is not None and t10.ok and roller.ok:
+                row["t10_speedup_vs_roller"] = roller.latency / t10.latency
+            rows.append(row)
+    return rows
+
+
+def main() -> None:
+    """Print the Figure 12 latency table (quick grid)."""
+    print_table(run(quick=True), title="Figure 12: end-to-end inference latency (ms)")
+
+
+if __name__ == "__main__":
+    main()

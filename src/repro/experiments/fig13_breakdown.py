@@ -1,0 +1,59 @@
+"""Figure 13: latency breakdown into in-core computation and inter-core transfer.
+
+Roller's load-compute-store execution spends 50%–74% of its time moving data
+between cores, which T10's compute-shift plans reduce to 8%–43%; this module
+regenerates the per-(model, batch) stacked bars behind that claim.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import batch_sizes_for, evaluate_workload, print_table
+from repro.hw.spec import IPU_MK2, ChipSpec
+from repro.models import DNN_MODELS
+
+
+def run(
+    *,
+    chip: ChipSpec = IPU_MK2,
+    models: Sequence[str] = DNN_MODELS,
+    batch_sizes: Sequence[int] | None = None,
+    quick: bool = False,
+) -> list[dict]:
+    """One row per (model, batch, compiler) with compute/transfer times."""
+    rows: list[dict] = []
+    for model_name in models:
+        sizes = batch_sizes if batch_sizes is not None else batch_sizes_for(model_name, quick=quick)
+        for batch in sizes:
+            results = evaluate_workload(
+                model_name,
+                batch,
+                chip=chip,
+                compiler_names=("Roller", "T10"),
+                quick=quick,
+            )
+            for compiler_name, result in results.items():
+                if not result.ok:
+                    continue
+                rows.append(
+                    {
+                        "model": model_name,
+                        "batch": batch,
+                        "compiler": compiler_name,
+                        "compute_ms": result.compute_time * 1e3,
+                        "intercore_ms": result.intercore_time * 1e3,
+                        "total_ms": result.latency * 1e3,
+                        "transfer_fraction_pct": result.comm_fraction * 100,
+                    }
+                )
+    return rows
+
+
+def main() -> None:
+    """Print the Figure 13 breakdown table (quick grid)."""
+    print_table(run(quick=True), title="Figure 13: compute vs inter-core transfer time")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Figure 14: average per-core inter-core bandwidth utilisation.
+
+T10's circular shifts keep every link busy without contention, so its
+per-core utilisation approaches the 5.5 GB/s link roofline, while the VGM
+baselines' imbalanced fetches contend for the owning cores' links and reach
+only 2.6–3.9 GB/s.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import batch_sizes_for, evaluate_workload, print_table
+from repro.hw.spec import IPU_MK2, ChipSpec
+from repro.models import DNN_MODELS
+
+
+def run(
+    *,
+    chip: ChipSpec = IPU_MK2,
+    models: Sequence[str] = DNN_MODELS,
+    batch_sizes: Sequence[int] | None = None,
+    quick: bool = False,
+) -> list[dict]:
+    """One row per (model, batch) with Roller and T10 bandwidth utilisation."""
+    rows: list[dict] = []
+    for model_name in models:
+        sizes = batch_sizes if batch_sizes is not None else batch_sizes_for(model_name, quick=quick)
+        for batch in sizes:
+            results = evaluate_workload(
+                model_name,
+                batch,
+                chip=chip,
+                compiler_names=("Roller", "T10"),
+                quick=quick,
+            )
+            row: dict = {"model": model_name, "batch": batch}
+            for compiler_name, result in results.items():
+                key = f"{compiler_name.lower()}_gbps"
+                row[key] = result.bandwidth_utilization / 1e9 if result.ok else None
+            rows.append(row)
+    return rows
+
+
+def main() -> None:
+    """Print the Figure 14 bandwidth-utilisation table (quick grid)."""
+    print_table(run(quick=True), title="Figure 14: per-core inter-core bandwidth utilisation (GB/s)")
+
+
+if __name__ == "__main__":
+    main()

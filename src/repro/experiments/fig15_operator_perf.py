@@ -1,0 +1,63 @@
+"""Figure 15: distribution of per-operator speedups of T10 over Roller.
+
+The paper reports that T10 improves more than 80% of the operators while
+slowing down fewer than 10%, with single-operator gains up to ~10x; this
+module computes the same per-operator speedup distribution for the smallest
+and largest batch size of each model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import batch_sizes_for, evaluate_workload, print_table
+from repro.hw.spec import IPU_MK2, ChipSpec
+from repro.models import DNN_MODELS
+from repro.runtime.metrics import per_operator_speedups, speedup_distribution
+
+
+def run(
+    *,
+    chip: ChipSpec = IPU_MK2,
+    models: Sequence[str] = DNN_MODELS,
+    quick: bool = False,
+) -> list[dict]:
+    """One row per (model, batch) summarising the per-operator speedups."""
+    rows: list[dict] = []
+    for model_name in models:
+        sizes = batch_sizes_for(model_name, quick=True)  # min and max batch, as in the paper
+        for batch in sizes:
+            results = evaluate_workload(
+                model_name,
+                batch,
+                chip=chip,
+                compiler_names=("Roller", "T10"),
+                quick=quick,
+            )
+            roller, t10 = results["Roller"], results["T10"]
+            if not (roller.ok and t10.ok):
+                continue
+            speedups = per_operator_speedups(roller.simulation, t10.simulation)
+            stats = speedup_distribution(speedups)
+            rows.append(
+                {
+                    "model": model_name,
+                    "batch": batch,
+                    "operators": stats["count"],
+                    "min_speedup": stats["min"],
+                    "max_speedup": stats["max"],
+                    "geomean_speedup": stats["geomean"],
+                    "improved_pct": stats["improved_fraction"] * 100,
+                    "regressed_pct": stats["regressed_fraction"] * 100,
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    """Print the Figure 15 speedup-distribution table."""
+    print_table(run(quick=True), title="Figure 15: per-operator speedup of T10 over Roller")
+
+
+if __name__ == "__main__":
+    main()

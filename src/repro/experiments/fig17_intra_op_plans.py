@@ -1,0 +1,123 @@
+"""Figure 17: candidate execution plans of representative operators.
+
+For each representative operator the intra-operator optimizer enumerates the
+constrained plan space; every candidate is a (memory footprint, execution
+time) point, the Pareto-optimal ones form T10's frontier, and the plans the
+VGM baselines would use appear as single reference points that the frontier
+dominates.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import PopARTCompiler, RollerCompiler
+from repro.core import IntraOpOptimizer, default_cost_model
+from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
+from repro.core.pareto import pareto_front
+from repro.experiments.common import print_table
+from repro.experiments.operators import FIG17_OPERATORS
+from repro.hw.simulator import ChipSimulator
+from repro.hw.spec import IPU_MK2, ChipSpec
+
+
+def candidate_points(
+    operator_label: str,
+    *,
+    chip: ChipSpec = IPU_MK2,
+    constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+) -> list[dict]:
+    """All candidate plans of one Figure 17 operator as scatter points."""
+    factory = FIG17_OPERATORS[operator_label]
+    operator = factory()
+    optimizer = IntraOpOptimizer(chip, default_cost_model(chip), constraints)
+    candidates = optimizer.enumerate_plans(operator)
+    frontier = {
+        id(plan)
+        for plan in pareto_front(
+            [p for p in candidates if p.memory_bytes <= chip.sram_per_core],
+            memory=lambda p: p.memory_bytes,
+            time=lambda p: p.time_est,
+        )
+    }
+    return [
+        {
+            "operator": operator_label,
+            "memory_kib": plan.memory_bytes / 1024,
+            "time_us": plan.time_est * 1e6,
+            "pareto": id(plan) in frontier,
+        }
+        for plan in candidates
+    ]
+
+
+def baseline_points(
+    operator_label: str,
+    *,
+    chip: ChipSpec = IPU_MK2,
+) -> list[dict]:
+    """The (memory, time) points of the Roller and PopART plans for one operator."""
+    factory = FIG17_OPERATORS[operator_label]
+    simulator = ChipSimulator(chip)
+    rows: list[dict] = []
+    for compiler in (RollerCompiler(chip), PopARTCompiler(chip)):
+        operator = factory()
+        available = chip.sram_per_core - compiler.runtime_reserve_bytes
+        tile = compiler.plan_operator(operator, available)
+        if tile is None:
+            continue
+        load_time = tile.steps * simulator.loadstore_time_per_step(
+            tile.load_bytes_per_step, tile.fan_in
+        )
+        compute_time = tile.steps * simulator.compute_task_time(
+            operator.op_type, tile.subtask_shape, tile.flops_per_step, tile.load_bytes_per_step
+        )
+        rows.append(
+            {
+                "operator": operator_label,
+                "compiler": compiler.name,
+                "memory_kib": tile.working_set_bytes / 1024,
+                "time_us": (load_time + compute_time) * 1e6,
+            }
+        )
+    return rows
+
+
+def run(
+    *,
+    chip: ChipSpec = IPU_MK2,
+    constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+    quick: bool = False,
+) -> list[dict]:
+    """Summary rows: frontier size and best plans per operator, plus baselines."""
+    labels = list(FIG17_OPERATORS)
+    if quick:
+        labels = labels[:2]
+    rows: list[dict] = []
+    for label in labels:
+        points = candidate_points(label, chip=chip, constraints=constraints)
+        pareto = [p for p in points if p["pareto"]]
+        fastest = min(pareto, key=lambda p: p["time_us"])
+        smallest = min(pareto, key=lambda p: p["memory_kib"])
+        row = {
+            "operator": label,
+            "candidates": len(points),
+            "pareto_plans": len(pareto),
+            "fastest_us": fastest["time_us"],
+            "fastest_mem_kib": fastest["memory_kib"],
+            "smallest_mem_kib": smallest["memory_kib"],
+            "smallest_us": smallest["time_us"],
+        }
+        for baseline in baseline_points(label, chip=chip):
+            prefix = baseline["compiler"].lower()
+            row[f"{prefix}_us"] = baseline["time_us"]
+            row[f"{prefix}_mem_kib"] = baseline["memory_kib"]
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    """Print the Figure 17 plan-space summary."""
+    print_table(run(), title="Figure 17: intra-operator plan space (Pareto frontier vs baselines)")
+
+
+if __name__ == "__main__":
+    main()

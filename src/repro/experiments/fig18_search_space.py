@@ -1,0 +1,51 @@
+"""Figure 18: intra-operator search-space size reduction.
+
+The complete plan space of a multi-dimensional operator is astronomically
+large; the parallelism and padding constraints cut it to a few thousand
+candidates that the cost model can evaluate in seconds, and the Pareto filter
+leaves only tens of plans for the inter-operator scheduler to choose from.
+"""
+
+from __future__ import annotations
+
+from repro.core import IntraOpOptimizer, default_cost_model
+from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
+from repro.experiments.common import print_table
+from repro.experiments.operators import FIG18_OPERATORS
+from repro.hw.spec import IPU_MK2, ChipSpec
+
+
+def run(
+    *,
+    chip: ChipSpec = IPU_MK2,
+    constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+    quick: bool = False,
+) -> list[dict]:
+    """One row per representative operator with its plan-space sizes."""
+    labels = list(FIG18_OPERATORS)
+    if quick:
+        labels = labels[:3]
+    optimizer = IntraOpOptimizer(chip, default_cost_model(chip), constraints)
+    rows: list[dict] = []
+    for label in labels:
+        operator = FIG18_OPERATORS[label]()
+        stats = optimizer.search_space_stats(operator)
+        rows.append(
+            {
+                "operator": label,
+                "complete_space": stats.complete,
+                "filtered_space": stats.filtered,
+                "optimized_space": stats.optimized,
+                "reduction_vs_complete": stats.complete / max(stats.filtered, 1.0),
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    """Print the Figure 18 search-space table."""
+    print_table(run(), title="Figure 18: intra-operator search space sizes")
+
+
+if __name__ == "__main__":
+    main()

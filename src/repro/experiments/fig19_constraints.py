@@ -1,0 +1,75 @@
+"""Figure 19: compilation time vs resulting performance under constraint settings.
+
+Stricter search constraints shrink the filtered plan space, so compilation
+gets faster at the cost of (potentially) missing the best plans.  The paper's
+observation — that a strict setting compiling in about a minute already gives
+near-optimal performance — is reproduced by sweeping the enumeration budgets
+and comparing both compile time and the resulting end-to-end latency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core import T10Compiler, default_cost_model
+from repro.core.constraints import SearchConstraints
+from repro.experiments.common import build_workload, print_table
+from repro.hw.spec import IPU_MK2, ChipSpec
+from repro.runtime import Executor
+
+#: Constraint settings from strictest (fastest compile) to most thorough.
+CONSTRAINT_SWEEP: dict[str, SearchConstraints] = {
+    "strict": SearchConstraints(
+        core_count_samples=2, max_factorizations_per_target=30, max_temporal_combos=8
+    ),
+    "moderate": SearchConstraints(
+        core_count_samples=4, max_factorizations_per_target=120, max_temporal_combos=24
+    ),
+    "default": SearchConstraints(),
+    "thorough": SearchConstraints(
+        core_count_samples=12, max_factorizations_per_target=600, max_temporal_combos=64
+    ),
+}
+
+
+def run(
+    *,
+    chip: ChipSpec = IPU_MK2,
+    models: Sequence[str] = ("bert", "resnet"),
+    batch_size: int = 1,
+    quick: bool = False,
+    settings: dict[str, SearchConstraints] | None = None,
+) -> list[dict]:
+    """One row per (model, constraint setting) with compile time and latency."""
+    settings = dict(settings) if settings is not None else dict(CONSTRAINT_SWEEP)
+    if quick:
+        settings = {k: settings[k] for k in list(settings)[:2]}
+        models = tuple(models)[:1]
+    executor = Executor(chip)
+    rows: list[dict] = []
+    for model_name in models:
+        graph = build_workload(model_name, batch_size, quick=quick)
+        for label, constraints in settings.items():
+            compiler = T10Compiler(
+                chip, cost_model=default_cost_model(chip), constraints=constraints
+            )
+            result = executor.evaluate(compiler, graph)
+            rows.append(
+                {
+                    "model": model_name,
+                    "setting": label,
+                    "compile_time_s": result.compile_time_seconds,
+                    "latency_ms": result.latency * 1e3 if result.ok else None,
+                    "status": result.status,
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    """Print the Figure 19 constraint-sweep table."""
+    print_table(run(quick=True), title="Figure 19: compile time vs performance under constraints")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Figure 20: the inter-operator memory-reconciliation search trajectory.
+
+Every step of Algorithm 1 trades idle-state memory for setup time; plotting
+the estimated end-to-end time against the idle memory at each search step
+shows how T10 walks from the most memory-frugal configuration (slow, lots of
+setup) to the globally best one, while Roller effectively sits at the
+left-most point because it never reconciles memory across operators.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines import RollerCompiler
+from repro.core import T10Compiler, default_cost_model
+from repro.experiments.common import shared_t10_compiler
+from repro.experiments.common import build_workload, print_table
+from repro.hw.spec import IPU_MK2, ChipSpec
+from repro.runtime import Executor
+
+
+def search_trajectory(
+    model_name: str,
+    batch_size: int,
+    *,
+    chip: ChipSpec = IPU_MK2,
+    quick: bool = False,
+) -> list[dict]:
+    """(idle memory, estimated time) at every reconciliation step of one model."""
+    graph = build_workload(model_name, batch_size, quick=quick)
+    compiler = shared_t10_compiler(chip)
+    compiled = compiler.compile(graph)
+    if not compiled.ok or compiled.schedule is None:
+        return []
+    return [
+        {
+            "model": model_name,
+            "batch": batch_size,
+            "step": index,
+            "idle_memory_kib": idle_mem / 1024,
+            "idle_memory_pct": idle_mem / chip.sram_per_core * 100,
+            "est_time_ms": est_time * 1e3,
+        }
+        for index, (idle_mem, est_time) in enumerate(compiled.schedule.search_history)
+    ]
+
+
+def run(
+    *,
+    chip: ChipSpec = IPU_MK2,
+    workloads: Sequence[tuple[str, int]] = (("bert", 1), ("resnet", 64)),
+    quick: bool = False,
+) -> list[dict]:
+    """Summary per workload: start/end of the trajectory plus the chosen point."""
+    if quick:
+        workloads = tuple(workloads)[:1]
+    executor = Executor(chip)
+    rows: list[dict] = []
+    for model_name, batch in workloads:
+        trajectory = search_trajectory(model_name, batch, chip=chip, quick=quick)
+        if not trajectory:
+            rows.append({"model": model_name, "batch": batch, "status": "oom"})
+            continue
+        best = min(trajectory, key=lambda point: point["est_time_ms"])
+        graph = build_workload(model_name, batch, quick=quick)
+        roller = executor.evaluate(RollerCompiler(chip), graph)
+        rows.append(
+            {
+                "model": model_name,
+                "batch": batch,
+                "search_steps": len(trajectory),
+                "initial_idle_pct": trajectory[0]["idle_memory_pct"],
+                "initial_est_ms": trajectory[0]["est_time_ms"],
+                "chosen_idle_pct": best["idle_memory_pct"],
+                "chosen_est_ms": best["est_time_ms"],
+                "roller_ms": roller.latency * 1e3 if roller.ok else None,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    """Print the Figure 20 reconciliation summary."""
+    print_table(run(quick=True), title="Figure 20: inter-operator reconciliation search")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Figure 21: scalability with the number of cores.
+
+Smaller chips are emulated by restricting the number of cores the compiler
+may use; larger ones by the Virtual-IPU configuration (2 or 4 chips exposed
+as one device, with inter-chip links that lower the effective inter-core
+bandwidth).  T10 keeps scaling because the rTensor plans keep the transfer
+volume balanced, while Roller's VGM traffic stops improving — and can even
+regress once transfers cross the chip boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines import RollerCompiler
+from repro.core import T10Compiler, default_cost_model
+from repro.experiments.common import shared_t10_compiler
+from repro.experiments.common import build_workload
+from repro.experiments.common import print_table
+from repro.hw.spec import IPU_MK2, ChipSpec, scaled_ipu, virtual_ipu
+from repro.runtime import Executor
+
+#: Core counts evaluated in the paper: quarter/half/full chip plus 2- and 4-chip V-IPUs.
+CORE_COUNTS: tuple[int, ...] = (368, 736, 1472, 2944, 5888)
+
+
+def chip_for_cores(num_cores: int) -> ChipSpec:
+    """The chip configuration used for one core count."""
+    if num_cores <= IPU_MK2.num_cores:
+        return scaled_ipu(num_cores)
+    num_chips = -(-num_cores // IPU_MK2.num_cores)
+    return virtual_ipu(num_chips)
+
+
+def run(
+    *,
+    workloads: Sequence[tuple[str, int]] | None = None,
+    core_counts: Sequence[int] | None = None,
+    quick: bool = False,
+) -> list[dict]:
+    """One row per (workload, core count) with Roller and T10 latencies."""
+    if workloads is None:
+        workloads = (("bert", 1), ("resnet", 8), ("nerf", 1))
+        if quick:
+            workloads = workloads[:2]
+    if core_counts is None:
+        core_counts = CORE_COUNTS if not quick else CORE_COUNTS[1:4]
+    rows: list[dict] = []
+    for model_name, batch in workloads:
+        for num_cores in core_counts:
+            chip = chip_for_cores(num_cores)
+            graph = build_workload(model_name, batch, quick=quick)
+            executor = Executor(chip)
+            roller = executor.evaluate(RollerCompiler(chip), graph)
+            t10 = executor.evaluate(
+                shared_t10_compiler(chip), graph
+            )
+            rows.append(
+                {
+                    "model": model_name,
+                    "batch": batch,
+                    "cores": num_cores,
+                    "chip": chip.name,
+                    "roller_ms": roller.latency * 1e3 if roller.ok else None,
+                    "roller_transfer_ms": roller.intercore_time * 1e3 if roller.ok else None,
+                    "t10_ms": t10.latency * 1e3 if t10.ok else None,
+                    "t10_transfer_ms": t10.intercore_time * 1e3 if t10.ok else None,
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    """Print the Figure 21 scalability table (quick grid)."""
+    print_table(run(quick=True), title="Figure 21: scalability with core count")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Figure 22: IPU + T10 versus A100 + TensorRT on the DNN models.
+
+At small batch sizes the A100 is bottlenecked by streaming weights from HBM
+while T10 serves everything from the distributed on-chip memory, so the IPU
+wins; as the batch grows both chips become compute-bound and the A100's
+higher peak FLOPS (and the IPU's shrinking memory headroom) flip the result.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines import GPURooflineModel
+from repro.core import T10Compiler, default_cost_model
+from repro.experiments.common import shared_t10_compiler
+from repro.experiments.common import batch_sizes_for, build_workload, print_table
+from repro.hw.spec import A100, IPU_MK2, ChipSpec, GPUSpec
+from repro.models import DNN_MODELS
+from repro.runtime import Executor
+
+
+def run(
+    *,
+    chip: ChipSpec = IPU_MK2,
+    gpu: GPUSpec = A100,
+    models: Sequence[str] = DNN_MODELS,
+    batch_sizes: Sequence[int] | None = None,
+    quick: bool = False,
+) -> list[dict]:
+    """One row per (model, batch) with A100 and IPU+T10 latencies."""
+    executor = Executor(chip)
+    gpu_model = GPURooflineModel(gpu)
+    rows: list[dict] = []
+    for model_name in models:
+        sizes = batch_sizes if batch_sizes is not None else batch_sizes_for(model_name, quick=quick)
+        for batch in sizes:
+            graph = build_workload(model_name, batch, quick=quick)
+            gpu_estimate = gpu_model.estimate(graph)
+            t10 = executor.evaluate(
+                shared_t10_compiler(chip), graph
+            )
+            row = {
+                "model": model_name,
+                "batch": batch,
+                "a100_ms": gpu_estimate.total_time * 1e3,
+                "ipu_t10_ms": t10.latency * 1e3 if t10.ok else None,
+                "a100_memory_bound_pct": gpu_estimate.memory_bound_fraction * 100,
+            }
+            if t10.ok:
+                row["ipu_speedup_vs_a100"] = gpu_estimate.total_time / t10.latency
+            rows.append(row)
+    return rows
+
+
+def main() -> None:
+    """Print the Figure 22 comparison table (quick grid)."""
+    print_table(run(quick=True), title="Figure 22: IPU+T10 vs A100+TensorRT inference latency (ms)")
+
+
+if __name__ == "__main__":
+    main()

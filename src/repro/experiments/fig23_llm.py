@@ -1,0 +1,67 @@
+"""Figure 23: LLM decoder-layer latency, IPU + T10 versus A100 + TensorRT.
+
+LLM decoding at small batch sizes is the canonical memory-bandwidth-bound
+workload: the GPU must stream every weight from HBM for a handful of tokens,
+while the IPU keeps the layer's weights in the distributed on-chip memory and
+only shifts small activations.  The advantage shrinks as the batch grows and
+both devices become compute-bound.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines import GPURooflineModel
+from repro.core import T10Compiler, default_cost_model
+from repro.experiments.common import shared_t10_compiler
+from repro.experiments.common import build_workload, print_table
+from repro.hw.spec import A100, IPU_MK2, ChipSpec, GPUSpec
+from repro.models import LLM_MODELS
+from repro.runtime import Executor
+
+#: Batch sizes swept in Figure 23.
+LLM_BATCH_SIZES: tuple[int, ...] = (2, 8, 32, 128)
+
+
+def run(
+    *,
+    chip: ChipSpec = IPU_MK2,
+    gpu: GPUSpec = A100,
+    models: Sequence[str] = LLM_MODELS,
+    batch_sizes: Sequence[int] = LLM_BATCH_SIZES,
+    quick: bool = False,
+) -> list[dict]:
+    """One row per (LLM, batch) with A100 and IPU+T10 latencies."""
+    if quick:
+        models = tuple(models)[:3]
+        batch_sizes = tuple(batch_sizes)[:2]
+    executor = Executor(chip)
+    gpu_model = GPURooflineModel(gpu)
+    rows: list[dict] = []
+    for model_name in models:
+        for batch in batch_sizes:
+            graph = build_workload(model_name, batch, quick=quick)
+            gpu_estimate = gpu_model.estimate(graph)
+            t10 = executor.evaluate(
+                shared_t10_compiler(chip), graph
+            )
+            row = {
+                "model": model_name,
+                "batch": batch,
+                "layers": len(graph.op_type_histogram()) and graph.name,
+                "a100_ms": gpu_estimate.total_time * 1e3,
+                "ipu_t10_ms": t10.latency * 1e3 if t10.ok else None,
+            }
+            if t10.ok and t10.latency > 0:
+                row["ipu_speedup_vs_a100"] = gpu_estimate.total_time / t10.latency
+            rows.append(row)
+    return rows
+
+
+def main() -> None:
+    """Print the Figure 23 LLM comparison table (quick grid)."""
+    print_table(run(quick=True), title="Figure 23: LLM layer latency, IPU+T10 vs A100 (ms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Figure 24: emulated execution with off-chip HBM at different bandwidths.
+
+The IPU has no HBM, so the paper emulates one: operators are streamed from
+HBM into a double buffer while the previous operator (or operator group)
+executes.  *Single Op* prefetches one operator ahead; *Inter Op* prefetches a
+group of operators at once, which helps when the HBM is slow (grouping
+balances compute-heavy and load-heavy operators) and slightly hurts when the
+execution is compute-bound (the group competes for on-chip memory).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.baselines import RollerCompiler
+from repro.core import T10Compiler, default_cost_model
+from repro.experiments.common import shared_t10_compiler
+from repro.experiments.common import build_workload, print_table
+from repro.hw.hbm import HBMConfig, HBMModel
+from repro.hw.spec import IPU_MK2, ChipSpec
+from repro.runtime import Executor
+
+#: HBM bandwidths swept in the paper (GB/s).
+HBM_BANDWIDTHS_GBPS: tuple[int, ...] = (200, 400, 800, 1600, 3200, 6400)
+#: Workloads of Figure 24: OPT-1.3B and OPT-13B at several batch sizes.
+FIG24_WORKLOADS: tuple[tuple[str, int], ...] = (
+    ("opt-1.3b", 8),
+    ("opt-1.3b", 64),
+    ("opt-1.3b", 512),
+    ("opt-13b", 8),
+    ("opt-13b", 64),
+    ("opt-13b", 512),
+)
+
+
+def _per_operator_profiles(executor: Executor, compiler, graph):
+    """(names, HBM load bytes, on-chip execution time) per operator."""
+    result = executor.evaluate(compiler, graph)
+    if not result.ok:
+        return None
+    names: list[str] = []
+    load_bytes: list[int] = []
+    exec_times: list[float] = []
+    for operator in graph.operators:
+        names.append(operator.name)
+        load_bytes.append(operator.weight_bytes + operator.expr.activation_bytes)
+        exec_times.append(result.simulation.op_timing(operator.name).total)
+    return names, load_bytes, exec_times
+
+
+def run(
+    *,
+    chip: ChipSpec = IPU_MK2,
+    workloads: Sequence[tuple[str, int]] = FIG24_WORKLOADS,
+    bandwidths_gbps: Sequence[int] = HBM_BANDWIDTHS_GBPS,
+    inter_op_group_size: int = 4,
+    quick: bool = False,
+) -> list[dict]:
+    """One row per (workload, bandwidth) with all four configurations."""
+    if quick:
+        workloads = tuple(workloads)[:2]
+        bandwidths_gbps = tuple(bandwidths_gbps)[:3]
+    executor = Executor(chip)
+    compilers = {
+        "roller": RollerCompiler(chip),
+        "t10": shared_t10_compiler(chip),
+    }
+    rows: list[dict] = []
+    for model_name, batch in workloads:
+        graph = build_workload(model_name, batch, quick=quick)
+        profiles = {
+            name: _per_operator_profiles(executor, compiler, graph)
+            for name, compiler in compilers.items()
+        }
+        for bandwidth in bandwidths_gbps:
+            hbm = HBMModel(HBMConfig(bandwidth=bandwidth * 1e9))
+            row: dict = {"model": model_name, "batch": batch, "hbm_gbps": bandwidth}
+            for name, profile in profiles.items():
+                if profile is None:
+                    row[f"{name}_single_op_ms"] = None
+                    row[f"{name}_inter_op_ms"] = None
+                    continue
+                op_names, load_bytes, exec_times = profile
+                single = hbm.pipeline_latency(
+                    hbm.group_operators(op_names, load_bytes, exec_times, group_size=1)
+                )
+                grouped = hbm.pipeline_latency(
+                    hbm.group_operators(
+                        op_names, load_bytes, exec_times, group_size=inter_op_group_size
+                    )
+                )
+                row[f"{name}_single_op_ms"] = single * 1e3
+                row[f"{name}_inter_op_ms"] = grouped * 1e3
+            rows.append(row)
+    return rows
+
+
+def main() -> None:
+    """Print the Figure 24 emulated-HBM table (quick grid)."""
+    print_table(run(quick=True), title="Figure 24: emulated HBM execution time (ms)")
+
+
+if __name__ == "__main__":
+    main()

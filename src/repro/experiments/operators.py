@@ -1,0 +1,106 @@
+"""Representative operators used by the single-operator studies.
+
+Figures 2, 8, 17 and 18 of the paper analyse individual operators drawn from
+the evaluated models ("Op (Model-BS)"); these constructors build the same
+operators so the studies can reference them by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ir import conv2d, gather, matmul, pool2d, reduce_sum
+from repro.ir.operator import Operator
+
+
+def bert_bs8_matmul() -> Operator:
+    """The FFN up-projection MatMul of BERT-large at batch size 8."""
+    return matmul("bert_bs8_matmul", m=8 * 384, k=1024, n=4096)
+
+
+def bert_bs16_matmul() -> Operator:
+    """The FFN up-projection MatMul of BERT-large at batch size 16."""
+    return matmul("bert_bs16_matmul", m=16 * 384, k=1024, n=4096)
+
+
+def bert_bs16_gather() -> Operator:
+    """The vocabulary-embedding GatherV2 of BERT-large at batch size 16."""
+    return gather("bert_bs16_gather", vocab=30522, tokens=16 * 384, hidden=1024)
+
+
+def vit_bs128_matmul() -> Operator:
+    """The FFN up-projection MatMul of ViT-Base at batch size 128."""
+    return matmul("vit_bs128_matmul", m=128 * 197, k=768, n=3072)
+
+
+def vit_bs128_sum() -> Operator:
+    """A row reduction over ViT-Base activations at batch size 128."""
+    return reduce_sum("vit_bs128_sum", {"r": 128 * 197, "c": 768}, reduce_axes=["c"])
+
+
+def resnet_bs128_conv() -> Operator:
+    """A stage-2 3x3 convolution of ResNet-18 at batch size 128."""
+    return conv2d(
+        "resnet_bs128_conv",
+        batch=128,
+        in_channels=128,
+        out_channels=128,
+        height=28,
+        width=28,
+        kernel=3,
+    )
+
+
+def resnet_bs256_conv() -> Operator:
+    """A stage-2 3x3 convolution of ResNet-18 at batch size 256."""
+    return conv2d(
+        "resnet_bs256_conv",
+        batch=256,
+        in_channels=128,
+        out_channels=128,
+        height=28,
+        width=28,
+        kernel=3,
+    )
+
+
+def resnet_bs256_pool() -> Operator:
+    """The stem pooling of ResNet-18 at batch size 256."""
+    return pool2d("resnet_bs256_pool", batch=256, channels=64, height=56, width=56, kernel=3)
+
+
+def nerf_bs1_matmul() -> Operator:
+    """One hidden-layer MatMul of the NeRF MLP at batch size 1."""
+    return matmul("nerf_bs1_matmul", m=4096 * 192, k=64, n=64)
+
+
+def opt13b_bs1_matmul() -> Operator:
+    """The FFN up-projection MatMul of one OPT-13B layer at batch size 1."""
+    return matmul("opt13b_bs1_matmul", m=1, k=5120, n=20480)
+
+
+#: Operators profiled in Figure 2 (b): per-core memory footprint under VGM.
+FIG2_OPERATORS: dict[str, Callable[[], Operator]] = {
+    "Bert-BS8 MatMul": bert_bs8_matmul,
+    "ViT-BS128 MatMul": vit_bs128_matmul,
+    "ResNet-BS128 Convolution": resnet_bs128_conv,
+    "NeRF-BS1 MatMul": nerf_bs1_matmul,
+    "OPT13B-BS1 MatMul": opt13b_bs1_matmul,
+}
+
+#: Operators whose intra-operator plan spaces Figure 17 visualises.
+FIG17_OPERATORS: dict[str, Callable[[], Operator]] = {
+    "Conv (ResNet-BS128)": resnet_bs128_conv,
+    "MatMul (BERT-BS8)": bert_bs8_matmul,
+    "MatMul (ViT-BS128)": vit_bs128_matmul,
+    "MatMul (NeRF-BS1)": nerf_bs1_matmul,
+}
+
+#: Operators whose search-space sizes Figure 18 reports.
+FIG18_OPERATORS: dict[str, Callable[[], Operator]] = {
+    "Conv (ResNet-256)": resnet_bs256_conv,
+    "MatMul (BERT-16)": bert_bs16_matmul,
+    "GatherV2 (BERT-16)": bert_bs16_gather,
+    "Pool (ResNet-256)": resnet_bs256_pool,
+    "Sum (ViT-128)": vit_bs128_sum,
+}

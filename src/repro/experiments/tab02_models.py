@@ -1,0 +1,56 @@
+"""Table 2: the DNN models used in the evaluation, with parameter counts."""
+
+from __future__ import annotations
+
+from repro.experiments.common import print_table
+from repro.models import MODEL_REGISTRY, build_model
+
+
+def run(*, quick: bool = False) -> list[dict]:
+    """One row per registered model with its built parameter count."""
+    rows: list[dict] = []
+    for name, entry in MODEL_REGISTRY.items():
+        if quick and name not in ("bert", "vit", "resnet", "nerf"):
+            continue
+        graph = build_model(name, entry.batch_sizes[0], **_small_kwargs(name))
+        rows.append(
+            {
+                "model": name,
+                "description": entry.description,
+                "reference_parameters_m": entry.reference_parameters / 1e6,
+                "built_parameters_m": graph.num_parameters / 1e6
+                * _layer_scale(name),
+                "operators": len(graph),
+                "batch_sizes": "/".join(str(b) for b in entry.batch_sizes),
+            }
+        )
+    return rows
+
+
+def _small_kwargs(name: str) -> dict:
+    """Build LLMs with a single layer (parameter counts are scaled back up)."""
+    if name.startswith("opt") or name.startswith("llama") or name.startswith("retnet"):
+        return {"num_layers": 1}
+    return {}
+
+
+def _layer_scale(name: str) -> float:
+    """Scale factor from the built subset of layers to the full model."""
+    from repro.models import LLAMA_VARIANTS, OPT_VARIANTS, RETNET_VARIANTS
+
+    if name.startswith("opt-"):
+        return float(OPT_VARIANTS[name.split("-")[1]].total_layers)
+    if name.startswith("llama2-"):
+        return float(LLAMA_VARIANTS[name.split("-")[1]].total_layers)
+    if name.startswith("retnet-"):
+        return float(RETNET_VARIANTS[name.split("-")[1]].total_layers)
+    return 1.0
+
+
+def main() -> None:
+    """Print the Table 2 model inventory."""
+    print_table(run(), title="Table 2: evaluated models")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Table 3: per-chip hardware specifications of the A100 GPU and the IPU MK2."""
+
+from __future__ import annotations
+
+from repro.experiments.common import print_table
+from repro.hw.spec import A100, IPU_MK2, ChipSpec, GPUSpec
+
+
+def run(*, chip: ChipSpec = IPU_MK2, gpu: GPUSpec = A100, quick: bool = False) -> list[dict]:
+    """Two rows: one per device, with the Table 3 columns."""
+    del quick
+    return [
+        {
+            "device": gpu.name,
+            "local_cache_mb": gpu.num_sms * gpu.shared_mem_per_sm / 2**20,
+            "global_cache_mb": gpu.l2_cache_bytes / 2**20,
+            "offchip_bw_gbps": gpu.hbm_bandwidth / 1e9,
+            "intercore_bw_gbps": None,
+            "num_cores": gpu.num_sms,
+            "fp16_tflops": gpu.peak_flops / 1e12,
+        },
+        {
+            "device": chip.name,
+            "local_cache_mb": chip.total_sram / 2**20,
+            "global_cache_mb": None,
+            "offchip_bw_gbps": chip.offchip_bandwidth / 1e9,
+            "intercore_bw_gbps": chip.link_bandwidth / 1e9,
+            "num_cores": chip.num_cores,
+            "fp16_tflops": chip.total_flops / 1e12,
+        },
+    ]
+
+
+def main() -> None:
+    """Print the Table 3 hardware comparison."""
+    print_table(run(), title="Table 3: hardware specifications (per chip)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Hardware substrate: chip specifications, device programs and the simulator.
+
+This package is the stand-in for the physical Graphcore IPU MK2 (and the A100
+roofline comparison point) used in the paper's evaluation — see DESIGN.md for
+the substitution rationale.
+"""
+
+from repro.hw.hbm import HBMConfig, HBMModel, PrefetchGroup
+from repro.hw.memory import CoreMemoryTracker, OutOfChipMemoryError
+from repro.hw.program import (
+    AllToAllStep,
+    ComputeStep,
+    DeviceProgram,
+    HBMTransferStep,
+    LoadStoreStep,
+    SetupStep,
+    ShiftStep,
+    SyncStep,
+)
+from repro.hw.simulator import ChipSimulator, OpTiming, SimulationResult
+from repro.hw.spec import A100, IPU_MK2, ChipSpec, GPUSpec, scaled_ipu, virtual_ipu
+
+__all__ = [
+    "A100",
+    "AllToAllStep",
+    "ChipSimulator",
+    "ChipSpec",
+    "ComputeStep",
+    "CoreMemoryTracker",
+    "DeviceProgram",
+    "GPUSpec",
+    "HBMConfig",
+    "HBMModel",
+    "HBMTransferStep",
+    "IPU_MK2",
+    "LoadStoreStep",
+    "OpTiming",
+    "OutOfChipMemoryError",
+    "PrefetchGroup",
+    "SetupStep",
+    "ShiftStep",
+    "SimulationResult",
+    "SyncStep",
+    "scaled_ipu",
+    "virtual_ipu",
+]

@@ -1,0 +1,112 @@
+"""Per-core memory accounting for the simulated chip.
+
+The simulator does not model byte-addressable memory; what matters for every
+result in the paper is the *per-core footprint* of each execution plan and
+whether it exceeds the 624 KB scratchpad.  :class:`CoreMemoryTracker` tracks
+named allocations against the per-core capacity and records the high-water
+mark, raising :class:`OutOfChipMemoryError` when a plan does not fit — which
+is how the "✖ cannot fit into an IPU chip" entries of Figures 12/21 arise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+class OutOfChipMemoryError(RuntimeError):
+    """Raised when a program's per-core footprint exceeds the scratchpad."""
+
+    def __init__(self, required: int, capacity: int, detail: str = "") -> None:
+        self.required = required
+        self.capacity = capacity
+        message = (
+            f"per-core memory requirement {required / 1024:.1f} KiB exceeds "
+            f"capacity {capacity / 1024:.1f} KiB"
+        )
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+
+
+@dataclass
+class CoreMemoryTracker:
+    """Tracks named per-core allocations against a fixed capacity."""
+
+    capacity: int
+    reserved: int = 0
+    """Bytes permanently reserved (e.g. the shift buffer or a VGM region)."""
+    _allocations: dict[str, int] = field(default_factory=dict)
+    _peak: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {self.capacity}")
+        if self.reserved < 0:
+            raise ValueError(f"reserved must be non-negative, got {self.reserved}")
+        if self.reserved > self.capacity:
+            raise OutOfChipMemoryError(self.reserved, self.capacity, "static reservation")
+        self._peak = self.reserved
+
+    # ------------------------------------------------------------------ #
+    @property
+    def used(self) -> int:
+        """Currently allocated bytes per core (including the reservation)."""
+        return self.reserved + sum(self._allocations.values())
+
+    @property
+    def free(self) -> int:
+        """Bytes still available per core."""
+        return self.capacity - self.used
+
+    @property
+    def peak(self) -> int:
+        """High-water mark of per-core usage."""
+        return self._peak
+
+    @property
+    def allocations(self) -> Mapping[str, int]:
+        """Snapshot of live allocations."""
+        return dict(self._allocations)
+
+    # ------------------------------------------------------------------ #
+    def allocate(self, name: str, nbytes: int) -> None:
+        """Allocate ``nbytes`` per core under ``name``.
+
+        Raises :class:`OutOfChipMemoryError` if the allocation does not fit
+        and :class:`ValueError` if the name is already live.
+        """
+        if nbytes < 0:
+            raise ValueError(f"allocation size must be non-negative, got {nbytes}")
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        if self.used + nbytes > self.capacity:
+            raise OutOfChipMemoryError(self.used + nbytes, self.capacity, name)
+        self._allocations[name] = nbytes
+        self._peak = max(self._peak, self.used)
+
+    def resize(self, name: str, nbytes: int) -> None:
+        """Change the size of an existing allocation (plan setup transitions)."""
+        if name not in self._allocations:
+            raise KeyError(name)
+        if nbytes < 0:
+            raise ValueError(f"allocation size must be non-negative, got {nbytes}")
+        new_used = self.used - self._allocations[name] + nbytes
+        if new_used > self.capacity:
+            raise OutOfChipMemoryError(new_used, self.capacity, name)
+        self._allocations[name] = nbytes
+        self._peak = max(self._peak, self.used)
+
+    def free_allocation(self, name: str) -> int:
+        """Release the named allocation and return its size."""
+        if name not in self._allocations:
+            raise KeyError(name)
+        return self._allocations.pop(name)
+
+    def can_fit(self, nbytes: int) -> bool:
+        """Whether an extra allocation of ``nbytes`` would fit right now."""
+        return self.used + nbytes <= self.capacity
+
+    def reset(self) -> None:
+        """Drop all live allocations but keep the peak statistic."""
+        self._allocations.clear()

@@ -1,0 +1,206 @@
+"""Device programs: the target IR emitted by every compiler in this repo.
+
+A device program is a flat list of steps executed in BSP fashion: every core
+participates in each step and a synchronisation barrier separates steps.  The
+step vocabulary covers both execution paradigms compared in the paper:
+
+* compute-shift (T10): :class:`ComputeStep` + :class:`ShiftStep` +
+  :class:`SetupStep` for idle→active plan transitions and
+  :class:`AllToAllStep` for inter-operator layout changes;
+* load-compute-store (VGM baselines): :class:`ComputeStep` +
+  :class:`LoadStoreStep` for the remote fetches/stores against the virtual
+  global memory;
+* :class:`HBMTransferStep` for off-chip traffic (model input/output, or the
+  emulated-HBM study in §6.8).
+
+Steps carry a ``count`` so that an operator with thousands of identical
+compute-shift iterations is represented compactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class ComputeStep:
+    """One (repeated) per-core compute set.
+
+    ``subtask_shape`` is the per-core sub-task's axis extents; ``flops`` and
+    ``bytes_accessed`` are per core per repetition.
+    """
+
+    op_name: str
+    op_type: str
+    subtask_shape: Mapping[str, int]
+    flops: float
+    bytes_accessed: int
+    cores_used: int
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "subtask_shape", dict(self.subtask_shape))
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if self.cores_used < 1:
+            raise ValueError("cores_used must be >= 1")
+
+
+@dataclass(frozen=True)
+class ShiftStep:
+    """A circular shift of tensor partitions along rotation rings.
+
+    ``bytes_per_core`` is what each participating core sends (and receives)
+    per repetition; ``contention`` > 1 models several cores competing for one
+    core's link (it multiplies the transfer time).
+    """
+
+    op_name: str
+    tensor_name: str
+    bytes_per_core: int
+    cores_used: int
+    ring_size: int = 2
+    contention: float = 1.0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if self.bytes_per_core < 0:
+            raise ValueError("bytes_per_core must be non-negative")
+        if self.contention < 1.0:
+            raise ValueError("contention must be >= 1.0")
+
+
+@dataclass(frozen=True)
+class LoadStoreStep:
+    """A VGM access phase: cores fetch/store tiles from the virtual global memory.
+
+    ``fan_in`` models the imbalanced accesses of the load-compute-store
+    paradigm: when ``fan_in`` cores pull different data from the same owner
+    core they share its single 5.5 GB/s port (paper §2.2).
+    """
+
+    op_name: str
+    bytes_per_core: int
+    cores_used: int
+    fan_in: float = 1.0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if self.bytes_per_core < 0:
+            raise ValueError("bytes_per_core must be non-negative")
+        if self.fan_in < 1.0:
+            raise ValueError("fan_in must be >= 1.0")
+
+
+@dataclass(frozen=True)
+class AllToAllStep:
+    """Inter-operator layout transition exchanging ``total_bytes`` across cores."""
+
+    op_name: str
+    total_bytes: int
+    cores_used: int
+
+    def __post_init__(self) -> None:
+        if self.total_bytes < 0:
+            raise ValueError("total_bytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class SetupStep:
+    """Idle→active plan transition for one operator (paper §4.3.2)."""
+
+    op_name: str
+    bytes_per_core: int
+    cores_used: int
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_core < 0:
+            raise ValueError("bytes_per_core must be non-negative")
+
+
+@dataclass(frozen=True)
+class HBMTransferStep:
+    """Off-chip transfer of ``total_bytes`` (model I/O or weight streaming)."""
+
+    op_name: str
+    total_bytes: int
+    direction: str = "load"
+
+    def __post_init__(self) -> None:
+        if self.total_bytes < 0:
+            raise ValueError("total_bytes must be non-negative")
+        if self.direction not in ("load", "store"):
+            raise ValueError(f"direction must be 'load' or 'store', got {self.direction!r}")
+
+
+@dataclass(frozen=True)
+class SyncStep:
+    """An explicit chip-wide synchronisation barrier."""
+
+    op_name: str
+
+
+ProgramStep = (
+    ComputeStep
+    | ShiftStep
+    | LoadStoreStep
+    | AllToAllStep
+    | SetupStep
+    | HBMTransferStep
+    | SyncStep
+)
+
+
+@dataclass
+class DeviceProgram:
+    """A compiled model: ordered steps plus per-operator memory requirements."""
+
+    name: str
+    steps: list[ProgramStep] = field(default_factory=list)
+    op_memory_per_core: dict[str, int] = field(default_factory=dict)
+    """Peak per-core bytes each operator needs while it is *active*."""
+    idle_memory_per_core: int = 0
+    """Per-core bytes persistently held by idle operators (weights etc.)."""
+    reserved_per_core: int = 0
+    """Per-core bytes statically reserved (VGM region, shift buffer)."""
+    metadata: dict[str, object] = field(default_factory=dict)
+
+    def add(self, step: ProgramStep) -> None:
+        """Append one step."""
+        self.steps.append(step)
+
+    def extend(self, steps: Sequence[ProgramStep]) -> None:
+        """Append several steps."""
+        self.steps.extend(steps)
+
+    def record_op_memory(self, op_name: str, bytes_per_core: int) -> None:
+        """Record the active-state per-core footprint of ``op_name``."""
+        current = self.op_memory_per_core.get(op_name, 0)
+        self.op_memory_per_core[op_name] = max(current, bytes_per_core)
+
+    @property
+    def peak_memory_per_core(self) -> int:
+        """Worst-case per-core footprint across all operators."""
+        active_peak = max(self.op_memory_per_core.values(), default=0)
+        return self.reserved_per_core + self.idle_memory_per_core + active_peak
+
+    @property
+    def op_names(self) -> list[str]:
+        """Operators appearing in the program, in first-appearance order."""
+        seen: list[str] = []
+        for step in self.steps:
+            if step.op_name not in seen:
+                seen.append(step.op_name)
+        return seen
+
+    def steps_for(self, op_name: str) -> Iterator[ProgramStep]:
+        """Iterate over the steps belonging to one operator."""
+        return (step for step in self.steps if step.op_name == op_name)
+
+    def __len__(self) -> int:
+        return len(self.steps)

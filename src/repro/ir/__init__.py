@@ -1,0 +1,45 @@
+"""Tensor-expression IR: axes, tensors, operators and operator graphs.
+
+This package is the compiler-facing representation of a DNN model.  It plays
+the role of the ONNX-parsed operator graph plus the tensor-expression operator
+representation described in §4.2/§5 of the T10 paper.
+"""
+
+from repro.ir.dtype import DType
+from repro.ir.expr import TensorExpression
+from repro.ir.graph import OperatorGraph
+from repro.ir.operator import Operator
+from repro.ir.ops import (
+    bias_add,
+    conv2d,
+    elementwise,
+    gather,
+    layernorm,
+    library_op,
+    matmul,
+    pool2d,
+    reduce_sum,
+    softmax,
+)
+from repro.ir.tensor import DimExpr, TensorRole, TensorSpec, tensor
+
+__all__ = [
+    "DType",
+    "DimExpr",
+    "Operator",
+    "OperatorGraph",
+    "TensorExpression",
+    "TensorRole",
+    "TensorSpec",
+    "bias_add",
+    "conv2d",
+    "elementwise",
+    "gather",
+    "layernorm",
+    "library_op",
+    "matmul",
+    "pool2d",
+    "reduce_sum",
+    "softmax",
+    "tensor",
+]

@@ -1,0 +1,40 @@
+"""Data types supported by the tensor-expression IR."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class DType(Enum):
+    """Element types used by DNN workloads in the evaluation.
+
+    The paper's evaluation uses FP16 end to end (both on the IPU and with
+    TensorCores on the A100); the other types exist for index tensors and for
+    users who want to model mixed precision.
+    """
+
+    FP32 = ("fp32", 4)
+    FP16 = ("fp16", 2)
+    BF16 = ("bf16", 2)
+    INT32 = ("int32", 4)
+    INT8 = ("int8", 1)
+
+    def __init__(self, label: str, size: int) -> None:
+        self.label = label
+        self.size = size
+
+    @property
+    def bytes(self) -> int:
+        """Size of one element in bytes."""
+        return self.size
+
+    @classmethod
+    def from_string(cls, label: str) -> "DType":
+        """Look a dtype up by its lowercase label (e.g. ``"fp16"``)."""
+        for member in cls:
+            if member.label == label:
+                return member
+        raise ValueError(f"unknown dtype {label!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"DType.{self.name}"

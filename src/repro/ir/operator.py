@@ -1,0 +1,90 @@
+"""Named operator instances placed in an operator graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.ir.dtype import DType
+from repro.ir.expr import TensorExpression
+from repro.ir.tensor import TensorRole, TensorSpec
+
+
+@dataclass(frozen=True)
+class Operator:
+    """A uniquely-named instance of a tensor expression inside a model graph.
+
+    Several operators in a model frequently share the same expression
+    signature (e.g. the 24 identical attention projections of BERT-large);
+    the compiler caches intra-operator search results keyed on
+    :meth:`signature` so repeated layers compile in constant time.
+    """
+
+    name: str
+    expr: TensorExpression
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("Operator requires a name")
+
+    # Delegated convenience accessors -----------------------------------
+    @property
+    def op_type(self) -> str:
+        """Kernel family of the underlying expression."""
+        return self.expr.op_type
+
+    @property
+    def axes(self) -> Mapping[str, int]:
+        """Iteration axes and extents."""
+        return self.expr.axes
+
+    @property
+    def dtype(self) -> DType:
+        """Element dtype of all tensors."""
+        return self.expr.dtype
+
+    @property
+    def inputs(self) -> tuple[TensorSpec, ...]:
+        """Input tensor specs."""
+        return self.expr.inputs
+
+    @property
+    def output(self) -> TensorSpec:
+        """Output tensor spec."""
+        return self.expr.output
+
+    @property
+    def total_flops(self) -> float:
+        """FLOPs of the whole operator."""
+        return self.expr.total_flops
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes of all tensors of the operator."""
+        return self.expr.total_bytes
+
+    @property
+    def weight_bytes(self) -> int:
+        """Bytes of persistent weight tensors."""
+        return self.expr.weight_bytes
+
+    @property
+    def output_bytes(self) -> int:
+        """Bytes of the output tensor."""
+        return self.expr.output_bytes
+
+    @property
+    def is_library_fallback(self) -> bool:
+        """Whether the operator bypasses the compute-shift partition search."""
+        return self.expr.library_fallback
+
+    def signature(self) -> tuple:
+        """Cache key shared by structurally identical operators."""
+        return self.expr.signature()
+
+    def tensor_bytes(self, spec: TensorSpec) -> int:
+        """Bytes of one tensor of this operator."""
+        return self.expr.tensor_bytes(spec)
+
+    def __str__(self) -> str:
+        return f"{self.name}:{self.expr}"

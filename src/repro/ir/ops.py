@@ -1,0 +1,331 @@
+"""Factory functions for the operator types used by the evaluated models.
+
+Every factory returns an :class:`~repro.ir.operator.Operator` whose tensor
+expression follows the paper's formulation:
+
+* MatMul: ``C[m, n] += A[m, k] * B[k, n]`` (optionally batched);
+* Conv2D: ``O[b, f, h, w] += I[b, c, h + kh, w + kw] * W[f, c, kh, kw]``
+  (Equation 2 of the paper, with compound axes ``h + kh`` / ``w + kw``);
+* element-wise, pooling, reductions, GatherV2 (embedding lookup), softmax and
+  layer normalisation, which cover the remaining operators of the models in
+  Table 2.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.ir.dtype import DType
+from repro.ir.expr import TensorExpression
+from repro.ir.operator import Operator
+from repro.ir.tensor import DimExpr, TensorRole, TensorSpec, tensor
+
+
+def matmul(
+    name: str,
+    m: int,
+    k: int,
+    n: int,
+    *,
+    batch: int = 1,
+    weight_stationary: bool = True,
+    dtype: DType = DType.FP16,
+) -> Operator:
+    """Matrix multiplication ``C[m, n] += A[m, k] * B[k, n]``.
+
+    ``batch > 1`` adds a leading batch axis to ``A`` and ``C`` (the typical
+    activation-times-weight pattern); set ``weight_stationary=False`` when the
+    second operand is itself an activation (e.g. attention scores) so that the
+    baselines do not treat it as a persistent weight.
+    """
+    axes: dict[str, int] = {}
+    a_dims: list[str] = []
+    c_dims: list[str] = []
+    if batch > 1:
+        axes["b"] = batch
+        a_dims.append("b")
+        c_dims.append("b")
+    axes.update({"m": m, "k": k, "n": n})
+    a_dims += ["m", "k"]
+    c_dims += ["m", "n"]
+    role = TensorRole.WEIGHT if weight_stationary else TensorRole.INPUT
+    expr = TensorExpression(
+        op_type="matmul",
+        axes=axes,
+        inputs=(
+            tensor("A", a_dims, TensorRole.INPUT),
+            tensor("B", ["k", "n"], role),
+        ),
+        output=tensor("C", c_dims, TensorRole.OUTPUT),
+        flops_per_point=2.0,
+        dtype=dtype,
+    )
+    return Operator(name=name, expr=expr)
+
+
+def conv2d(
+    name: str,
+    *,
+    batch: int,
+    in_channels: int,
+    out_channels: int,
+    height: int,
+    width: int,
+    kernel: int = 3,
+    dtype: DType = DType.FP16,
+) -> Operator:
+    """2D convolution with compound input axes (paper Equation 2).
+
+    ``height`` and ``width`` are the *output* spatial extents; the input
+    footprint is ``height + kernel - 1`` by ``width + kernel - 1`` (stride-1,
+    valid padding), which is how the compound dimensions ``h + kh`` and
+    ``w + kw`` resolve to concrete lengths.
+    """
+    axes = {
+        "b": batch,
+        "f": out_channels,
+        "c": in_channels,
+        "h": height,
+        "w": width,
+        "kh": kernel,
+        "kw": kernel,
+    }
+    expr = TensorExpression(
+        op_type="conv2d",
+        axes=axes,
+        inputs=(
+            TensorSpec(
+                name="I",
+                dims=(
+                    DimExpr(("b",)),
+                    DimExpr(("c",)),
+                    DimExpr(("h", "kh")),
+                    DimExpr(("w", "kw")),
+                ),
+                role=TensorRole.INPUT,
+            ),
+            tensor("W", ["f", "c", "kh", "kw"], TensorRole.WEIGHT),
+        ),
+        output=tensor("O", ["b", "f", "h", "w"], TensorRole.OUTPUT),
+        flops_per_point=2.0,
+        dtype=dtype,
+    )
+    return Operator(name=name, expr=expr)
+
+
+def elementwise(
+    name: str,
+    shape: Mapping[str, int],
+    *,
+    kind: str = "add",
+    num_inputs: int = 2,
+    flops_per_point: float = 1.0,
+    dtype: DType = DType.FP16,
+) -> Operator:
+    """Element-wise operator over ``shape`` (add, mul, gelu, relu, ...)."""
+    if num_inputs < 1:
+        raise ValueError("elementwise operator needs at least one input")
+    dims = list(shape.keys())
+    inputs = tuple(
+        tensor(f"X{i}", dims, TensorRole.INPUT) for i in range(num_inputs)
+    )
+    expr = TensorExpression(
+        op_type=f"elementwise_{kind}" if kind else "elementwise",
+        axes=dict(shape),
+        inputs=inputs,
+        output=tensor("Y", dims, TensorRole.OUTPUT),
+        flops_per_point=flops_per_point,
+        dtype=dtype,
+    )
+    return Operator(name=name, expr=expr)
+
+
+def bias_add(
+    name: str,
+    rows: int,
+    cols: int,
+    *,
+    dtype: DType = DType.FP16,
+) -> Operator:
+    """Bias addition ``Y[r, c] = X[r, c] + B[c]`` with a persistent bias."""
+    expr = TensorExpression(
+        op_type="elementwise_add",
+        axes={"r": rows, "c": cols},
+        inputs=(
+            tensor("X", ["r", "c"], TensorRole.INPUT),
+            tensor("B", ["c"], TensorRole.WEIGHT),
+        ),
+        output=tensor("Y", ["r", "c"], TensorRole.OUTPUT),
+        flops_per_point=1.0,
+        dtype=dtype,
+    )
+    return Operator(name=name, expr=expr)
+
+
+def pool2d(
+    name: str,
+    *,
+    batch: int,
+    channels: int,
+    height: int,
+    width: int,
+    kernel: int = 2,
+    dtype: DType = DType.FP16,
+) -> Operator:
+    """Max/average pooling ``O[b, c, h, w] = reduce I[b, c, h + kh, w + kw]``."""
+    axes = {
+        "b": batch,
+        "c": channels,
+        "h": height,
+        "w": width,
+        "kh": kernel,
+        "kw": kernel,
+    }
+    expr = TensorExpression(
+        op_type="pool",
+        axes=axes,
+        inputs=(
+            TensorSpec(
+                name="I",
+                dims=(
+                    DimExpr(("b",)),
+                    DimExpr(("c",)),
+                    DimExpr(("h", "kh")),
+                    DimExpr(("w", "kw")),
+                ),
+                role=TensorRole.INPUT,
+            ),
+        ),
+        output=tensor("O", ["b", "c", "h", "w"], TensorRole.OUTPUT),
+        flops_per_point=1.0,
+        dtype=dtype,
+    )
+    return Operator(name=name, expr=expr)
+
+
+def reduce_sum(
+    name: str,
+    shape: Mapping[str, int],
+    reduce_axes: Sequence[str],
+    *,
+    dtype: DType = DType.FP16,
+) -> Operator:
+    """Summation over ``reduce_axes`` of a tensor with the given ``shape``."""
+    reduce_set = set(reduce_axes)
+    unknown = reduce_set - set(shape)
+    if unknown:
+        raise ValueError(f"reduce axes {sorted(unknown)} not in shape")
+    keep = [axis for axis in shape if axis not in reduce_set]
+    if not keep:
+        # A full reduction keeps a single scalar slot; model it as length 1.
+        shape = dict(shape)
+        shape["_out"] = 1
+        keep = ["_out"]
+    expr = TensorExpression(
+        op_type="reduce_sum",
+        axes=dict(shape),
+        inputs=(tensor("X", list(k for k in shape if k != "_out"), TensorRole.INPUT),),
+        output=tensor("Y", keep, TensorRole.OUTPUT),
+        flops_per_point=1.0,
+        dtype=dtype,
+    )
+    return Operator(name=name, expr=expr)
+
+
+def gather(
+    name: str,
+    *,
+    vocab: int,
+    tokens: int,
+    hidden: int,
+    dtype: DType = DType.FP16,
+) -> Operator:
+    """Embedding lookup (GatherV2): ``Y[s, h] = Table[ids[s], h]``.
+
+    The vocabulary axis ``v`` only shards the lookup table; it contributes to
+    memory footprint and communication but not to FLOPs, which is captured by
+    restricting ``flops_axes`` to the output axes.
+    """
+    expr = TensorExpression(
+        op_type="gather",
+        axes={"s": tokens, "h": hidden, "v": vocab},
+        inputs=(
+            tensor("Table", ["v", "h"], TensorRole.WEIGHT),
+            tensor("Ids", ["s"], TensorRole.INPUT),
+        ),
+        output=tensor("Y", ["s", "h"], TensorRole.OUTPUT),
+        flops_per_point=1.0,
+        flops_axes=frozenset({"s", "h"}),
+        dtype=dtype,
+    )
+    return Operator(name=name, expr=expr)
+
+
+def softmax(
+    name: str,
+    rows: int,
+    cols: int,
+    *,
+    dtype: DType = DType.FP16,
+) -> Operator:
+    """Row-wise softmax over a ``rows x cols`` matrix."""
+    expr = TensorExpression(
+        op_type="softmax",
+        axes={"r": rows, "c": cols},
+        inputs=(tensor("X", ["r", "c"], TensorRole.INPUT),),
+        output=tensor("Y", ["r", "c"], TensorRole.OUTPUT),
+        flops_per_point=5.0,
+        dtype=dtype,
+    )
+    return Operator(name=name, expr=expr)
+
+
+def layernorm(
+    name: str,
+    rows: int,
+    cols: int,
+    *,
+    dtype: DType = DType.FP16,
+) -> Operator:
+    """Layer normalisation over the last dimension with learned scale/bias."""
+    expr = TensorExpression(
+        op_type="layernorm",
+        axes={"r": rows, "c": cols},
+        inputs=(
+            tensor("X", ["r", "c"], TensorRole.INPUT),
+            tensor("Gamma", ["c"], TensorRole.WEIGHT),
+            tensor("Beta", ["c"], TensorRole.WEIGHT),
+        ),
+        output=tensor("Y", ["r", "c"], TensorRole.OUTPUT),
+        flops_per_point=8.0,
+        dtype=dtype,
+    )
+    return Operator(name=name, expr=expr)
+
+
+def library_op(
+    name: str,
+    *,
+    kind: str,
+    data_bytes: int,
+    flops: float,
+    dtype: DType = DType.FP16,
+) -> Operator:
+    """Operator that falls back to the vendor-library implementation.
+
+    Operators such as Sort cannot be expressed as a tensor expression (paper
+    §4.2); they are represented by a single opaque axis carrying their data
+    volume and are executed with the library cost model instead of the
+    compute-shift partition search.
+    """
+    elements = max(1, data_bytes // dtype.bytes)
+    expr = TensorExpression(
+        op_type=f"library_{kind}",
+        axes={"e": elements},
+        inputs=(tensor("X", ["e"], TensorRole.INPUT),),
+        output=tensor("Y", ["e"], TensorRole.OUTPUT),
+        flops_per_point=max(flops, 1.0) / elements,
+        dtype=dtype,
+        library_fallback=True,
+    )
+    return Operator(name=name, expr=expr)

@@ -1,0 +1,135 @@
+"""Tensor and dimension descriptions used by tensor expressions.
+
+A tensor dimension is described by a :class:`DimExpr`, which is either a single
+iteration axis (``m``) or a *compound axis* such as ``h + kh`` used by
+convolution-style operators (paper §5, "Compound axis in tensor expressions").
+The partitioning machinery partitions each basic axis individually, so a
+compound dimension simply records which basic axes contribute to it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+
+class TensorRole(Enum):
+    """How a tensor participates in an operator.
+
+    The role matters for the baselines (weights are persistent and stored
+    on-chip between operators; activations are produced and consumed) and for
+    the inter-operator scheduler, which keeps weights resident in idle state.
+    """
+
+    INPUT = "input"
+    WEIGHT = "weight"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class DimExpr:
+    """One dimension of a tensor, expressed over one or more basic axes.
+
+    ``DimExpr(("h", "kh"))`` denotes the compound dimension ``h + kh`` of a
+    convolution input.  ``DimExpr(("m",))`` is the plain axis ``m``.
+    """
+
+    axes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.axes:
+            raise ValueError("DimExpr requires at least one axis")
+        if len(set(self.axes)) != len(self.axes):
+            raise ValueError(f"DimExpr axes must be unique, got {self.axes}")
+
+    @property
+    def primary(self) -> str:
+        """The axis that drives partitioning of this dimension.
+
+        For a compound dimension the first axis is the "large" spatial axis
+        (e.g. ``h`` in ``h + kh``); T10 partitions each basic axis
+        individually, and in practice only the primary axis is split.
+        """
+        return self.axes[0]
+
+    @property
+    def is_compound(self) -> bool:
+        """Whether this dimension sums more than one basic axis."""
+        return len(self.axes) > 1
+
+    def __str__(self) -> str:
+        return "+".join(self.axes)
+
+    @classmethod
+    def of(cls, spec: "str | DimExpr | Iterable[str]") -> "DimExpr":
+        """Coerce ``spec`` into a :class:`DimExpr`.
+
+        Accepts an existing :class:`DimExpr`, a plain axis name, a compound
+        string such as ``"h+kh"``, or an iterable of axis names.
+        """
+        if isinstance(spec, DimExpr):
+            return spec
+        if isinstance(spec, str):
+            parts = tuple(part.strip() for part in spec.split("+") if part.strip())
+            return cls(parts)
+        return cls(tuple(spec))
+
+
+@dataclass(frozen=True)
+class TensorSpec:
+    """Symbolic description of one tensor used by an operator.
+
+    The concrete shape is derived from the owning
+    :class:`~repro.ir.expr.TensorExpression`'s axis extents; the spec itself
+    only records which axes index each dimension and the tensor's role.
+    """
+
+    name: str
+    dims: tuple[DimExpr, ...]
+    role: TensorRole = TensorRole.INPUT
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("TensorSpec requires a name")
+        object.__setattr__(self, "dims", tuple(DimExpr.of(d) for d in self.dims))
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions of this tensor."""
+        return len(self.dims)
+
+    @property
+    def axes(self) -> tuple[str, ...]:
+        """All basic axes referenced by this tensor, in dimension order."""
+        seen: list[str] = []
+        for dim in self.dims:
+            for axis in dim.axes:
+                if axis not in seen:
+                    seen.append(axis)
+        return tuple(seen)
+
+    @property
+    def primary_axes(self) -> tuple[str, ...]:
+        """The primary axis of each dimension (one entry per dimension)."""
+        return tuple(dim.primary for dim in self.dims)
+
+    def dim_for_axis(self, axis: str) -> int | None:
+        """Index of the dimension whose *primary* axis is ``axis``, if any."""
+        for index, dim in enumerate(self.dims):
+            if dim.primary == axis:
+                return index
+        return None
+
+    def has_axis(self, axis: str) -> bool:
+        """Whether ``axis`` appears anywhere in this tensor's dimensions."""
+        return any(axis in dim.axes for dim in self.dims)
+
+    def __str__(self) -> str:
+        dims = ", ".join(str(dim) for dim in self.dims)
+        return f"{self.name}[{dims}]"
+
+
+def tensor(name: str, dims: Iterable[str | DimExpr], role: TensorRole = TensorRole.INPUT) -> TensorSpec:
+    """Convenience constructor for :class:`TensorSpec`."""
+    return TensorSpec(name=name, dims=tuple(DimExpr.of(d) for d in dims), role=role)

@@ -1,0 +1,42 @@
+"""Model zoo: builders for every workload in the paper's evaluation (Table 2)."""
+
+from repro.models.bert import BERT_LARGE, build_bert
+from repro.models.llama import LLAMA_VARIANTS, build_llama
+from repro.models.nerf import build_nerf
+from repro.models.opt import OPT_VARIANTS, build_opt
+from repro.models.registry import (
+    DNN_MODELS,
+    LLM_MODELS,
+    MODEL_REGISTRY,
+    ModelEntry,
+    build_model,
+    get_entry,
+    list_models,
+)
+from repro.models.resnet import build_resnet
+from repro.models.retnet import RETNET_VARIANTS, build_retnet
+from repro.models.transformer import TransformerConfig
+from repro.models.vit import VIT_BASE, build_vit
+
+__all__ = [
+    "BERT_LARGE",
+    "DNN_MODELS",
+    "LLAMA_VARIANTS",
+    "LLM_MODELS",
+    "MODEL_REGISTRY",
+    "ModelEntry",
+    "OPT_VARIANTS",
+    "RETNET_VARIANTS",
+    "TransformerConfig",
+    "VIT_BASE",
+    "build_bert",
+    "build_llama",
+    "build_model",
+    "build_nerf",
+    "build_opt",
+    "build_resnet",
+    "build_retnet",
+    "build_vit",
+    "get_entry",
+    "list_models",
+]

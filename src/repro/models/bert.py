@@ -1,0 +1,44 @@
+"""BERT-large encoder (Devlin et al.) — the NLP model of Table 2 (~340M params)."""
+
+from __future__ import annotations
+
+from repro.ir.graph import OperatorGraph
+from repro.models.transformer import TransformerConfig, add_embedding, add_encoder_layer
+
+#: BERT-large hyper-parameters.
+BERT_LARGE = TransformerConfig(
+    hidden=1024,
+    num_heads=16,
+    ffn_hidden=4096,
+    num_layers=24,
+    vocab=30522,
+)
+
+
+def build_bert(
+    batch_size: int,
+    *,
+    seq_len: int = 384,
+    num_layers: int | None = None,
+    config: TransformerConfig = BERT_LARGE,
+) -> OperatorGraph:
+    """Build the BERT-large inference graph for one batch size.
+
+    ``num_layers`` may be reduced for quick experiments; the default is the
+    full 24-layer model the paper evaluates.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    layers = config.num_layers if num_layers is None else num_layers
+    graph = OperatorGraph(name=f"bert-bs{batch_size}")
+    last = add_embedding(graph, config, tokens=batch_size * seq_len)
+    for layer in range(layers):
+        last = add_encoder_layer(
+            graph,
+            config,
+            prefix=f"layer{layer}",
+            batch=batch_size,
+            seq_len=seq_len,
+            input_op=last,
+        )
+    return graph

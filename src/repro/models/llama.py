@@ -1,0 +1,62 @@
+"""Llama-2 decoder layers (Touvron et al.) for the LLM study of §6.7."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import OperatorGraph
+from repro.models.transformer import TransformerConfig, add_decoder_layer
+
+
+@dataclass(frozen=True)
+class LlamaVariant:
+    """Hyper-parameters of one Llama-2 model size."""
+
+    name: str
+    hidden: int
+    num_heads: int
+    ffn_hidden: int
+    total_layers: int
+    eval_layers: int
+
+
+LLAMA_VARIANTS: dict[str, LlamaVariant] = {
+    "7b": LlamaVariant("llama2-7b", 4096, 32, 11008, 32, 2),
+    "13b": LlamaVariant("llama2-13b", 5120, 40, 13824, 40, 1),
+}
+
+
+def build_llama(
+    batch_size: int,
+    *,
+    size: str = "7b",
+    num_layers: int | None = None,
+    kv_len: int = 1024,
+) -> OperatorGraph:
+    """Build a Llama-2 decode-step graph (gated FFN, query length 1)."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if size not in LLAMA_VARIANTS:
+        raise ValueError(f"unknown Llama size {size!r}; choose from {sorted(LLAMA_VARIANTS)}")
+    variant = LLAMA_VARIANTS[size]
+    layers = variant.eval_layers if num_layers is None else num_layers
+    config = TransformerConfig(
+        hidden=variant.hidden,
+        num_heads=variant.num_heads,
+        ffn_hidden=variant.ffn_hidden,
+        num_layers=layers,
+        vocab=32000,
+    )
+    graph = OperatorGraph(name=f"{variant.name}-bs{batch_size}")
+    last: str | None = None
+    for layer in range(layers):
+        last = add_decoder_layer(
+            graph,
+            config,
+            prefix=f"layer{layer}",
+            batch=batch_size,
+            kv_len=kv_len,
+            input_op=last,
+            gated_ffn=True,
+        )
+    return graph

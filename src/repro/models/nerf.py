@@ -1,0 +1,61 @@
+"""NeRF (Mildenhall et al.) — the fully-connected scene-synthesis model of Table 2.
+
+NeRF inference evaluates a small MLP at a very large number of ray samples,
+so the workload is dominated by huge activation tensors flowing through tiny
+weight matrices — the opposite regime from the transformer models.  One
+"batch" is one chunk of ray samples (the paper runs batch size 1 only).
+
+The MLP follows the compact NeRF used in the paper's evaluation (~24K
+parameters): 8 hidden layers of width 64 with a skip connection, plus the
+density/colour heads.
+"""
+
+from __future__ import annotations
+
+from repro.ir import ops
+from repro.ir.graph import OperatorGraph
+
+#: Positional-encoding input width (3D position, 10 frequencies, sin+cos).
+INPUT_WIDTH = 60
+#: Hidden width of the compact NeRF MLP.
+HIDDEN_WIDTH = 64
+#: Number of hidden layers before the output heads.
+NUM_HIDDEN_LAYERS = 8
+#: Ray samples evaluated per batch element (4,096 rays x 192 samples).
+SAMPLES_PER_BATCH = 4096 * 192
+
+
+def build_nerf(batch_size: int, *, samples_per_batch: int = SAMPLES_PER_BATCH) -> OperatorGraph:
+    """Build the NeRF MLP inference graph for one batch of ray samples."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    graph = OperatorGraph(name=f"nerf-bs{batch_size}")
+    points = batch_size * samples_per_batch
+
+    last = None
+    width_in = INPUT_WIDTH
+    for layer in range(NUM_HIDDEN_LAYERS):
+        # The canonical NeRF re-injects the encoded input at layer 4.
+        k = width_in if layer != 4 else HIDDEN_WIDTH + INPUT_WIDTH
+        fc = ops.matmul(f"mlp{layer}.fc", m=points, k=k, n=HIDDEN_WIDTH)
+        graph.add(fc, [last] if last else [])
+        relu = ops.elementwise(
+            f"mlp{layer}.relu",
+            {"r": points, "c": HIDDEN_WIDTH},
+            kind="relu",
+            num_inputs=1,
+        )
+        graph.add(relu, [fc.name])
+        last = relu.name
+        width_in = HIDDEN_WIDTH
+
+    sigma = ops.matmul("head.sigma", m=points, k=HIDDEN_WIDTH, n=1)
+    graph.add(sigma, [last])
+
+    feature = ops.matmul("head.feature", m=points, k=HIDDEN_WIDTH, n=HIDDEN_WIDTH)
+    graph.add(feature, [last])
+    rgb_hidden = ops.matmul("head.rgb_hidden", m=points, k=HIDDEN_WIDTH + 24, n=HIDDEN_WIDTH // 2)
+    graph.add(rgb_hidden, [feature.name])
+    rgb = ops.matmul("head.rgb", m=points, k=HIDDEN_WIDTH // 2, n=3)
+    graph.add(rgb, [rgb_hidden.name])
+    return graph

@@ -1,0 +1,71 @@
+"""OPT decoder layers (Zhang et al.) — the LLM workloads of §6.7.
+
+The paper serves a *subset of layers* of each OPT model in decode mode
+(query length 1, attention against a KV cache), because a full LLM does not
+fit one IPU chip; the per-layer latency determines the pipeline throughput.
+``build_opt`` mirrors that: it builds ``num_layers`` identical decoder layers
+for the requested model size and batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import OperatorGraph
+from repro.models.transformer import TransformerConfig, add_decoder_layer
+
+
+@dataclass(frozen=True)
+class OPTVariant:
+    """Hyper-parameters of one OPT model size."""
+
+    name: str
+    hidden: int
+    num_heads: int
+    ffn_hidden: int
+    total_layers: int
+    eval_layers: int
+    """Layers the paper fits on one chip for this size (Figure 23)."""
+
+
+OPT_VARIANTS: dict[str, OPTVariant] = {
+    "1.3b": OPTVariant("opt-1.3b", 2048, 32, 8192, 24, 6),
+    "2.7b": OPTVariant("opt-2.7b", 2560, 32, 10240, 32, 4),
+    "6.7b": OPTVariant("opt-6.7b", 4096, 32, 16384, 32, 2),
+    "13b": OPTVariant("opt-13b", 5120, 40, 20480, 40, 1),
+}
+
+
+def build_opt(
+    batch_size: int,
+    *,
+    size: str = "1.3b",
+    num_layers: int | None = None,
+    kv_len: int = 1024,
+) -> OperatorGraph:
+    """Build an OPT decode-step graph (one new token per sequence)."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if size not in OPT_VARIANTS:
+        raise ValueError(f"unknown OPT size {size!r}; choose from {sorted(OPT_VARIANTS)}")
+    variant = OPT_VARIANTS[size]
+    layers = variant.eval_layers if num_layers is None else num_layers
+    config = TransformerConfig(
+        hidden=variant.hidden,
+        num_heads=variant.num_heads,
+        ffn_hidden=variant.ffn_hidden,
+        num_layers=layers,
+        vocab=50272,
+    )
+    graph = OperatorGraph(name=f"{variant.name}-bs{batch_size}")
+    last: str | None = None
+    for layer in range(layers):
+        last = add_decoder_layer(
+            graph,
+            config,
+            prefix=f"layer{layer}",
+            batch=batch_size,
+            kv_len=kv_len,
+            input_op=last,
+        )
+    return graph

@@ -1,0 +1,143 @@
+"""Model registry: build any evaluated workload by name.
+
+The registry mirrors Table 2 of the paper (plus the LLM variants of §6.7) and
+records, per model, the batch sizes swept in the end-to-end evaluation
+(Figure 12) so the experiment harness and the benchmarks agree on the grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.ir.graph import OperatorGraph
+from repro.models.bert import build_bert
+from repro.models.llama import build_llama
+from repro.models.nerf import build_nerf
+from repro.models.opt import build_opt
+from repro.models.resnet import build_resnet
+from repro.models.retnet import build_retnet
+from repro.models.vit import build_vit
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One registered workload."""
+
+    name: str
+    description: str
+    builder: Callable[..., OperatorGraph]
+    batch_sizes: tuple[int, ...]
+    reference_parameters: float
+    """Approximate parameter count the paper lists (for Table 2 checks)."""
+
+
+MODEL_REGISTRY: dict[str, ModelEntry] = {
+    "bert": ModelEntry(
+        name="bert",
+        description="BERT-large encoder (NLP)",
+        builder=build_bert,
+        batch_sizes=(1, 2, 4, 8, 16),
+        reference_parameters=340e6,
+    ),
+    "vit": ModelEntry(
+        name="vit",
+        description="ViT-Base transformer (vision)",
+        builder=build_vit,
+        batch_sizes=(1, 2, 4, 8, 16, 32, 64, 128),
+        reference_parameters=86e6,
+    ),
+    "resnet": ModelEntry(
+        name="resnet",
+        description="ResNet-18 CNN (vision)",
+        builder=build_resnet,
+        batch_sizes=(1, 2, 4, 8, 16, 32, 64, 128, 256),
+        reference_parameters=11e6,
+    ),
+    "nerf": ModelEntry(
+        name="nerf",
+        description="NeRF MLP (3D scene synthesis)",
+        builder=build_nerf,
+        batch_sizes=(1,),
+        reference_parameters=24e3,
+    ),
+    "opt-1.3b": ModelEntry(
+        name="opt-1.3b",
+        description="OPT-1.3B decoder layers (LLM decode)",
+        builder=lambda batch_size, **kw: build_opt(batch_size, size="1.3b", **kw),
+        batch_sizes=(2, 8, 32, 128),
+        reference_parameters=1.3e9,
+    ),
+    "opt-2.7b": ModelEntry(
+        name="opt-2.7b",
+        description="OPT-2.7B decoder layers (LLM decode)",
+        builder=lambda batch_size, **kw: build_opt(batch_size, size="2.7b", **kw),
+        batch_sizes=(2, 8, 32, 128),
+        reference_parameters=2.7e9,
+    ),
+    "opt-6.7b": ModelEntry(
+        name="opt-6.7b",
+        description="OPT-6.7B decoder layers (LLM decode)",
+        builder=lambda batch_size, **kw: build_opt(batch_size, size="6.7b", **kw),
+        batch_sizes=(2, 8, 32, 128),
+        reference_parameters=6.7e9,
+    ),
+    "opt-13b": ModelEntry(
+        name="opt-13b",
+        description="OPT-13B decoder layers (LLM decode)",
+        builder=lambda batch_size, **kw: build_opt(batch_size, size="13b", **kw),
+        batch_sizes=(2, 8, 32, 128),
+        reference_parameters=13e9,
+    ),
+    "llama2-7b": ModelEntry(
+        name="llama2-7b",
+        description="Llama2-7B decoder layers (LLM decode)",
+        builder=lambda batch_size, **kw: build_llama(batch_size, size="7b", **kw),
+        batch_sizes=(2, 8, 32, 128),
+        reference_parameters=7e9,
+    ),
+    "llama2-13b": ModelEntry(
+        name="llama2-13b",
+        description="Llama2-13B decoder layers (LLM decode)",
+        builder=lambda batch_size, **kw: build_llama(batch_size, size="13b", **kw),
+        batch_sizes=(2, 8, 32, 128),
+        reference_parameters=13e9,
+    ),
+    "retnet-1.3b": ModelEntry(
+        name="retnet-1.3b",
+        description="RetNet-1.3B decoder layers (LLM decode)",
+        builder=lambda batch_size, **kw: build_retnet(batch_size, size="1.3b", **kw),
+        batch_sizes=(2, 8, 32, 128),
+        reference_parameters=1.3e9,
+    ),
+}
+
+#: The four DNN models of the end-to-end evaluation (Figure 12).
+DNN_MODELS: tuple[str, ...] = ("bert", "vit", "resnet", "nerf")
+#: The LLM workloads of §6.7 (Figure 23).
+LLM_MODELS: tuple[str, ...] = (
+    "opt-1.3b",
+    "opt-2.7b",
+    "opt-6.7b",
+    "opt-13b",
+    "llama2-7b",
+    "llama2-13b",
+    "retnet-1.3b",
+)
+
+
+def list_models() -> list[str]:
+    """Names of every registered model."""
+    return sorted(MODEL_REGISTRY)
+
+
+def get_entry(name: str) -> ModelEntry:
+    """Registry entry for ``name`` (raises ``KeyError`` for unknown models)."""
+    if name not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; known models: {list_models()}")
+    return MODEL_REGISTRY[name]
+
+
+def build_model(name: str, batch_size: int, **kwargs) -> OperatorGraph:
+    """Build the named model's operator graph for one batch size."""
+    return get_entry(name).builder(batch_size, **kwargs)

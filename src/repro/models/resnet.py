@@ -1,0 +1,122 @@
+"""ResNet-18 (He et al.) — the CNN model of Table 2 (~11M parameters).
+
+Strided convolutions are approximated by stride-1 convolutions producing the
+post-stride output resolution; the FLOP count and tensor footprints match the
+standard ResNet-18 stage dimensions, which is what the partitioning and
+memory trade-offs depend on.
+"""
+
+from __future__ import annotations
+
+from repro.ir import ops
+from repro.ir.graph import OperatorGraph
+
+
+def _basic_block(
+    graph: OperatorGraph,
+    *,
+    prefix: str,
+    batch: int,
+    in_channels: int,
+    out_channels: int,
+    resolution: int,
+    input_op: str,
+) -> str:
+    """Two 3x3 convolutions with a residual add and ReLUs."""
+    conv1 = ops.conv2d(
+        f"{prefix}.conv1",
+        batch=batch,
+        in_channels=in_channels,
+        out_channels=out_channels,
+        height=resolution,
+        width=resolution,
+        kernel=3,
+    )
+    graph.add(conv1, [input_op])
+    relu1 = ops.elementwise(
+        f"{prefix}.relu1",
+        {"b": batch, "c": out_channels, "h": resolution, "w": resolution},
+        kind="relu",
+        num_inputs=1,
+    )
+    graph.add(relu1, [conv1.name])
+
+    conv2 = ops.conv2d(
+        f"{prefix}.conv2",
+        batch=batch,
+        in_channels=out_channels,
+        out_channels=out_channels,
+        height=resolution,
+        width=resolution,
+        kernel=3,
+    )
+    graph.add(conv2, [relu1.name])
+
+    residual = ops.elementwise(
+        f"{prefix}.residual",
+        {"b": batch, "c": out_channels, "h": resolution, "w": resolution},
+        kind="add",
+    )
+    graph.add(residual, [conv2.name, input_op] if in_channels == out_channels else [conv2.name])
+
+    relu2 = ops.elementwise(
+        f"{prefix}.relu2",
+        {"b": batch, "c": out_channels, "h": resolution, "w": resolution},
+        kind="relu",
+        num_inputs=1,
+    )
+    graph.add(relu2, [residual.name])
+    return relu2.name
+
+
+#: (stage name, in channels, out channels, output resolution, num blocks)
+RESNET18_STAGES = (
+    ("stage1", 64, 64, 56, 2),
+    ("stage2", 64, 128, 28, 2),
+    ("stage3", 128, 256, 14, 2),
+    ("stage4", 256, 512, 7, 2),
+)
+
+
+def build_resnet(batch_size: int) -> OperatorGraph:
+    """Build the ResNet-18 inference graph for one batch size."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    graph = OperatorGraph(name=f"resnet-bs{batch_size}")
+
+    stem = ops.conv2d(
+        "stem.conv",
+        batch=batch_size,
+        in_channels=3,
+        out_channels=64,
+        height=112,
+        width=112,
+        kernel=7,
+    )
+    graph.add(stem)
+    pool = ops.pool2d(
+        "stem.pool", batch=batch_size, channels=64, height=56, width=56, kernel=3
+    )
+    graph.add(pool, [stem.name])
+    last = pool.name
+
+    for stage_name, in_channels, out_channels, resolution, blocks in RESNET18_STAGES:
+        for block in range(blocks):
+            block_in = in_channels if block == 0 else out_channels
+            last = _basic_block(
+                graph,
+                prefix=f"{stage_name}.block{block}",
+                batch=batch_size,
+                in_channels=block_in,
+                out_channels=out_channels,
+                resolution=resolution,
+                input_op=last,
+            )
+
+    avgpool = ops.pool2d(
+        "head.avgpool", batch=batch_size, channels=512, height=1, width=1, kernel=7
+    )
+    graph.add(avgpool, [last])
+    fc = ops.matmul("head.fc", m=batch_size, k=512, n=1000)
+    graph.add(fc, [avgpool.name])
+    return graph

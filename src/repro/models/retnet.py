@@ -1,0 +1,117 @@
+"""RetNet (Sun et al.) — the retention-based LLM of §6.7 (RetNet-1.3B).
+
+In decode mode a retention layer maintains a per-head recurrent state of
+``head_dim x head_dim``; generating one token is a handful of dense matmuls
+against that state plus the gated FFN.  Compared with a transformer decoder
+there is no KV cache growing with context length, which is the
+memory-efficiency property the paper highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir import ops
+from repro.ir.graph import OperatorGraph
+from repro.models.transformer import TransformerConfig, add_ffn
+
+
+@dataclass(frozen=True)
+class RetNetVariant:
+    """Hyper-parameters of one RetNet size."""
+
+    name: str
+    hidden: int
+    num_heads: int
+    ffn_hidden: int
+    total_layers: int
+    eval_layers: int
+
+
+RETNET_VARIANTS: dict[str, RetNetVariant] = {
+    "1.3b": RetNetVariant("retnet-1.3b", 2048, 8, 4096, 24, 6),
+}
+
+
+def _add_retention_layer(
+    graph: OperatorGraph,
+    config: TransformerConfig,
+    *,
+    prefix: str,
+    batch: int,
+    input_op: str | None,
+) -> str:
+    """One retention block in recurrent (decode) form."""
+    head_dim = config.head_dim
+    qkv = ops.matmul(f"{prefix}.qkv", m=batch, k=config.hidden, n=3 * config.hidden)
+    graph.add(qkv, [input_op] if input_op else [])
+
+    # State update: per head, S <- decay * S + k v^T ; output o = q S.
+    state_update = ops.matmul(
+        f"{prefix}.state_update",
+        m=head_dim,
+        k=1,
+        n=head_dim,
+        batch=batch * config.num_heads,
+        weight_stationary=False,
+    )
+    graph.add(state_update, [qkv.name])
+    readout = ops.matmul(
+        f"{prefix}.readout",
+        m=1,
+        k=head_dim,
+        n=head_dim,
+        batch=batch * config.num_heads,
+        weight_stationary=False,
+    )
+    graph.add(readout, [state_update.name])
+
+    gate = ops.matmul(f"{prefix}.gate", m=batch, k=config.hidden, n=config.hidden)
+    graph.add(gate, [input_op] if input_op else [])
+    gated = ops.elementwise(
+        f"{prefix}.gated", {"r": batch, "c": config.hidden}, kind="mul"
+    )
+    graph.add(gated, [readout.name, gate.name])
+
+    out_proj = ops.matmul(f"{prefix}.out_proj", m=batch, k=config.hidden, n=config.hidden)
+    graph.add(out_proj, [gated.name])
+    norm = ops.layernorm(f"{prefix}.norm", rows=batch, cols=config.hidden)
+    graph.add(norm, [out_proj.name])
+    return norm.name
+
+
+def build_retnet(
+    batch_size: int,
+    *,
+    size: str = "1.3b",
+    num_layers: int | None = None,
+) -> OperatorGraph:
+    """Build a RetNet decode-step graph."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    if size not in RETNET_VARIANTS:
+        raise ValueError(f"unknown RetNet size {size!r}; choose from {sorted(RETNET_VARIANTS)}")
+    variant = RETNET_VARIANTS[size]
+    layers = variant.eval_layers if num_layers is None else num_layers
+    config = TransformerConfig(
+        hidden=variant.hidden,
+        num_heads=variant.num_heads,
+        ffn_hidden=variant.ffn_hidden,
+        num_layers=layers,
+        vocab=50257,
+    )
+    graph = OperatorGraph(name=f"{variant.name}-bs{batch_size}")
+    last: str | None = None
+    for layer in range(layers):
+        retention_out = _add_retention_layer(
+            graph, config, prefix=f"layer{layer}.ret", batch=batch_size, input_op=last
+        )
+        last = add_ffn(
+            graph,
+            config,
+            prefix=f"layer{layer}",
+            tokens=batch_size,
+            input_op=retention_out,
+            gated=True,
+        )
+    return graph

@@ -1,0 +1,210 @@
+"""Shared transformer building blocks used by BERT, ViT and the LLM builders.
+
+The builders express each layer with the operator factories of
+:mod:`repro.ir.ops`; attention is decomposed into projection matmuls, the
+score/context batched matmuls (whose second operand is an activation, not a
+weight), softmax and the output projection, followed by the residual/layer
+norm and the feed-forward block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir import ops
+from repro.ir.graph import OperatorGraph
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Dimensions of one transformer encoder/decoder stack."""
+
+    hidden: int
+    num_heads: int
+    ffn_hidden: int
+    num_layers: int
+    vocab: int = 0
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head hidden dimension."""
+        return self.hidden // self.num_heads
+
+
+def add_embedding(
+    graph: OperatorGraph,
+    config: TransformerConfig,
+    tokens: int,
+    *,
+    prefix: str = "embed",
+) -> str:
+    """Add a vocabulary-embedding gather; returns the producing op name."""
+    op = ops.gather(
+        f"{prefix}.gather", vocab=max(config.vocab, 1), tokens=tokens, hidden=config.hidden
+    )
+    graph.add(op)
+    return op.name
+
+
+def add_attention(
+    graph: OperatorGraph,
+    config: TransformerConfig,
+    *,
+    prefix: str,
+    batch: int,
+    query_len: int,
+    key_len: int,
+    input_op: str | None,
+) -> str:
+    """Add a multi-head attention block; returns the last op name."""
+    tokens = batch * query_len
+    qkv = ops.matmul(f"{prefix}.qkv", m=tokens, k=config.hidden, n=3 * config.hidden)
+    graph.add(qkv, [input_op] if input_op else [])
+
+    scores = ops.matmul(
+        f"{prefix}.scores",
+        m=query_len,
+        k=config.head_dim,
+        n=key_len,
+        batch=batch * config.num_heads,
+        weight_stationary=False,
+    )
+    graph.add(scores, [qkv.name])
+
+    probs = ops.softmax(
+        f"{prefix}.softmax", rows=batch * config.num_heads * query_len, cols=key_len
+    )
+    graph.add(probs, [scores.name])
+
+    context = ops.matmul(
+        f"{prefix}.context",
+        m=query_len,
+        k=key_len,
+        n=config.head_dim,
+        batch=batch * config.num_heads,
+        weight_stationary=False,
+    )
+    graph.add(context, [probs.name])
+
+    out_proj = ops.matmul(f"{prefix}.out_proj", m=tokens, k=config.hidden, n=config.hidden)
+    graph.add(out_proj, [context.name])
+
+    residual = ops.elementwise(
+        f"{prefix}.residual", {"r": tokens, "c": config.hidden}, kind="add"
+    )
+    inputs = [out_proj.name] + ([input_op] if input_op else [])
+    graph.add(residual, inputs)
+
+    norm = ops.layernorm(f"{prefix}.norm", rows=tokens, cols=config.hidden)
+    graph.add(norm, [residual.name])
+    return norm.name
+
+
+def add_ffn(
+    graph: OperatorGraph,
+    config: TransformerConfig,
+    *,
+    prefix: str,
+    tokens: int,
+    input_op: str,
+    gated: bool = False,
+) -> str:
+    """Add a feed-forward block (optionally gated, as in Llama); returns last op."""
+    up = ops.matmul(f"{prefix}.ffn_up", m=tokens, k=config.hidden, n=config.ffn_hidden)
+    graph.add(up, [input_op])
+    last = up.name
+
+    if gated:
+        gate = ops.matmul(f"{prefix}.ffn_gate", m=tokens, k=config.hidden, n=config.ffn_hidden)
+        graph.add(gate, [input_op])
+        mul = ops.elementwise(
+            f"{prefix}.ffn_gate_mul",
+            {"r": tokens, "c": config.ffn_hidden},
+            kind="mul",
+        )
+        graph.add(mul, [up.name, gate.name])
+        last = mul.name
+    else:
+        act = ops.elementwise(
+            f"{prefix}.ffn_act",
+            {"r": tokens, "c": config.ffn_hidden},
+            kind="gelu",
+            num_inputs=1,
+            flops_per_point=4.0,
+        )
+        graph.add(act, [up.name])
+        last = act.name
+
+    down = ops.matmul(f"{prefix}.ffn_down", m=tokens, k=config.ffn_hidden, n=config.hidden)
+    graph.add(down, [last])
+
+    residual = ops.elementwise(
+        f"{prefix}.ffn_residual", {"r": tokens, "c": config.hidden}, kind="add"
+    )
+    graph.add(residual, [down.name, input_op])
+
+    norm = ops.layernorm(f"{prefix}.ffn_norm", rows=tokens, cols=config.hidden)
+    graph.add(norm, [residual.name])
+    return norm.name
+
+
+def add_encoder_layer(
+    graph: OperatorGraph,
+    config: TransformerConfig,
+    *,
+    prefix: str,
+    batch: int,
+    seq_len: int,
+    input_op: str | None,
+) -> str:
+    """Add one full encoder layer (attention + FFN); returns the last op name."""
+    attention_out = add_attention(
+        graph,
+        config,
+        prefix=f"{prefix}.attn",
+        batch=batch,
+        query_len=seq_len,
+        key_len=seq_len,
+        input_op=input_op,
+    )
+    return add_ffn(
+        graph,
+        config,
+        prefix=prefix,
+        tokens=batch * seq_len,
+        input_op=attention_out,
+    )
+
+
+def add_decoder_layer(
+    graph: OperatorGraph,
+    config: TransformerConfig,
+    *,
+    prefix: str,
+    batch: int,
+    kv_len: int,
+    input_op: str | None,
+    gated_ffn: bool = False,
+) -> str:
+    """Add one decoder layer in token-generation mode (query length 1).
+
+    The attention scores/context matmuls run against a KV cache of length
+    ``kv_len``, which is the memory-bandwidth-bound shape §6.7 cares about.
+    """
+    attention_out = add_attention(
+        graph,
+        config,
+        prefix=f"{prefix}.attn",
+        batch=batch,
+        query_len=1,
+        key_len=kv_len,
+        input_op=input_op,
+    )
+    return add_ffn(
+        graph,
+        config,
+        prefix=prefix,
+        tokens=batch,
+        input_op=attention_out,
+        gated=gated_ffn,
+    )

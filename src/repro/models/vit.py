@@ -1,0 +1,54 @@
+"""Vision Transformer (ViT-Base, Dosovitskiy et al.) — ~86M parameters."""
+
+from __future__ import annotations
+
+from repro.ir import ops
+from repro.ir.graph import OperatorGraph
+from repro.models.transformer import TransformerConfig, add_encoder_layer
+
+#: ViT-Base/16 hyper-parameters.
+VIT_BASE = TransformerConfig(
+    hidden=768,
+    num_heads=12,
+    ffn_hidden=3072,
+    num_layers=12,
+    vocab=0,
+)
+
+#: 224x224 image with 16x16 patches -> 196 patches + 1 class token.
+NUM_PATCHES = 197
+PATCH_PIXELS = 16 * 16 * 3
+
+
+def build_vit(
+    batch_size: int,
+    *,
+    num_layers: int | None = None,
+    config: TransformerConfig = VIT_BASE,
+) -> OperatorGraph:
+    """Build the ViT-Base inference graph for one batch size."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    layers = config.num_layers if num_layers is None else num_layers
+    graph = OperatorGraph(name=f"vit-bs{batch_size}")
+
+    tokens = batch_size * NUM_PATCHES
+    patch_embed = ops.matmul(
+        "patch_embed", m=tokens, k=PATCH_PIXELS, n=config.hidden
+    )
+    graph.add(patch_embed)
+    last = patch_embed.name
+
+    for layer in range(layers):
+        last = add_encoder_layer(
+            graph,
+            config,
+            prefix=f"layer{layer}",
+            batch=batch_size,
+            seq_len=NUM_PATCHES,
+            input_op=last,
+        )
+
+    head = ops.matmul("cls_head", m=batch_size, k=config.hidden, n=1000)
+    graph.add(head, [last])
+    return graph

@@ -1,0 +1,25 @@
+"""Runtime layer: execution harness, metrics and the sub-task profiler."""
+
+from repro.runtime.executor import EvaluationResult, Executor
+from repro.runtime.metrics import (
+    average_speedup,
+    bandwidth_utilization_gbps,
+    comm_fraction,
+    latency_breakdown,
+    per_operator_speedups,
+    speedup_distribution,
+)
+from repro.runtime.profiler import ProfileReport, SubTaskProfiler
+
+__all__ = [
+    "EvaluationResult",
+    "Executor",
+    "ProfileReport",
+    "SubTaskProfiler",
+    "average_speedup",
+    "bandwidth_utilization_gbps",
+    "comm_fraction",
+    "latency_breakdown",
+    "per_operator_speedups",
+    "speedup_distribution",
+]

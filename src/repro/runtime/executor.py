@@ -1,0 +1,120 @@
+"""Execution harness: compile a model with any compiler and run it on the simulator.
+
+This is the glue the evaluation figures use: a compiler (T10 or a baseline)
+produces a device program, the simulator measures it, and the result is
+summarised into an :class:`EvaluationResult` carrying the latency, its
+breakdown and the compile time.  Models that do not fit the chip are reported
+with ``status="oom"`` — they become the "✖" entries of Figures 12 and 21.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.hw.simulator import ChipSimulator, SimulationResult
+from repro.hw.spec import ChipSpec
+from repro.ir.graph import OperatorGraph
+
+
+class Compilation(Protocol):
+    """What the executor needs from a compiler's output."""
+
+    status: str
+    error: str
+    compile_time_seconds: float
+
+    @property
+    def ok(self) -> bool:  # pragma: no cover - protocol
+        ...
+
+
+class Compiler(Protocol):
+    """Any compiler with a ``compile(graph)`` entry point."""
+
+    def compile(self, graph: OperatorGraph) -> Compilation:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class EvaluationResult:
+    """Latency and breakdown of one (compiler, model, chip) combination."""
+
+    compiler_name: str
+    model_name: str
+    chip_name: str
+    status: str
+    latency: float = float("inf")
+    compile_time_seconds: float = 0.0
+    error: str = ""
+    simulation: SimulationResult | None = None
+    compilation: object | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the model compiled and fit on the chip."""
+        return self.status == "ok"
+
+    @property
+    def compute_time(self) -> float:
+        """In-core computation time (seconds)."""
+        return self.simulation.compute_time if self.simulation else 0.0
+
+    @property
+    def intercore_time(self) -> float:
+        """Inter-core data transfer time (seconds)."""
+        return self.simulation.intercore_time if self.simulation else 0.0
+
+    @property
+    def comm_fraction(self) -> float:
+        """Fraction of latency spent on inter-core transfers."""
+        return self.simulation.comm_fraction if self.simulation else 0.0
+
+    @property
+    def bandwidth_utilization(self) -> float:
+        """Average per-core inter-core bandwidth during transfers (bytes/s)."""
+        return self.simulation.bandwidth_utilization if self.simulation else 0.0
+
+    def speedup_over(self, other: "EvaluationResult") -> float:
+        """How much faster this result is than ``other`` (>1 means faster)."""
+        if not self.ok or not other.ok or self.latency <= 0:
+            return float("nan")
+        return other.latency / self.latency
+
+
+class Executor:
+    """Runs compiled programs on the analytical chip simulator."""
+
+    def __init__(self, chip: ChipSpec) -> None:
+        self.chip = chip
+        self.simulator = ChipSimulator(chip)
+
+    def run(self, compilation) -> SimulationResult:
+        """Run one compilation's program (assumes it compiled successfully)."""
+        if not compilation.ok:
+            raise ValueError(f"cannot run a failed compilation ({compilation.status})")
+        return self.simulator.run(compilation.program)
+
+    def evaluate(self, compiler: Compiler, graph: OperatorGraph) -> EvaluationResult:
+        """Compile ``graph`` with ``compiler`` and measure it on the simulator."""
+        compilation = compiler.compile(graph)
+        compiler_name = getattr(compilation, "compiler_name", type(compiler).__name__)
+        result = EvaluationResult(
+            compiler_name=compiler_name,
+            model_name=graph.name,
+            chip_name=self.chip.name,
+            status=compilation.status,
+            compile_time_seconds=compilation.compile_time_seconds,
+            error=getattr(compilation, "error", ""),
+            compilation=compilation,
+        )
+        if not compilation.ok:
+            return result
+        simulation = self.simulator.run(compilation.program)
+        result.simulation = simulation
+        if not simulation.ok:
+            result.status = simulation.status
+            result.error = simulation.error
+            return result
+        result.latency = simulation.total_time
+        return result

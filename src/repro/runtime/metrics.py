@@ -1,0 +1,84 @@
+"""Metric helpers shared by the experiment harness and the examples."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.hw.simulator import SimulationResult
+from repro.runtime.executor import EvaluationResult
+from repro.utils import geometric_mean
+
+
+def latency_breakdown(result: SimulationResult) -> dict[str, float]:
+    """Split a simulation's latency into the categories of Figure 13."""
+    return {
+        "compute": result.compute_time,
+        "intercore": result.intercore_time,
+        "offchip": result.offchip_time,
+        "sync": result.sync_time,
+        "total": result.total_time,
+    }
+
+
+def comm_fraction(result: SimulationResult) -> float:
+    """Fraction of end-to-end time spent on inter-core transfers."""
+    return result.comm_fraction
+
+
+def bandwidth_utilization_gbps(result: SimulationResult) -> float:
+    """Per-core inter-core bandwidth utilisation in GB/s (Figure 14)."""
+    return result.bandwidth_utilization / 1e9
+
+
+def per_operator_speedups(
+    baseline: SimulationResult, optimized: SimulationResult
+) -> dict[str, float]:
+    """Per-operator speedup of ``optimized`` over ``baseline`` (Figure 15).
+
+    Only operators present in both results are compared.
+    """
+    speedups: dict[str, float] = {}
+    for op_name, timing in baseline.per_op.items():
+        other = optimized.per_op.get(op_name)
+        if other is None:
+            continue
+        if other.total <= 0 or timing.total <= 0:
+            continue
+        speedups[op_name] = timing.total / other.total
+    return speedups
+
+
+def speedup_distribution(speedups: Mapping[str, float]) -> dict[str, float]:
+    """Summary statistics of a per-operator speedup distribution."""
+    values = sorted(speedups.values())
+    if not values:
+        return {
+            "count": 0,
+            "min": 0.0,
+            "max": 0.0,
+            "geomean": 0.0,
+            "improved_fraction": 0.0,
+            "regressed_fraction": 0.0,
+        }
+    improved = sum(1 for value in values if value > 1.0)
+    regressed = sum(1 for value in values if value < 1.0)
+    return {
+        "count": len(values),
+        "min": values[0],
+        "max": values[-1],
+        "geomean": geometric_mean(values),
+        "improved_fraction": improved / len(values),
+        "regressed_fraction": regressed / len(values),
+    }
+
+
+def average_speedup(results: Sequence[tuple[EvaluationResult, EvaluationResult]]) -> float:
+    """Geometric-mean end-to-end speedup over (baseline, optimized) pairs."""
+    ratios = [
+        baseline.latency / optimized.latency
+        for baseline, optimized in results
+        if baseline.ok and optimized.ok and optimized.latency > 0
+    ]
+    if not ratios:
+        return float("nan")
+    return geometric_mean(ratios)

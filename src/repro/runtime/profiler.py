@@ -1,0 +1,78 @@
+"""Sub-task profiling against the simulated chip.
+
+T10 builds its cost model by running randomly generated sub-tasks on a single
+core and recording their execution times (paper §4.3.1).  The sample
+generation itself lives next to the cost model
+(:mod:`repro.core.cost_model`); this module provides a small standalone
+profiler wrapper that experiments and tests use to gather raw samples or to
+fit a fresh cost model with custom settings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cost_model import (
+    DEFAULT_OP_TYPES,
+    CostModel,
+    KernelSample,
+    fit_comm_model,
+    profile_op_type,
+)
+from repro.hw.simulator import ChipSimulator
+from repro.hw.spec import ChipSpec
+
+
+@dataclass
+class ProfileReport:
+    """Raw profiling samples per operator type."""
+
+    chip_name: str
+    samples: dict[str, list[KernelSample]] = field(default_factory=dict)
+
+    def sample_count(self) -> int:
+        """Total number of profiled sub-tasks."""
+        return sum(len(values) for values in self.samples.values())
+
+
+class SubTaskProfiler:
+    """Profiles randomly shaped sub-tasks on one simulated core."""
+
+    def __init__(self, chip: ChipSpec, *, seed: int = 7) -> None:
+        self.chip = chip
+        self.simulator = ChipSimulator(chip)
+        self.seed = seed
+
+    def profile(
+        self,
+        op_types: tuple[str, ...] = DEFAULT_OP_TYPES,
+        samples_per_type: int = 48,
+    ) -> ProfileReport:
+        """Collect raw samples for each operator type."""
+        rng = np.random.default_rng(self.seed)
+        report = ProfileReport(chip_name=self.chip.name)
+        for op_type in op_types:
+            samples = profile_op_type(self.simulator, op_type, samples_per_type, rng)
+            if samples:
+                report.samples[op_type] = samples
+        return report
+
+    def fit_cost_model(
+        self,
+        op_types: tuple[str, ...] = DEFAULT_OP_TYPES,
+        samples_per_type: int = 48,
+    ) -> CostModel:
+        """Fit a cost model from freshly profiled samples."""
+        return CostModel.fit(
+            self.chip,
+            op_types=op_types,
+            samples_per_type=samples_per_type,
+            seed=self.seed,
+            simulator=self.simulator,
+        )
+
+    def fit_comm_model(self):
+        """Fit just the communication model."""
+        return fit_comm_model(self.simulator)

@@ -1,0 +1,30 @@
+"""Shared utility helpers used across the T10 reproduction.
+
+The submodules are intentionally tiny and dependency-free so that every other
+package (IR, hardware model, compiler, baselines) can rely on them without
+creating import cycles.
+"""
+
+from repro.utils.mathutils import (
+    candidate_splits,
+    ceil_div,
+    clamp,
+    divisors,
+    geometric_mean,
+    iter_factorizations,
+    padded_length,
+    prod,
+    round_up,
+)
+
+__all__ = [
+    "candidate_splits",
+    "ceil_div",
+    "clamp",
+    "divisors",
+    "geometric_mean",
+    "iter_factorizations",
+    "padded_length",
+    "prod",
+    "round_up",
+]

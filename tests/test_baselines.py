@@ -1,0 +1,168 @@
+"""Tests for the VGM accounting and the baseline compilers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    AnsorCompiler,
+    GPURooflineModel,
+    PopARTCompiler,
+    RollerCompiler,
+    live_activation_bytes,
+    model_weight_bytes,
+    operator_vgm_footprint,
+    vgm_reservation_per_core,
+)
+from repro.hw.program import ComputeStep, LoadStoreStep
+from repro.ir import OperatorGraph, elementwise, gather, matmul
+from repro.models import build_nerf, build_opt
+from repro.utils import ceil_div
+
+
+def mlp_graph(m=512, hidden=256) -> OperatorGraph:
+    graph = OperatorGraph(name="mlp")
+    fc1 = matmul("fc1", m=m, k=hidden, n=hidden)
+    act = elementwise("act", {"r": m, "c": hidden}, kind="relu", num_inputs=1)
+    fc2 = matmul("fc2", m=m, k=hidden, n=hidden)
+    graph.add(fc1)
+    graph.add(act, [fc1])
+    graph.add(fc2, [act])
+    return graph
+
+
+class TestVGMAccounting:
+    def test_weight_bytes(self):
+        graph = mlp_graph()
+        assert model_weight_bytes(graph) == 2 * 256 * 256 * 2
+
+    def test_liveness_window(self):
+        graph = mlp_graph()
+        tight = live_activation_bytes(graph, window=1)
+        wide = live_activation_bytes(graph, window=3)
+        none = live_activation_bytes(graph, liveness=False)
+        assert tight <= wide <= none
+
+    def test_reservation_scales_with_cores(self, small_chip):
+        graph = mlp_graph()
+        reserve = vgm_reservation_per_core(graph, small_chip)
+        assert reserve == ceil_div(
+            model_weight_bytes(graph) + live_activation_bytes(graph, window=2),
+            small_chip.num_cores,
+        )
+
+    def test_operator_footprint_ratio(self, small_chip):
+        op = matmul("mm", m=512, k=512, n=512)
+        footprint = operator_vgm_footprint(op, small_chip, sub_operator_bytes=1000)
+        assert footprint.active_region_bytes == ceil_div(op.total_bytes, small_chip.num_cores)
+        assert footprint.removable_ratio == pytest.approx(
+            footprint.active_region_bytes / 1000
+        )
+
+    def test_zero_suboperator_ratio(self, small_chip):
+        op = matmul("mm", m=8, k=8, n=8)
+        assert operator_vgm_footprint(op, small_chip, 0).removable_ratio == 0.0
+
+
+class TestRollerCompiler:
+    def test_compiles_small_graph(self, small_chip):
+        result = RollerCompiler(small_chip).compile(mlp_graph())
+        assert result.ok
+        assert result.compiler_name == "Roller"
+        assert set(result.op_tiles) == {"fc1", "act", "fc2"}
+
+    def test_program_structure(self, small_chip):
+        result = RollerCompiler(small_chip).compile(mlp_graph())
+        loads = [s for s in result.program.steps if isinstance(s, LoadStoreStep)]
+        computes = [s for s in result.program.steps if isinstance(s, ComputeStep)]
+        assert len(computes) == 3
+        assert len(loads) == 2 * 3  # one fetch phase and one store phase per operator
+
+    def test_vgm_reserved(self, small_chip):
+        result = RollerCompiler(small_chip).compile(mlp_graph())
+        assert result.program.reserved_per_core > 0
+
+    def test_tile_respects_memory(self, small_chip):
+        result = RollerCompiler(small_chip).compile(mlp_graph())
+        for tile in result.op_tiles.values():
+            assert tile.working_set_bytes + result.program.reserved_per_core <= small_chip.sram_per_core
+
+    def test_fan_in_at_least_one(self, small_chip):
+        result = RollerCompiler(small_chip).compile(mlp_graph())
+        assert all(tile.fan_in >= 1.0 for tile in result.op_tiles.values())
+
+    def test_gather_loads_bounded_by_touched_data(self, small_chip):
+        graph = OperatorGraph(name="embed")
+        graph.add(gather("g", vocab=30522, tokens=64, hidden=128))
+        result = RollerCompiler(small_chip).compile(graph)
+        assert result.ok
+        tile = result.op_tiles["g"]
+        touched = 64 * 128 * 2
+        assert tile.total_load_bytes <= 4 * touched
+
+    def test_oom_when_model_exceeds_chip(self, tiny_chip):
+        graph = OperatorGraph(name="big")
+        graph.add(matmul("huge", m=2048, k=2048, n=2048))
+        result = RollerCompiler(tiny_chip).compile(graph)
+        assert not result.ok
+        assert result.status == "oom"
+
+    def test_summary(self, small_chip):
+        result = RollerCompiler(small_chip).compile(mlp_graph())
+        assert "Roller" in result.summary()
+
+
+class TestAnsorCompiler:
+    def test_similar_but_not_faster_than_roller(self, small_chip, small_executor):
+        graph = mlp_graph()
+        roller = small_executor.evaluate(RollerCompiler(small_chip), graph)
+        ansor = small_executor.evaluate(AnsorCompiler(small_chip), graph)
+        assert ansor.ok and roller.ok
+        assert ansor.latency >= roller.latency * 0.95
+        assert ansor.latency <= roller.latency * 1.6
+
+
+class TestPopARTCompiler:
+    def test_slower_than_roller(self, small_chip, small_executor):
+        graph = mlp_graph(m=2048, hidden=512)
+        roller = small_executor.evaluate(RollerCompiler(small_chip), graph)
+        popart = small_executor.evaluate(PopARTCompiler(small_chip), graph)
+        assert roller.ok and popart.ok
+        assert popart.latency > roller.latency
+
+    def test_fails_on_activation_heavy_model(self, ipu_chip):
+        """NeRF's intermediate activations exceed on-chip memory for the vendor runtime."""
+        nerf = build_nerf(1)
+        result = PopARTCompiler(ipu_chip).compile(nerf)
+        assert not result.ok
+        roller = RollerCompiler(ipu_chip).compile(nerf)
+        assert roller.ok
+
+
+class TestGPURoofline:
+    def test_estimate_positive(self):
+        estimate = GPURooflineModel().estimate(mlp_graph())
+        assert estimate.total_time > 0
+        assert len(estimate.per_op) == 3
+
+    def test_decode_layer_memory_bound(self):
+        """LLM decoding at batch 2 is bandwidth-bound on the GPU (paper §6.7)."""
+        graph = build_opt(2, size="13b", num_layers=1)
+        estimate = GPURooflineModel().estimate(graph)
+        assert estimate.memory_bound_fraction > 0.5
+
+    def test_larger_batch_more_compute_bound(self):
+        small = GPURooflineModel().estimate(build_opt(2, size="1.3b", num_layers=1))
+        large = GPURooflineModel().estimate(build_opt(256, size="1.3b", num_layers=1))
+        assert large.memory_bound_fraction <= small.memory_bound_fraction
+
+    def test_latency_grows_sublinearly_with_batch_when_memory_bound(self):
+        """Weights dominate HBM traffic, so doubling a tiny batch barely changes latency."""
+        model = GPURooflineModel()
+        small = model.estimate(build_opt(2, size="13b", num_layers=1)).total_time
+        double = model.estimate(build_opt(4, size="13b", num_layers=1)).total_time
+        assert double < small * 1.5
+
+    def test_op_estimate_bound_labels(self):
+        estimate = GPURooflineModel().estimate(build_opt(2, size="13b", num_layers=1))
+        assert {op.bound for op in estimate.per_op} <= {"compute", "memory"}

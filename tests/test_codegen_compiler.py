@@ -1,0 +1,137 @@
+"""Tests for code generation and the end-to-end T10 compiler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import T10Compiler
+from repro.core.codegen import generate_program
+from repro.hw.program import AllToAllStep, ComputeStep, SetupStep, ShiftStep
+from repro.hw.spec import ChipSpec, KiB
+from repro.ir import OperatorGraph, elementwise, matmul
+from repro.models import build_bert
+
+
+def small_graph() -> OperatorGraph:
+    graph = OperatorGraph(name="mlp")
+    fc1 = matmul("fc1", m=256, k=128, n=256)
+    act = elementwise("act", {"r": 256, "c": 256}, kind="relu", num_inputs=1)
+    fc2 = matmul("fc2", m=256, k=256, n=128)
+    graph.add(fc1)
+    graph.add(act, [fc1])
+    graph.add(fc2, [act])
+    return graph
+
+
+class TestCodegen:
+    def test_program_contains_compute_for_every_operator(self, small_compiler):
+        graph = small_graph()
+        compiled = small_compiler.compile(graph)
+        assert compiled.ok
+        compute_ops = {
+            step.op_name for step in compiled.program.steps if isinstance(step, ComputeStep)
+        }
+        assert compute_ops == {op.name for op in graph.operators}
+
+    def test_memory_accounting_matches_schedule(self, small_compiler):
+        compiled = small_compiler.compile(small_graph())
+        assert compiled.ok
+        assert (
+            compiled.program.idle_memory_per_core
+            == compiled.schedule.idle_memory_per_core
+        )
+        assert compiled.program.peak_memory_per_core <= small_compiler.chip.sram_per_core
+
+    def test_setup_steps_match_schedule(self, small_compiler):
+        compiled = small_compiler.compile(small_graph())
+        setup_ops = {
+            step.op_name for step in compiled.program.steps if isinstance(step, SetupStep)
+        }
+        expected = {
+            name
+            for name, entry in compiled.schedule.per_op.items()
+            if entry.setup_bytes > 0
+        }
+        assert setup_ops == expected
+
+    def test_shift_steps_only_for_rotated_plans(self, small_compiler):
+        compiled = small_compiler.compile(small_graph())
+        for step in compiled.program.steps:
+            if isinstance(step, ShiftStep):
+                plan = compiled.schedule.per_op[step.op_name].active_plan
+                assert plan.shift_ops
+
+    def test_layout_transitions_have_positive_volume(self, small_compiler):
+        compiled = small_compiler.compile(small_graph())
+        for step in compiled.program.steps:
+            if isinstance(step, AllToAllStep):
+                assert step.total_bytes > 0
+
+    def test_generate_program_direct_call(self, small_compiler):
+        graph = small_graph()
+        compiled = small_compiler.compile(graph)
+        program = generate_program(graph, compiled.schedule, small_compiler.chip)
+        assert len(program) > 0
+
+
+class TestCompiler:
+    def test_compile_ok(self, small_compiler):
+        compiled = small_compiler.compile(small_graph())
+        assert compiled.ok
+        assert compiled.status == "ok"
+        assert compiled.compile_time_seconds > 0
+        assert set(compiled.pareto_plans) == {"fc1", "act", "fc2"}
+
+    def test_plan_for(self, small_compiler):
+        compiled = small_compiler.compile(small_graph())
+        plan = compiled.plan_for("fc1")
+        assert plan.op_type == "matmul"
+
+    def test_plan_for_requires_success(self, small_compiler):
+        compiled = small_compiler.compile(small_graph())
+        compiled.schedule = None
+        with pytest.raises(RuntimeError):
+            compiled.plan_for("fc1")
+
+    def test_summary_mentions_chip(self, small_compiler):
+        compiled = small_compiler.compile(small_graph())
+        assert small_compiler.chip.name in compiled.summary()
+
+    def test_search_stats_present(self, small_compiler):
+        compiled = small_compiler.compile(small_graph())
+        assert set(compiled.search_stats) == {"fc1", "act", "fc2"}
+
+    def test_oom_status_for_oversized_model(self, small_cost_model, fast_constraints):
+        cramped = ChipSpec(
+            name="cramped",
+            num_cores=64,
+            sram_per_core=32 * KiB,
+            core_flops=100e9,
+            link_bandwidth=5.5e9,
+            link_latency=0.4e-6,
+            offchip_bandwidth=8e9,
+        )
+        compiler = T10Compiler(cramped, cost_model=small_cost_model, constraints=fast_constraints)
+        graph = OperatorGraph(name="too-big")
+        graph.add(matmul("huge", m=4096, k=4096, n=4096))
+        compiled = compiler.compile(graph)
+        assert not compiled.ok
+        assert compiled.status == "oom"
+        assert compiled.error
+
+    def test_compile_operator_convenience(self, small_compiler):
+        plans = small_compiler.compile_operator(matmul("mm", m=128, k=128, n=128))
+        assert plans
+
+    def test_plan_cache_shared_across_layers(self, ipu_chip, ipu_cost_model, fast_constraints):
+        """Identical transformer layers are searched once (paper §6.3)."""
+        compiler = T10Compiler(ipu_chip, cost_model=ipu_cost_model, constraints=fast_constraints)
+        graph = build_bert(1, num_layers=2)
+        compiled = compiler.compile(graph)
+        assert compiled.ok
+        qkv_frontiers = {
+            id(compiled.pareto_plans[op.name])
+            for op in graph.operators
+            if op.name.endswith("attn.qkv")
+        }
+        assert len(qkv_frontiers) == 1

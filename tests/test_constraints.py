@@ -1,0 +1,93 @@
+"""Tests for the intra-operator search constraints."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.constraints import (
+    DEFAULT_CONSTRAINTS,
+    FAST_CONSTRAINTS,
+    THOROUGH_CONSTRAINTS,
+    SearchConstraints,
+)
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        assert DEFAULT_CONSTRAINTS.min_core_utilization == pytest.approx(0.9)
+        assert DEFAULT_CONSTRAINTS.padding_threshold == pytest.approx(0.9)
+
+    @pytest.mark.parametrize("field", ["min_core_utilization", "padding_threshold"])
+    @pytest.mark.parametrize("value", [0.0, -0.1, 1.5])
+    def test_rejects_bad_fractions(self, field, value):
+        with pytest.raises(ValueError):
+            SearchConstraints(**{field: value})
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "core_count_samples",
+            "max_factorizations_per_target",
+            "max_temporal_combos",
+            "max_plans",
+        ],
+    )
+    def test_rejects_nonpositive_budgets(self, field):
+        with pytest.raises(ValueError):
+            SearchConstraints(**{field: 0})
+
+
+class TestPaddingConstraint:
+    def test_exact_split_always_ok(self):
+        constraints = SearchConstraints(padding_threshold=0.95)
+        assert constraints.padding_ok(128, 8)
+
+    def test_excessive_padding_rejected(self):
+        constraints = SearchConstraints(padding_threshold=0.9)
+        # Splitting 3 into 2 pads to 4: ratio 0.75 < 0.9.
+        assert not constraints.padding_ok(3, 2)
+
+    def test_split_larger_than_length_rejected(self):
+        assert not DEFAULT_CONSTRAINTS.padding_ok(4, 8)
+
+    def test_zero_parts_rejected(self):
+        assert not DEFAULT_CONSTRAINTS.padding_ok(4, 0)
+
+    def test_max_padding_overhead(self):
+        constraints = SearchConstraints(padding_threshold=0.9)
+        assert constraints.max_padding_overhead() == pytest.approx(1 / 0.9 - 1)
+
+    @given(
+        length=st.integers(min_value=1, max_value=4096),
+        parts=st.integers(min_value=1, max_value=128),
+    )
+    def test_property_accepted_splits_respect_threshold(self, length, parts):
+        constraints = SearchConstraints(padding_threshold=0.85)
+        if constraints.padding_ok(length, parts):
+            part_len = -(-length // parts)
+            assert length / (part_len * parts) >= 0.85
+
+
+class TestPresets:
+    def test_fast_smaller_budgets_than_default(self):
+        assert FAST_CONSTRAINTS.core_count_samples <= DEFAULT_CONSTRAINTS.core_count_samples
+        assert (
+            FAST_CONSTRAINTS.max_factorizations_per_target
+            <= DEFAULT_CONSTRAINTS.max_factorizations_per_target
+        )
+
+    def test_thorough_larger_budgets_than_default(self):
+        assert (
+            THOROUGH_CONSTRAINTS.max_factorizations_per_target
+            >= DEFAULT_CONSTRAINTS.max_factorizations_per_target
+        )
+
+    def test_relaxed_overrides(self):
+        relaxed = DEFAULT_CONSTRAINTS.relaxed(min_core_utilization=0.5)
+        assert relaxed.min_core_utilization == pytest.approx(0.5)
+        assert relaxed.padding_threshold == DEFAULT_CONSTRAINTS.padding_threshold
+
+    def test_constraints_hashable(self):
+        assert hash(DEFAULT_CONSTRAINTS) is not None
+        assert DEFAULT_CONSTRAINTS == SearchConstraints()

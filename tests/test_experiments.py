@@ -1,0 +1,229 @@
+"""Smoke tests for the experiment harness (one per paper figure/table).
+
+These run each experiment's ``run()`` on a deliberately small slice of the
+full grid (single model, one or two batch sizes) and validate the row schema
+plus the headline qualitative claims the corresponding figure makes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    fig02_memory_footprint,
+    fig08_cost_model,
+    fig12_end_to_end,
+    fig13_breakdown,
+    fig14_bandwidth,
+    fig15_operator_perf,
+    fig16_compile_time,
+    fig18_search_space,
+    fig19_constraints,
+    fig20_inter_op,
+    fig21_scalability,
+    fig22_vs_a100,
+    fig23_llm,
+    fig24_hbm,
+    tab02_models,
+    tab03_hardware,
+)
+from repro.experiments.common import format_table
+
+
+class TestHarness:
+    def test_all_experiments_registered(self):
+        assert len(ALL_EXPERIMENTS) == 18
+        for module in ALL_EXPERIMENTS.values():
+            assert hasattr(module, "run")
+            assert hasattr(module, "main")
+
+    def test_format_table(self):
+        text = format_table([{"a": 1, "b": 2.5}, {"a": None}], title="t")
+        assert "t" in text and "x" in text
+
+    def test_cli_list(self, capsys):
+        from repro.experiments.__main__ import main as cli_main
+
+        assert cli_main(["list"]) == 0
+        captured = capsys.readouterr()
+        assert "fig12" in captured.out and "ablation" in captured.out
+
+    def test_cli_unknown_experiment(self):
+        from repro.experiments.__main__ import main as cli_main
+
+        assert cli_main(["fig99"]) == 2
+
+    def test_cli_runs_cheap_experiment(self, capsys):
+        from repro.experiments.__main__ import main as cli_main
+
+        assert cli_main(["tab03", "--quick"]) == 0
+        assert "IPU-MK2" in capsys.readouterr().out
+
+
+class TestAblation:
+    def test_full_pipeline_best(self):
+        from repro.experiments import ablation
+
+        rows = ablation.run(workloads=(("nerf", 1),), quick=True)
+        by_variant = {row["variant"]: row for row in rows}
+        assert by_variant["full"]["latency_ms"] is not None
+        assert (
+            by_variant["full"]["latency_ms"]
+            <= by_variant["no-reconciliation"]["latency_ms"] * 1.02
+        )
+        assert (
+            by_variant["full"]["latency_ms"]
+            <= by_variant["greedy-active"]["latency_ms"] * 1.02
+        )
+
+    def test_unknown_variant_rejected(self):
+        from repro.experiments import ablation
+
+        with pytest.raises(ValueError):
+            ablation.run(workloads=(("nerf", 1),), variants=("nonsense",), quick=True)
+
+
+class TestFig02:
+    def test_rows(self):
+        rows = fig02_memory_footprint.run()
+        assert len(rows) == 5
+        for row in rows:
+            assert row["active_operator_kib"] > 0
+            assert row["sub_operator_kib"] > 0
+            assert row["removable_ratio_pct"] > 0
+
+
+class TestFig08:
+    def test_conv_worst(self):
+        rows = fig08_cost_model.run()
+        by_type = {row["op_type"]: row for row in rows}
+        assert by_type["matmul"]["r2"] > 0.9
+        assert by_type["conv2d"]["mape_pct"] > by_type["matmul"]["mape_pct"]
+
+    def test_scatter_points(self):
+        points = fig08_cost_model.scatter(op_type="matmul", num_samples=8)
+        assert len(points) == 8
+        assert all(p["measured_us"] > 0 and p["predicted_us"] > 0 for p in points)
+
+
+class TestFig12:
+    def test_nerf_column(self):
+        rows = fig12_end_to_end.run(models=("nerf",), quick=True)
+        assert rows
+        row = rows[0]
+        assert row["t10_ms"] is not None
+        assert row["roller_ms"] is not None
+        assert row["t10_ms"] < row["roller_ms"]
+        assert row["popart_ms"] is None  # PopART cannot fit NeRF (paper Figure 12).
+
+
+class TestFig13:
+    def test_t10_lower_transfer_fraction(self):
+        rows = fig13_breakdown.run(models=("nerf",), quick=True)
+        by_compiler = {row["compiler"]: row for row in rows}
+        assert by_compiler["T10"]["transfer_fraction_pct"] < by_compiler["Roller"]["transfer_fraction_pct"]
+
+
+class TestFig14:
+    def test_bandwidth_columns(self):
+        rows = fig14_bandwidth.run(models=("nerf",), quick=True)
+        assert rows[0]["t10_gbps"] is not None
+        assert rows[0]["roller_gbps"] is not None
+
+
+class TestFig15:
+    def test_most_operators_improve(self):
+        rows = fig15_operator_perf.run(models=("nerf",), quick=True)
+        assert rows
+        assert rows[0]["improved_pct"] >= 50.0
+        assert rows[0]["max_speedup"] >= 1.0
+
+
+class TestFig16:
+    def test_compile_times_recorded(self):
+        rows = fig16_compile_time.run(models=("nerf",), quick=True)
+        assert rows
+        assert all(row["compile_time_s"] > 0 for row in rows)
+        assert all(row["unique_operators"] <= row["operators"] for row in rows)
+
+
+class TestFig18:
+    def test_space_reduction(self):
+        rows = fig18_search_space.run(quick=True)
+        assert rows
+        for row in rows:
+            assert row["complete_space"] >= row["filtered_space"] >= row["optimized_space"]
+            assert row["optimized_space"] >= 1
+
+
+class TestFig19:
+    def test_constraint_sweep(self):
+        rows = fig19_constraints.run(models=("nerf",), batch_size=1, quick=True)
+        assert len(rows) >= 2
+        assert all(row["compile_time_s"] > 0 for row in rows)
+
+
+class TestFig20:
+    def test_trajectory_monotone_memory(self):
+        points = fig20_inter_op.search_trajectory("nerf", 1, quick=True)
+        assert points
+        memories = [p["idle_memory_kib"] for p in points]
+        assert memories == sorted(memories)
+
+    def test_summary_rows(self):
+        rows = fig20_inter_op.run(workloads=(("nerf", 1),), quick=True)
+        assert rows
+        assert rows[0]["chosen_est_ms"] <= rows[0]["initial_est_ms"] * 1.001
+
+
+class TestFig21:
+    def test_more_cores_not_slower_for_t10(self):
+        rows = fig21_scalability.run(workloads=(("nerf", 1),), core_counts=(736, 1472), quick=True)
+        by_cores = {row["cores"]: row for row in rows}
+        assert by_cores[1472]["t10_ms"] <= by_cores[736]["t10_ms"] * 1.05
+        for row in rows:
+            assert row["t10_ms"] <= row["roller_ms"]
+
+
+class TestFig22:
+    def test_small_batch_ipu_wins(self):
+        rows = fig22_vs_a100.run(models=("nerf",), quick=True)
+        assert rows
+        assert all(row["a100_ms"] > 0 for row in rows)
+
+
+class TestFig23:
+    def test_llm_decode_ipu_faster_at_small_batch(self):
+        rows = fig23_llm.run(models=("opt-1.3b",), batch_sizes=(2,), quick=True)
+        assert rows
+        row = rows[0]
+        assert row["ipu_t10_ms"] is not None
+        assert row["ipu_speedup_vs_a100"] > 1.0
+
+
+class TestFig24:
+    def test_bandwidth_sweep_monotone(self):
+        rows = fig24_hbm.run(
+            workloads=(("opt-1.3b", 8),), bandwidths_gbps=(200, 6400), quick=True
+        )
+        by_bw = {row["hbm_gbps"]: row for row in rows}
+        assert by_bw[6400]["t10_single_op_ms"] <= by_bw[200]["t10_single_op_ms"]
+        assert by_bw[200]["t10_inter_op_ms"] <= by_bw[200]["t10_single_op_ms"] * 1.2
+
+
+class TestTables:
+    def test_tab02_parameters_close_to_reference(self):
+        rows = tab02_models.run(quick=True)
+        by_model = {row["model"]: row for row in rows}
+        bert = by_model["bert"]
+        assert bert["built_parameters_m"] == pytest.approx(
+            bert["reference_parameters_m"], rel=0.35
+        )
+
+    def test_tab03_hardware(self):
+        rows = tab03_hardware.run()
+        devices = {row["device"] for row in rows}
+        assert devices == {"A100", "IPU-MK2"}
+        ipu = next(row for row in rows if row["device"] == "IPU-MK2")
+        assert ipu["num_cores"] == 1472

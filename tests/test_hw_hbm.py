@@ -1,0 +1,105 @@
+"""Tests for the emulated-HBM double-buffering model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.hbm import HBMConfig, HBMModel, PrefetchGroup
+
+
+@pytest.fixture()
+def hbm():
+    return HBMModel(HBMConfig(bandwidth=400e9))
+
+
+class TestConfig:
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            HBMConfig(bandwidth=0)
+
+    def test_rejects_bad_buffers(self):
+        with pytest.raises(ValueError):
+            HBMConfig(bandwidth=1e9, execution_buffer_bytes=0)
+
+    def test_default_buffers_match_paper(self):
+        config = HBMConfig(bandwidth=1e9)
+        assert config.execution_buffer_bytes == 596 * 1024 * 1024
+        assert config.prefetch_buffer_bytes == 298 * 1024 * 1024
+
+
+class TestGrouping:
+    def test_single_op_groups(self, hbm):
+        groups = hbm.group_operators(["a", "b", "c"], [10, 20, 30], [1.0, 2.0, 3.0], group_size=1)
+        assert len(groups) == 3
+        assert groups[0].names == ("a",)
+
+    def test_grouped(self, hbm):
+        groups = hbm.group_operators(["a", "b", "c", "d"], [10] * 4, [1.0] * 4, group_size=2)
+        assert len(groups) == 2
+        assert groups[0].load_bytes == 20
+        assert groups[0].execution_time == pytest.approx(2.0)
+
+    def test_group_split_on_buffer_overflow(self, hbm):
+        big = hbm.config.prefetch_buffer_bytes
+        groups = hbm.group_operators(["a", "b"], [big, big], [1.0, 1.0], group_size=4)
+        assert len(groups) == 2
+
+    def test_mismatched_lengths_rejected(self, hbm):
+        with pytest.raises(ValueError):
+            hbm.group_operators(["a"], [1, 2], [1.0])
+
+    def test_bad_group_size(self, hbm):
+        with pytest.raises(ValueError):
+            hbm.group_operators(["a"], [1], [1.0], group_size=0)
+
+
+class TestPipelineLatency:
+    def test_empty(self, hbm):
+        assert hbm.pipeline_latency([]) == 0.0
+
+    def test_single_group(self, hbm):
+        group = PrefetchGroup(("a",), load_bytes=int(400e9), execution_time=2.0)
+        # 1 second load (not hidden) + 2 seconds execution.
+        assert hbm.pipeline_latency([group]) == pytest.approx(3.0)
+
+    def test_overlap_hides_faster_load(self, hbm):
+        groups = [
+            PrefetchGroup(("a",), load_bytes=int(400e9), execution_time=5.0),
+            PrefetchGroup(("b",), load_bytes=int(400e9), execution_time=5.0),
+        ]
+        # First load 1s exposed; second load (1s) hidden behind 5s execution.
+        assert hbm.pipeline_latency(groups) == pytest.approx(1.0 + 5.0 + 5.0)
+
+    def test_slow_hbm_dominates(self):
+        hbm = HBMModel(HBMConfig(bandwidth=1e9))
+        groups = [
+            PrefetchGroup(("a",), load_bytes=int(10e9), execution_time=0.1),
+            PrefetchGroup(("b",), load_bytes=int(10e9), execution_time=0.1),
+        ]
+        latency = hbm.pipeline_latency(groups)
+        assert latency == pytest.approx(10.0 + 10.0 + 0.1)
+
+    def test_higher_bandwidth_never_slower(self):
+        loads = [int(5e9)] * 4
+        times = [0.5] * 4
+        slow = HBMModel(HBMConfig(bandwidth=200e9))
+        fast = HBMModel(HBMConfig(bandwidth=6400e9))
+        slow_latency = slow.pipeline_latency(slow.group_operators(list("abcd"), loads, times))
+        fast_latency = fast.pipeline_latency(fast.group_operators(list("abcd"), loads, times))
+        assert fast_latency <= slow_latency
+
+    def test_grouping_helps_when_bandwidth_low(self):
+        """Grouping balances load-heavy and compute-heavy operators (Fig. 24)."""
+        hbm = HBMModel(HBMConfig(bandwidth=200e9))
+        names = ["a", "b", "c", "d"]
+        loads = [int(20e9), int(1e9), int(20e9), int(1e9)]
+        times = [0.01, 0.2, 0.01, 0.2]
+        single = hbm.pipeline_latency(hbm.group_operators(names, loads, times, group_size=1))
+        grouped = hbm.pipeline_latency(hbm.group_operators(names, loads, times, group_size=2))
+        assert grouped <= single
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PrefetchGroup(("a",), load_bytes=-1, execution_time=1.0)
+        with pytest.raises(ValueError):
+            PrefetchGroup(("a",), load_bytes=1, execution_time=-1.0)

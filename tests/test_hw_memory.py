@@ -1,0 +1,115 @@
+"""Tests for the per-core memory tracker."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hw.memory import CoreMemoryTracker, OutOfChipMemoryError
+
+
+class TestBasicAllocation:
+    def test_allocate_and_free(self):
+        tracker = CoreMemoryTracker(capacity=1000)
+        tracker.allocate("a", 400)
+        assert tracker.used == 400
+        assert tracker.free == 600
+        assert tracker.free_allocation("a") == 400
+        assert tracker.used == 0
+
+    def test_reserved_counts_toward_usage(self):
+        tracker = CoreMemoryTracker(capacity=1000, reserved=300)
+        assert tracker.used == 300
+        tracker.allocate("a", 700)
+        with pytest.raises(OutOfChipMemoryError):
+            tracker.allocate("b", 1)
+
+    def test_oom_raises(self):
+        tracker = CoreMemoryTracker(capacity=100)
+        with pytest.raises(OutOfChipMemoryError):
+            tracker.allocate("big", 101)
+
+    def test_duplicate_name_rejected(self):
+        tracker = CoreMemoryTracker(capacity=100)
+        tracker.allocate("a", 10)
+        with pytest.raises(ValueError):
+            tracker.allocate("a", 10)
+
+    def test_negative_size_rejected(self):
+        tracker = CoreMemoryTracker(capacity=100)
+        with pytest.raises(ValueError):
+            tracker.allocate("a", -1)
+
+    def test_free_unknown_raises(self):
+        tracker = CoreMemoryTracker(capacity=100)
+        with pytest.raises(KeyError):
+            tracker.free_allocation("missing")
+
+    def test_reservation_exceeding_capacity(self):
+        with pytest.raises(OutOfChipMemoryError):
+            CoreMemoryTracker(capacity=10, reserved=20)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CoreMemoryTracker(capacity=0)
+
+
+class TestResize:
+    def test_grow_and_shrink(self):
+        tracker = CoreMemoryTracker(capacity=100)
+        tracker.allocate("a", 10)
+        tracker.resize("a", 50)
+        assert tracker.used == 50
+        tracker.resize("a", 5)
+        assert tracker.used == 5
+
+    def test_resize_oom(self):
+        tracker = CoreMemoryTracker(capacity=100)
+        tracker.allocate("a", 10)
+        with pytest.raises(OutOfChipMemoryError):
+            tracker.resize("a", 200)
+
+    def test_resize_unknown(self):
+        tracker = CoreMemoryTracker(capacity=100)
+        with pytest.raises(KeyError):
+            tracker.resize("missing", 10)
+
+
+class TestPeakTracking:
+    def test_peak_survives_free(self):
+        tracker = CoreMemoryTracker(capacity=1000)
+        tracker.allocate("a", 800)
+        tracker.free_allocation("a")
+        tracker.allocate("b", 100)
+        assert tracker.peak == 800
+
+    def test_reset_keeps_peak(self):
+        tracker = CoreMemoryTracker(capacity=1000)
+        tracker.allocate("a", 500)
+        tracker.reset()
+        assert tracker.used == 0
+        assert tracker.peak == 500
+
+    def test_can_fit(self):
+        tracker = CoreMemoryTracker(capacity=100, reserved=40)
+        assert tracker.can_fit(60)
+        assert not tracker.can_fit(61)
+
+
+class TestErrorMessage:
+    def test_mentions_sizes(self):
+        error = OutOfChipMemoryError(2048, 1024, "weights")
+        assert "2.0 KiB" in str(error)
+        assert "weights" in str(error)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=20))
+def test_property_usage_never_exceeds_capacity(sizes):
+    tracker = CoreMemoryTracker(capacity=1000)
+    for index, size in enumerate(sizes):
+        try:
+            tracker.allocate(f"alloc{index}", size)
+        except OutOfChipMemoryError:
+            pass
+        assert tracker.used <= 1000
+        assert tracker.peak <= 1000

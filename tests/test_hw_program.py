@@ -1,0 +1,100 @@
+"""Tests for device-program steps and bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.program import (
+    AllToAllStep,
+    ComputeStep,
+    DeviceProgram,
+    HBMTransferStep,
+    LoadStoreStep,
+    SetupStep,
+    ShiftStep,
+    SyncStep,
+)
+
+
+def make_compute(name="op", count=1):
+    return ComputeStep(
+        op_name=name,
+        op_type="matmul",
+        subtask_shape={"m": 4, "k": 4, "n": 4},
+        flops=128,
+        bytes_accessed=96,
+        cores_used=4,
+        count=count,
+    )
+
+
+class TestStepValidation:
+    def test_compute_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            make_compute(count=0)
+
+    def test_compute_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            ComputeStep("op", "matmul", {"m": 1}, 1, 1, cores_used=0)
+
+    def test_shift_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            ShiftStep("op", "A", bytes_per_core=-1, cores_used=2)
+
+    def test_shift_rejects_low_contention(self):
+        with pytest.raises(ValueError):
+            ShiftStep("op", "A", bytes_per_core=8, cores_used=2, contention=0.5)
+
+    def test_loadstore_rejects_low_fan_in(self):
+        with pytest.raises(ValueError):
+            LoadStoreStep("op", bytes_per_core=8, cores_used=2, fan_in=0.9)
+
+    def test_alltoall_rejects_negative(self):
+        with pytest.raises(ValueError):
+            AllToAllStep("op", total_bytes=-1, cores_used=2)
+
+    def test_hbm_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            HBMTransferStep("op", total_bytes=10, direction="sideways")
+
+    def test_setup_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SetupStep("op", bytes_per_core=-1, cores_used=2)
+
+
+class TestDeviceProgram:
+    def test_add_and_len(self):
+        program = DeviceProgram(name="p")
+        program.add(make_compute())
+        program.add(SyncStep(op_name="op"))
+        assert len(program) == 2
+
+    def test_extend(self):
+        program = DeviceProgram(name="p")
+        program.extend([make_compute("a"), make_compute("b")])
+        assert program.op_names == ["a", "b"]
+
+    def test_record_op_memory_keeps_max(self):
+        program = DeviceProgram(name="p")
+        program.record_op_memory("a", 100)
+        program.record_op_memory("a", 50)
+        assert program.op_memory_per_core["a"] == 100
+
+    def test_peak_memory(self):
+        program = DeviceProgram(name="p")
+        program.reserved_per_core = 10
+        program.idle_memory_per_core = 20
+        program.record_op_memory("a", 100)
+        program.record_op_memory("b", 60)
+        assert program.peak_memory_per_core == 10 + 20 + 100
+
+    def test_peak_memory_empty(self):
+        program = DeviceProgram(name="p")
+        assert program.peak_memory_per_core == 0
+
+    def test_steps_for(self):
+        program = DeviceProgram(name="p")
+        program.add(make_compute("a"))
+        program.add(make_compute("b"))
+        program.add(ShiftStep("a", "X", bytes_per_core=4, cores_used=2))
+        assert len(list(program.steps_for("a"))) == 2

@@ -1,0 +1,148 @@
+"""Tests for the analytical chip simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.program import (
+    AllToAllStep,
+    ComputeStep,
+    DeviceProgram,
+    HBMTransferStep,
+    LoadStoreStep,
+    SetupStep,
+    ShiftStep,
+    SyncStep,
+)
+from repro.hw.simulator import ChipSimulator
+
+
+@pytest.fixture()
+def sim(small_chip):
+    return ChipSimulator(small_chip)
+
+
+class TestComputeTiming:
+    def test_includes_launch_overhead(self, sim, small_chip):
+        time = sim.compute_task_time("matmul", {"m": 1, "k": 1, "n": 1}, flops=2, bytes_accessed=6)
+        assert time >= small_chip.compute_launch_overhead
+
+    def test_monotonic_in_flops(self, sim):
+        small = sim.compute_task_time("matmul", {"m": 8, "k": 8, "n": 8}, 1e3, 1024)
+        large = sim.compute_task_time("matmul", {"m": 8, "k": 8, "n": 8}, 1e6, 1024)
+        assert large > small
+
+    def test_monotonic_in_bytes(self, sim):
+        small = sim.compute_task_time("matmul", {"m": 8, "k": 8, "n": 8}, 1e4, 1024)
+        large = sim.compute_task_time("matmul", {"m": 8, "k": 8, "n": 8}, 1e4, 10 * 1024 * 1024)
+        assert large > small
+
+    def test_alignment_preference(self, sim, small_chip):
+        aligned = sim.compute_task_time("matmul", {"m": 8, "k": 8, "n": small_chip.vector_width}, 1e5, 1024)
+        misaligned = sim.compute_task_time("matmul", {"m": 8, "k": 8, "n": 1}, 1e5, 1024)
+        assert aligned < misaligned
+
+    def test_conv_blackbox_deterministic(self, sim):
+        shape = {"b": 1, "f": 8, "c": 8, "h": 8, "w": 8, "kh": 3, "kw": 3}
+        assert sim.compute_task_time("conv2d", shape, 1e5, 1024) == sim.compute_task_time(
+            "conv2d", shape, 1e5, 1024
+        )
+
+    def test_conv_slower_than_matmul_at_same_flops(self, sim):
+        shape = {"m": 8, "k": 8, "n": 64}
+        conv_shape = {"b": 1, "f": 8, "c": 8, "h": 8, "w": 64, "kh": 1, "kw": 1}
+        assert sim.compute_task_time("conv2d", conv_shape, 1e5, 1024) >= sim.compute_task_time(
+            "matmul", shape, 1e5, 1024
+        )
+
+
+class TestCommunicationTiming:
+    def test_shift_scales_with_bytes(self, sim):
+        assert sim.shift_time_per_step(10**6) > sim.shift_time_per_step(10**3)
+
+    def test_contention_slows_shift(self, sim):
+        assert sim.shift_time_per_step(10**5, contention=2.0) > sim.shift_time_per_step(10**5)
+
+    def test_loadstore_fan_in(self, sim):
+        assert sim.loadstore_time_per_step(10**5, fan_in=3.0) > sim.loadstore_time_per_step(10**5)
+
+    def test_alltoall_spreads_over_cores(self, sim):
+        few = sim.alltoall_time(10**6, cores_used=2)
+        many = sim.alltoall_time(10**6, cores_used=64)
+        assert many < few
+
+    def test_offchip_zero_for_empty(self, sim):
+        assert sim.offchip_time(0) == 0.0
+
+    def test_offchip_bandwidth(self, sim, small_chip):
+        assert sim.offchip_time(small_chip.offchip_bandwidth) == pytest.approx(1.0)
+
+
+class TestProgramExecution:
+    def test_aggregates_categories(self, sim):
+        program = DeviceProgram(name="p")
+        program.add(ComputeStep("op", "matmul", {"m": 4}, 1e4, 128, cores_used=4, count=3))
+        program.add(ShiftStep("op", "A", bytes_per_core=1024, cores_used=4, count=2))
+        program.add(LoadStoreStep("op", bytes_per_core=2048, cores_used=4, fan_in=2.0))
+        program.add(AllToAllStep("op", total_bytes=4096, cores_used=4))
+        program.add(SetupStep("op", bytes_per_core=512, cores_used=4))
+        program.add(HBMTransferStep("op", total_bytes=8192))
+        program.add(SyncStep("op"))
+        result = sim.run(program)
+        assert result.ok
+        assert result.compute_time > 0
+        assert result.shift_time > 0
+        assert result.loadstore_time > 0
+        assert result.alltoall_time > 0
+        assert result.setup_time > 0
+        assert result.offchip_time > 0
+        assert result.sync_time > 0
+        assert result.total_time == pytest.approx(
+            result.compute_time
+            + result.intercore_time
+            + result.offchip_time
+            + result.sync_time
+        )
+
+    def test_step_counts_multiply(self, sim):
+        single = DeviceProgram(name="single")
+        single.add(ComputeStep("op", "matmul", {"m": 4}, 1e4, 128, cores_used=4, count=1))
+        triple = DeviceProgram(name="triple")
+        triple.add(ComputeStep("op", "matmul", {"m": 4}, 1e4, 128, cores_used=4, count=3))
+        assert sim.run(triple).compute_time == pytest.approx(3 * sim.run(single).compute_time)
+
+    def test_per_op_breakdown(self, sim):
+        program = DeviceProgram(name="p")
+        program.add(ComputeStep("a", "matmul", {"m": 4}, 1e4, 128, cores_used=4))
+        program.add(ComputeStep("b", "matmul", {"m": 4}, 1e4, 128, cores_used=4))
+        result = sim.run(program)
+        assert set(result.per_op) == {"a", "b"}
+        assert result.op_timing("a").compute > 0
+        assert result.op_timing("missing").total == 0.0
+
+    def test_oom_detection(self, sim, small_chip):
+        program = DeviceProgram(name="p")
+        program.record_op_memory("op", small_chip.sram_per_core + 1)
+        program.add(ComputeStep("op", "matmul", {"m": 4}, 1e4, 128, cores_used=4))
+        result = sim.run(program)
+        assert not result.ok
+        assert result.status == "oom"
+
+    def test_oom_check_can_be_disabled(self, sim, small_chip):
+        program = DeviceProgram(name="p")
+        program.record_op_memory("op", small_chip.sram_per_core + 1)
+        program.add(ComputeStep("op", "matmul", {"m": 4}, 1e4, 128, cores_used=4))
+        assert sim.run(program, check_memory=False).ok
+
+    def test_bandwidth_utilization_below_link_rate(self, sim, small_chip):
+        program = DeviceProgram(name="p")
+        program.add(ShiftStep("op", "A", bytes_per_core=64 * 1024, cores_used=4, count=8))
+        result = sim.run(program)
+        assert 0 < result.bandwidth_utilization <= small_chip.link_bandwidth
+
+    def test_comm_fraction_bounds(self, sim):
+        program = DeviceProgram(name="p")
+        program.add(ComputeStep("op", "matmul", {"m": 4}, 1e5, 128, cores_used=4))
+        program.add(ShiftStep("op", "A", bytes_per_core=1024, cores_used=4))
+        result = sim.run(program)
+        assert 0.0 < result.comm_fraction < 1.0

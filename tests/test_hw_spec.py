@@ -1,0 +1,76 @@
+"""Tests for chip/GPU specifications and derived quantities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.spec import A100, IPU_MK2, ChipSpec, KiB, scaled_ipu, virtual_ipu
+
+
+class TestIPUPreset:
+    def test_core_count(self):
+        assert IPU_MK2.num_cores == 1472
+
+    def test_total_sram_about_896mb(self):
+        assert IPU_MK2.total_sram == 1472 * 624 * KiB
+        assert 850e6 < IPU_MK2.total_sram < 950e6
+
+    def test_total_flops_about_250t(self):
+        assert IPU_MK2.total_flops == pytest.approx(250e12, rel=1e-6)
+
+    def test_aggregate_bandwidth_about_8tbs(self):
+        assert 7e12 < IPU_MK2.aggregate_link_bandwidth < 9e12
+
+    def test_single_chip_effective_bandwidth(self):
+        assert IPU_MK2.effective_link_bandwidth() == IPU_MK2.link_bandwidth
+
+
+class TestA100Preset:
+    def test_peak_flops(self):
+        assert A100.peak_flops == pytest.approx(312e12)
+
+    def test_effective_less_than_peak(self):
+        assert A100.effective_flops < A100.peak_flops
+        assert A100.effective_bandwidth < A100.hbm_bandwidth
+
+
+class TestScaledIPU:
+    def test_with_fewer_cores(self):
+        chip = scaled_ipu(368)
+        assert chip.num_cores == 368
+        assert chip.sram_per_core == IPU_MK2.sram_per_core
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scaled_ipu(0)
+
+    def test_total_flops_scale_linearly(self):
+        assert scaled_ipu(736).total_flops == pytest.approx(IPU_MK2.total_flops / 2)
+
+
+class TestVirtualIPU:
+    def test_two_chips(self):
+        chip = virtual_ipu(2)
+        assert chip.num_cores == 2944
+        assert chip.num_chips == 2
+
+    def test_effective_bandwidth_drops(self):
+        single = virtual_ipu(1).effective_link_bandwidth()
+        double = virtual_ipu(2).effective_link_bandwidth()
+        assert double < single
+        # The paper reports a 26%-33% drop; allow a generous band.
+        assert double > 0.3 * single
+
+    def test_rejects_zero_chips(self):
+        with pytest.raises(ValueError):
+            virtual_ipu(0)
+
+    def test_offchip_bandwidth_scales(self):
+        assert virtual_ipu(2).offchip_bandwidth == pytest.approx(2 * IPU_MK2.offchip_bandwidth)
+
+
+class TestWithCores:
+    def test_name_changes(self):
+        chip = IPU_MK2.with_cores(100)
+        assert chip.num_cores == 100
+        assert "100c" in chip.name

@@ -1,0 +1,131 @@
+"""End-to-end integration tests on the full IPU MK2 configuration.
+
+These check the headline qualitative results of the paper on (truncated)
+real workloads: T10 beats the VGM baselines, its communication fraction is
+lower, the vendor baseline runs out of memory where the paper says it does,
+and the virtual-IPU / LLM paths work end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import GPURooflineModel, PopARTCompiler, RollerCompiler
+from repro.core import T10Compiler
+from repro.core.constraints import SearchConstraints
+from repro.hw.spec import IPU_MK2, virtual_ipu
+from repro.models import build_bert, build_nerf, build_opt, build_resnet
+from repro.runtime import Executor
+
+FAST = SearchConstraints(
+    core_count_samples=4, max_factorizations_per_target=100, max_temporal_combos=16
+)
+
+
+@pytest.fixture(scope="module")
+def executor():
+    return Executor(IPU_MK2)
+
+
+@pytest.fixture(scope="module")
+def t10(ipu_cost_model_module):
+    return T10Compiler(IPU_MK2, cost_model=ipu_cost_model_module, constraints=FAST)
+
+
+@pytest.fixture(scope="module")
+def ipu_cost_model_module():
+    from repro.core import CostModel
+
+    return CostModel.fit(IPU_MK2, samples_per_type=24)
+
+
+class TestBertEndToEnd:
+    @pytest.fixture(scope="class")
+    def results(self, executor, t10):
+        graph = build_bert(1, num_layers=2)
+        return {
+            "t10": executor.evaluate(t10, graph),
+            "roller": executor.evaluate(RollerCompiler(IPU_MK2), graph),
+            "popart": executor.evaluate(PopARTCompiler(IPU_MK2), graph),
+        }
+
+    def test_everything_runs(self, results):
+        assert results["t10"].ok and results["roller"].ok and results["popart"].ok
+
+    def test_t10_fastest(self, results):
+        assert results["t10"].latency < results["roller"].latency
+        assert results["t10"].latency < results["popart"].latency
+
+    def test_speedup_in_plausible_range(self, results):
+        speedup = results["t10"].speedup_over(results["roller"])
+        assert 1.1 < speedup < 8.0
+
+    def test_popart_slower_than_roller(self, results):
+        assert results["popart"].latency > results["roller"].latency
+
+    def test_comm_fraction_reduced(self, results):
+        assert results["t10"].comm_fraction < results["roller"].comm_fraction
+        assert results["roller"].comm_fraction > 0.4
+
+    def test_memory_fits(self, results):
+        simulation = results["t10"].simulation
+        assert simulation.peak_memory_per_core <= IPU_MK2.sram_per_core
+
+
+class TestNeRF:
+    def test_popart_cannot_fit_but_t10_can(self, executor, t10):
+        graph = build_nerf(1)
+        assert executor.evaluate(t10, graph).ok
+        assert not executor.evaluate(PopARTCompiler(IPU_MK2), graph).ok
+
+    def test_t10_beats_roller_substantially(self, executor, t10):
+        graph = build_nerf(1)
+        t10_result = executor.evaluate(t10, graph)
+        roller_result = executor.evaluate(RollerCompiler(IPU_MK2), graph)
+        assert t10_result.speedup_over(roller_result) > 1.5
+
+
+class TestResNetBatchScaling:
+    def test_larger_batch_smaller_gain(self, executor, t10):
+        """Figure 12/§6.6: T10's advantage shrinks as on-chip memory fills up."""
+        small = build_resnet(4)
+        large = build_resnet(64)
+        speedups = []
+        for graph in (small, large):
+            t10_result = executor.evaluate(t10, graph)
+            roller_result = executor.evaluate(RollerCompiler(IPU_MK2), graph)
+            assert t10_result.ok and roller_result.ok
+            speedups.append(t10_result.speedup_over(roller_result))
+        assert speedups[0] > 1.0
+        assert speedups[1] > 0.9
+        assert speedups[1] <= speedups[0] * 1.1
+
+
+class TestVirtualIPU:
+    def test_two_chip_device_runs(self, ipu_cost_model_module):
+        chip = virtual_ipu(2)
+        from repro.core import CostModel
+
+        compiler = T10Compiler(chip, cost_model=CostModel.fit(chip, samples_per_type=16), constraints=FAST)
+        executor = Executor(chip)
+        result = executor.evaluate(compiler, build_nerf(1))
+        assert result.ok
+
+
+class TestLLMDecode:
+    def test_ipu_t10_beats_a100_at_small_batch(self, executor, t10):
+        graph = build_opt(2, size="6.7b", num_layers=1)
+        ipu = executor.evaluate(t10, graph)
+        gpu = GPURooflineModel().estimate(graph)
+        assert ipu.ok
+        assert gpu.total_time / ipu.latency > 1.0
+
+    def test_advantage_shrinks_with_batch(self, executor, t10):
+        gpu_model = GPURooflineModel()
+        ratios = []
+        for batch in (2, 128):
+            graph = build_opt(batch, size="1.3b", num_layers=1)
+            ipu = executor.evaluate(t10, graph)
+            assert ipu.ok
+            ratios.append(gpu_model.estimate(graph).total_time / ipu.latency)
+        assert ratios[1] < ratios[0]

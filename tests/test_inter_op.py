@@ -1,0 +1,122 @@
+"""Tests for the inter-operator memory-reconciliation scheduler (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import InterOpScheduler, IntraOpOptimizer
+from repro.hw.memory import OutOfChipMemoryError
+from repro.hw.spec import ChipSpec, KiB
+from repro.ir import matmul
+
+
+@pytest.fixture()
+def scheduler(small_chip, small_cost_model):
+    return InterOpScheduler(small_chip, small_cost_model)
+
+
+@pytest.fixture()
+def frontier_for(small_chip, small_cost_model, fast_constraints):
+    optimizer = IntraOpOptimizer(small_chip, small_cost_model, fast_constraints)
+
+    def build(name: str, m: int, k: int, n: int):
+        return optimizer.pareto_plans(matmul(name, m=m, k=k, n=n))
+
+    return build
+
+
+class TestReconcile:
+    def test_single_operator(self, scheduler, frontier_for):
+        plans = frontier_for("mm", 256, 256, 256)
+        schedule = scheduler.reconcile({"mm": plans})
+        assert set(schedule.per_op) == {"mm"}
+        entry = schedule.per_op["mm"]
+        assert entry.active_plan in plans
+        assert entry.idle_plan in plans
+        assert entry.setup_time_est >= 0
+        assert schedule.est_total_time > 0
+
+    def test_multiple_operators_fit_memory(self, scheduler, frontier_for, small_chip):
+        pareto = {
+            "a": frontier_for("a", 256, 256, 256),
+            "b": frontier_for("b", 128, 512, 128),
+            "c": frontier_for("c", 512, 64, 256),
+        }
+        schedule = scheduler.reconcile(pareto)
+        assert schedule.idle_memory_per_core <= small_chip.sram_per_core
+        for name, entry in schedule.per_op.items():
+            available = (
+                small_chip.sram_per_core
+                - schedule.idle_memory_per_core
+                + entry.idle_plan.idle_bytes
+            )
+            assert entry.active_plan.memory_bytes <= available
+
+    def test_identical_operators_grouped(self, scheduler, frontier_for):
+        plans = frontier_for("mm", 256, 256, 256)
+        schedule = scheduler.reconcile({"x": plans, "y": plans, "z": plans})
+        entries = list(schedule.per_op.values())
+        assert len(entries) == 3
+        assert all(entry.active_plan is entries[0].active_plan for entry in entries)
+
+    def test_history_recorded(self, scheduler, frontier_for):
+        schedule = scheduler.reconcile({"mm": frontier_for("mm", 256, 256, 256)})
+        assert schedule.search_history
+        idle_memories = [mem for mem, _ in schedule.search_history]
+        assert idle_memories == sorted(idle_memories)
+
+    def test_best_configuration_selected(self, scheduler, frontier_for):
+        schedule = scheduler.reconcile({"mm": frontier_for("mm", 256, 256, 256)})
+        best_history_time = min(time for _, time in schedule.search_history)
+        assert schedule.est_total_time == pytest.approx(best_history_time, rel=1e-6)
+
+    def test_empty_frontier_rejected(self, scheduler):
+        with pytest.raises(ValueError):
+            scheduler.reconcile({"mm": []})
+
+    def test_setup_plus_active_totals(self, scheduler, frontier_for):
+        schedule = scheduler.reconcile({"mm": frontier_for("mm", 256, 256, 256)})
+        assert schedule.est_total_time == pytest.approx(
+            schedule.est_setup_time + schedule.est_active_time, rel=1e-9
+        )
+
+
+class TestMemoryPressure:
+    def test_more_memory_never_hurts(self, small_cost_model, frontier_for, small_chip):
+        """With a bigger scratchpad the reconciled estimate can only improve."""
+        pareto = {
+            "a": frontier_for("a", 256, 256, 256),
+            "b": frontier_for("b", 512, 256, 128),
+        }
+        small_schedule = InterOpScheduler(small_chip, small_cost_model).reconcile(pareto)
+        bigger_chip = ChipSpec(
+            name="bigger",
+            num_cores=small_chip.num_cores,
+            sram_per_core=small_chip.sram_per_core * 4,
+            core_flops=small_chip.core_flops,
+            link_bandwidth=small_chip.link_bandwidth,
+            link_latency=small_chip.link_latency,
+            offchip_bandwidth=small_chip.offchip_bandwidth,
+        )
+        big_schedule = InterOpScheduler(bigger_chip, small_cost_model).reconcile(pareto)
+        assert big_schedule.est_total_time <= small_schedule.est_total_time * 1.001
+
+    def test_raises_when_nothing_fits(self, small_cost_model, frontier_for):
+        tiny = ChipSpec(
+            name="impossible",
+            num_cores=64,
+            sram_per_core=16 * KiB,
+            core_flops=100e9,
+            link_bandwidth=5.5e9,
+            link_latency=0.4e-6,
+            offchip_bandwidth=8e9,
+        )
+        scheduler = InterOpScheduler(tiny, small_cost_model)
+        pareto = {f"op{i}": frontier_for(f"op{i}", 512, 512, 512) for i in range(4)}
+        with pytest.raises(OutOfChipMemoryError):
+            scheduler.reconcile(pareto)
+
+    def test_max_search_steps_respected(self, small_chip, small_cost_model, frontier_for):
+        scheduler = InterOpScheduler(small_chip, small_cost_model, max_search_steps=3)
+        schedule = scheduler.reconcile({"mm": frontier_for("mm", 256, 256, 256)})
+        assert len(schedule.search_history) <= 3

@@ -1,0 +1,128 @@
+"""Tests for the intra-operator Pareto plan search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import IntraOpOptimizer
+from repro.core.constraints import SearchConstraints
+from repro.ir import conv2d, library_op, matmul
+
+
+@pytest.fixture()
+def optimizer(small_chip, small_cost_model, fast_constraints):
+    return IntraOpOptimizer(small_chip, small_cost_model, fast_constraints)
+
+
+class TestParetoPlans:
+    def test_nonempty_and_sorted_by_memory(self, optimizer):
+        plans = optimizer.pareto_plans(matmul("mm", m=256, k=256, n=256))
+        assert plans
+        memories = [p.memory_bytes for p in plans]
+        assert memories == sorted(memories)
+
+    def test_frontier_times_decrease_with_memory(self, optimizer):
+        plans = optimizer.pareto_plans(matmul("mm", m=256, k=256, n=256))
+        times = [p.time_est for p in plans]
+        assert times == sorted(times, reverse=True)
+
+    def test_all_plans_fit_chip(self, optimizer, small_chip):
+        plans = optimizer.pareto_plans(matmul("mm", m=256, k=256, n=256))
+        assert all(p.memory_bytes <= small_chip.sram_per_core for p in plans)
+
+    def test_no_plan_dominated(self, optimizer):
+        plans = optimizer.pareto_plans(matmul("mm", m=256, k=256, n=256))
+        for a in plans:
+            for b in plans:
+                if a is b:
+                    continue
+                dominated = (
+                    b.memory_bytes <= a.memory_bytes
+                    and b.time_est <= a.time_est
+                    and (b.memory_bytes < a.memory_bytes or b.time_est < a.time_est)
+                )
+                assert not dominated
+
+    def test_conv_operator_searchable(self, optimizer):
+        op = conv2d("c", batch=2, in_channels=8, out_channels=16, height=16, width=16, kernel=3)
+        plans = optimizer.pareto_plans(op)
+        assert plans
+        assert all(p.op_type == "conv2d" for p in plans)
+
+    def test_library_fallback_single_plan(self, optimizer):
+        op = library_op("sort", kind="sort", data_bytes=32 * 1024, flops=32 * 1024)
+        plans = optimizer.pareto_plans(op)
+        assert len(plans) == 1
+
+    def test_infeasible_operator_raises(self, small_cost_model, fast_constraints, tiny_chip):
+        optimizer = IntraOpOptimizer(tiny_chip, small_cost_model, fast_constraints)
+        # A single operator bigger than the whole chip's memory cannot be planned.
+        huge = matmul("huge", m=8192, k=8192, n=8192)
+        with pytest.raises(ValueError):
+            optimizer.pareto_plans(huge)
+
+
+class TestCaching:
+    def test_identical_operators_share_frontier(self, optimizer):
+        first = optimizer.pareto_plans(matmul("a", m=128, k=128, n=128))
+        second = optimizer.pareto_plans(matmul("b", m=128, k=128, n=128))
+        assert first is second
+
+    def test_clear_cache(self, optimizer):
+        first = optimizer.pareto_plans(matmul("a", m=128, k=128, n=128))
+        optimizer.clear_cache()
+        second = optimizer.pareto_plans(matmul("a", m=128, k=128, n=128))
+        assert first is not second
+
+
+class TestSearchSpaceStats:
+    def test_ordering(self, optimizer):
+        op = matmul("mm", m=256, k=256, n=256)
+        stats = optimizer.search_space_stats(op)
+        assert stats.complete >= stats.filtered >= stats.optimized
+        assert stats.optimized >= 1
+
+    def test_filtered_matches_evaluated(self, optimizer):
+        op = matmul("mm", m=256, k=256, n=256)
+        stats = optimizer.search_space_stats(op)
+        assert stats.filtered == stats.evaluated
+
+
+class TestConstraints:
+    def test_stricter_constraints_fewer_candidates(self, small_chip, small_cost_model):
+        op = matmul("mm", m=256, k=256, n=256)
+        strict = IntraOpOptimizer(
+            small_chip,
+            small_cost_model,
+            SearchConstraints(
+                core_count_samples=2, max_factorizations_per_target=20, max_temporal_combos=4
+            ),
+        )
+        loose = IntraOpOptimizer(
+            small_chip,
+            small_cost_model,
+            SearchConstraints(
+                core_count_samples=8, max_factorizations_per_target=200, max_temporal_combos=32
+            ),
+        )
+        assert strict.search_space_stats(op).evaluated <= loose.search_space_stats(op).evaluated
+
+    def test_best_plan_at_least_as_good_with_bigger_space(self, small_chip, small_cost_model):
+        op = matmul("mm", m=256, k=256, n=256)
+        strict = IntraOpOptimizer(
+            small_chip,
+            small_cost_model,
+            SearchConstraints(
+                core_count_samples=2, max_factorizations_per_target=20, max_temporal_combos=4
+            ),
+        )
+        loose = IntraOpOptimizer(
+            small_chip,
+            small_cost_model,
+            SearchConstraints(
+                core_count_samples=8, max_factorizations_per_target=200, max_temporal_combos=32
+            ),
+        )
+        strict_best = min(p.time_est for p in strict.pareto_plans(op))
+        loose_best = min(p.time_est for p in loose.pareto_plans(op))
+        assert loose_best <= strict_best * 1.01

@@ -1,0 +1,138 @@
+"""Tests for tensor expressions: shapes, FLOPs, bytes and signatures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import DType, TensorExpression, conv2d, gather, matmul
+from repro.ir.tensor import TensorRole, tensor
+
+
+@pytest.fixture()
+def mm():
+    return matmul("mm", m=6, k=8, n=4).expr
+
+
+@pytest.fixture()
+def conv():
+    return conv2d(
+        "conv", batch=2, in_channels=3, out_channels=4, height=8, width=8, kernel=3
+    ).expr
+
+
+class TestMatMulExpression:
+    def test_axes(self, mm):
+        assert dict(mm.axes) == {"m": 6, "k": 8, "n": 4}
+
+    def test_reduction_axes(self, mm):
+        assert mm.reduction_axes == frozenset({"k"})
+
+    def test_total_flops(self, mm):
+        assert mm.total_flops == 2 * 6 * 8 * 4
+
+    def test_tensor_shapes(self, mm):
+        shapes = {spec.name: mm.tensor_shape(spec) for spec in mm.all_tensors}
+        assert shapes == {"A": (6, 8), "B": (8, 4), "C": (6, 4)}
+
+    def test_tensor_bytes_fp16(self, mm):
+        a = next(spec for spec in mm.inputs if spec.name == "A")
+        assert mm.tensor_bytes(a) == 6 * 8 * 2
+
+    def test_weight_and_activation_bytes(self, mm):
+        assert mm.weight_bytes == 8 * 4 * 2
+        assert mm.activation_bytes == 6 * 8 * 2
+        assert mm.output_bytes == 6 * 4 * 2
+
+    def test_flops_with_custom_extents(self, mm):
+        assert mm.flops({"m": 3, "k": 8, "n": 2}) == 2 * 3 * 8 * 2
+
+    def test_arithmetic_intensity_positive(self, mm):
+        assert mm.arithmetic_intensity > 0
+
+
+class TestConvExpression:
+    def test_compound_input_shape(self, conv):
+        input_spec = next(spec for spec in conv.inputs if spec.name == "I")
+        # h + kh resolves to 8 + 3 - 1 = 10.
+        assert conv.tensor_shape(input_spec) == (2, 3, 10, 10)
+
+    def test_output_shape(self, conv):
+        assert conv.tensor_shape(conv.output) == (2, 4, 8, 8)
+
+    def test_weight_shape(self, conv):
+        weight = next(spec for spec in conv.inputs if spec.name == "W")
+        assert conv.tensor_shape(weight) == (4, 3, 3, 3)
+
+    def test_reduction_axes(self, conv):
+        assert conv.reduction_axes == frozenset({"c", "kh", "kw"})
+
+    def test_flops(self, conv):
+        assert conv.total_flops == 2 * 2 * 4 * 3 * 8 * 8 * 3 * 3
+
+
+class TestGatherExpression:
+    def test_flops_ignore_vocab(self):
+        expr = gather("g", vocab=1000, tokens=16, hidden=32).expr
+        assert expr.total_flops == 16 * 32
+
+    def test_table_is_weight(self):
+        expr = gather("g", vocab=1000, tokens=16, hidden=32).expr
+        table = next(spec for spec in expr.inputs if spec.name == "Table")
+        assert table.role is TensorRole.WEIGHT
+        assert expr.tensor_bytes(table) == 1000 * 32 * 2
+
+
+class TestValidation:
+    def test_rejects_unknown_axis(self):
+        with pytest.raises(ValueError):
+            TensorExpression(
+                op_type="bad",
+                axes={"m": 4},
+                inputs=(tensor("X", ["m", "k"]),),
+                output=tensor("Y", ["m"]),
+            )
+
+    def test_rejects_zero_extent(self):
+        with pytest.raises(ValueError):
+            TensorExpression(
+                op_type="bad",
+                axes={"m": 0},
+                inputs=(tensor("X", ["m"]),),
+                output=tensor("Y", ["m"]),
+            )
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ValueError):
+            TensorExpression(
+                op_type="bad", axes={}, inputs=(), output=tensor("Y", ["m"])
+            )
+
+    def test_rejects_bad_flops_axes(self):
+        with pytest.raises(ValueError):
+            TensorExpression(
+                op_type="bad",
+                axes={"m": 4},
+                inputs=(tensor("X", ["m"]),),
+                output=tensor("Y", ["m"]),
+                flops_axes=frozenset({"z"}),
+            )
+
+
+class TestSignature:
+    def test_identical_ops_share_signature(self):
+        a = matmul("a", m=8, k=8, n=8)
+        b = matmul("b", m=8, k=8, n=8)
+        assert a.signature() == b.signature()
+
+    def test_different_shape_changes_signature(self):
+        a = matmul("a", m=8, k=8, n=8)
+        b = matmul("b", m=8, k=8, n=16)
+        assert a.signature() != b.signature()
+
+    def test_different_dtype_changes_signature(self):
+        a = matmul("a", m=8, k=8, n=8, dtype=DType.FP16)
+        b = matmul("b", m=8, k=8, n=8, dtype=DType.FP32)
+        assert a.signature() != b.signature()
+
+    def test_signature_hashable(self):
+        assert hash(matmul("a", m=4, k=4, n=4).signature()) is not None

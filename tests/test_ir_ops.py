@@ -1,0 +1,125 @@
+"""Tests for the operator factory functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import (
+    bias_add,
+    conv2d,
+    elementwise,
+    gather,
+    layernorm,
+    library_op,
+    matmul,
+    pool2d,
+    reduce_sum,
+    softmax,
+)
+from repro.ir.tensor import TensorRole
+
+
+class TestMatMul:
+    def test_unbatched_has_three_axes(self):
+        op = matmul("mm", m=4, k=8, n=16)
+        assert set(op.axes) == {"m", "k", "n"}
+
+    def test_batched_adds_batch_axis(self):
+        op = matmul("mm", m=4, k=8, n=16, batch=3)
+        assert op.axes["b"] == 3
+        assert op.total_flops == 2 * 3 * 4 * 8 * 16
+
+    def test_weight_stationary_flag(self):
+        weighted = matmul("w", m=4, k=4, n=4)
+        activation = matmul("a", m=4, k=4, n=4, weight_stationary=False)
+        assert weighted.weight_bytes > 0
+        assert activation.weight_bytes == 0
+
+    def test_op_type(self):
+        assert matmul("mm", m=2, k=2, n=2).op_type == "matmul"
+
+
+class TestConv2d:
+    def test_parameter_count(self):
+        op = conv2d("c", batch=1, in_channels=8, out_channels=16, height=4, width=4, kernel=3)
+        weight = next(s for s in op.inputs if s.name == "W")
+        assert op.expr.tensor_elements(weight) == 16 * 8 * 3 * 3
+
+    def test_weight_role(self):
+        op = conv2d("c", batch=1, in_channels=2, out_channels=2, height=4, width=4)
+        weight = next(s for s in op.inputs if s.name == "W")
+        assert weight.role is TensorRole.WEIGHT
+
+
+class TestElementwise:
+    def test_default_two_inputs(self):
+        op = elementwise("add", {"r": 8, "c": 8})
+        assert len(op.inputs) == 2
+
+    def test_single_input(self):
+        op = elementwise("relu", {"r": 8, "c": 8}, kind="relu", num_inputs=1)
+        assert len(op.inputs) == 1
+        assert op.op_type == "elementwise_relu"
+
+    def test_rejects_zero_inputs(self):
+        with pytest.raises(ValueError):
+            elementwise("bad", {"r": 8}, num_inputs=0)
+
+
+class TestBiasAdd:
+    def test_bias_is_weight(self):
+        op = bias_add("b", rows=8, cols=16)
+        bias = next(s for s in op.inputs if s.name == "B")
+        assert bias.role is TensorRole.WEIGHT
+        assert op.weight_bytes == 16 * 2
+
+
+class TestPool:
+    def test_no_weights(self):
+        op = pool2d("p", batch=1, channels=4, height=8, width=8)
+        assert op.weight_bytes == 0
+
+    def test_output_shape(self):
+        op = pool2d("p", batch=2, channels=4, height=8, width=8, kernel=2)
+        assert op.expr.tensor_shape(op.output) == (2, 4, 8, 8)
+
+
+class TestReduceSum:
+    def test_output_drops_reduced_axis(self):
+        op = reduce_sum("s", {"r": 8, "c": 16}, reduce_axes=["c"])
+        assert op.expr.tensor_shape(op.output) == (8,)
+
+    def test_full_reduction_keeps_scalar(self):
+        op = reduce_sum("s", {"r": 8}, reduce_axes=["r"])
+        assert op.expr.tensor_elements(op.output) == 1
+
+    def test_rejects_unknown_axis(self):
+        with pytest.raises(ValueError):
+            reduce_sum("s", {"r": 8}, reduce_axes=["z"])
+
+
+class TestGather:
+    def test_flops_proportional_to_output(self):
+        op = gather("g", vocab=100, tokens=8, hidden=16)
+        assert op.total_flops == 8 * 16
+
+
+class TestSoftmaxLayernorm:
+    def test_softmax_shapes(self):
+        op = softmax("sm", rows=8, cols=16)
+        assert op.expr.tensor_shape(op.output) == (8, 16)
+
+    def test_layernorm_has_scale_and_bias(self):
+        op = layernorm("ln", rows=8, cols=16)
+        weights = [s for s in op.inputs if s.role is TensorRole.WEIGHT]
+        assert len(weights) == 2
+
+
+class TestLibraryOp:
+    def test_marks_fallback(self):
+        op = library_op("sort", kind="sort", data_bytes=1024, flops=1024)
+        assert op.is_library_fallback
+
+    def test_element_count_from_bytes(self):
+        op = library_op("sort", kind="sort", data_bytes=1024, flops=1024)
+        assert op.axes["e"] == 512

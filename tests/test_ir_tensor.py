@@ -1,0 +1,87 @@
+"""Tests for dimension expressions and tensor specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import DType
+from repro.ir.tensor import DimExpr, TensorRole, TensorSpec, tensor
+
+
+class TestDType:
+    def test_fp16_bytes(self):
+        assert DType.FP16.bytes == 2
+
+    def test_fp32_bytes(self):
+        assert DType.FP32.bytes == 4
+
+    def test_from_string(self):
+        assert DType.from_string("fp16") is DType.FP16
+
+    def test_from_string_unknown(self):
+        with pytest.raises(ValueError):
+            DType.from_string("fp8")
+
+
+class TestDimExpr:
+    def test_simple(self):
+        dim = DimExpr(("m",))
+        assert dim.primary == "m"
+        assert not dim.is_compound
+        assert str(dim) == "m"
+
+    def test_compound(self):
+        dim = DimExpr(("h", "kh"))
+        assert dim.primary == "h"
+        assert dim.is_compound
+        assert str(dim) == "h+kh"
+
+    def test_of_string(self):
+        assert DimExpr.of("h+kh") == DimExpr(("h", "kh"))
+
+    def test_of_passthrough(self):
+        dim = DimExpr(("m",))
+        assert DimExpr.of(dim) is dim
+
+    def test_of_iterable(self):
+        assert DimExpr.of(["a", "b"]) == DimExpr(("a", "b"))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DimExpr(())
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            DimExpr(("m", "m"))
+
+
+class TestTensorSpec:
+    def test_basic(self):
+        spec = tensor("A", ["m", "k"])
+        assert spec.rank == 2
+        assert spec.axes == ("m", "k")
+        assert spec.role is TensorRole.INPUT
+
+    def test_primary_axes(self):
+        spec = tensor("I", ["b", "c", "h+kh", "w+kw"])
+        assert spec.primary_axes == ("b", "c", "h", "w")
+        assert spec.axes == ("b", "c", "h", "kh", "w", "kw")
+
+    def test_has_axis_includes_compound_parts(self):
+        spec = tensor("I", ["h+kh"])
+        assert spec.has_axis("h")
+        assert spec.has_axis("kh")
+        assert not spec.has_axis("m")
+
+    def test_dim_for_axis(self):
+        spec = tensor("A", ["m", "k"])
+        assert spec.dim_for_axis("k") == 1
+        assert spec.dim_for_axis("n") is None
+
+    def test_str(self):
+        spec = tensor("W", ["f", "c"], TensorRole.WEIGHT)
+        assert str(spec) == "W[f, c]"
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            TensorSpec(name="", dims=(DimExpr(("m",)),))

@@ -1,0 +1,145 @@
+"""Tests for the model zoo builders and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.models import (
+    DNN_MODELS,
+    LLM_MODELS,
+    MODEL_REGISTRY,
+    build_bert,
+    build_llama,
+    build_model,
+    build_nerf,
+    build_opt,
+    build_resnet,
+    build_retnet,
+    build_vit,
+    get_entry,
+    list_models,
+)
+
+
+class TestRegistry:
+    def test_all_models_listed(self):
+        names = list_models()
+        for model in DNN_MODELS + LLM_MODELS:
+            assert model in names
+
+    def test_get_entry_unknown(self):
+        with pytest.raises(KeyError):
+            get_entry("alexnet")
+
+    def test_build_model_dispatch(self):
+        graph = build_model("bert", 1, num_layers=1)
+        assert len(graph) > 0
+
+    def test_batch_sizes_nonempty(self):
+        for entry in MODEL_REGISTRY.values():
+            assert entry.batch_sizes
+            assert all(b >= 1 for b in entry.batch_sizes)
+
+
+class TestBert:
+    def test_parameter_count_close_to_reference(self):
+        graph = build_bert(1)
+        # BERT-large is ~340M parameters (embeddings + 24 encoder layers).
+        assert 250e6 < graph.num_parameters < 420e6
+
+    def test_layer_truncation(self):
+        small = build_bert(1, num_layers=2)
+        full = build_bert(1, num_layers=4)
+        assert len(full) > len(small)
+
+    def test_batch_scales_flops_not_params(self):
+        bs1 = build_bert(1, num_layers=1)
+        bs4 = build_bert(4, num_layers=1)
+        assert bs4.total_flops > bs1.total_flops
+        assert bs4.num_parameters == bs1.num_parameters
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            build_bert(0)
+
+
+class TestViT:
+    def test_parameter_count(self):
+        graph = build_vit(1)
+        assert 60e6 < graph.num_parameters < 110e6
+
+    def test_contains_class_head(self):
+        assert "cls_head" in build_vit(1, num_layers=1)
+
+
+class TestResNet:
+    def test_parameter_count(self):
+        graph = build_resnet(1)
+        assert 8e6 < graph.num_parameters < 16e6
+
+    def test_has_convolutions(self):
+        histogram = build_resnet(1).op_type_histogram()
+        assert histogram.get("conv2d", 0) >= 16
+
+    def test_batch_increases_activations(self):
+        assert build_resnet(8).total_activation_bytes > build_resnet(1).total_activation_bytes
+
+
+class TestNeRF:
+    def test_parameter_count_small(self):
+        graph = build_nerf(1)
+        assert graph.num_parameters < 100e3
+
+    def test_activation_heavy(self):
+        graph = build_nerf(1)
+        assert graph.total_activation_bytes > 100 * graph.total_weight_bytes
+
+    def test_custom_sample_count(self):
+        small = build_nerf(1, samples_per_batch=1024)
+        assert small.total_flops < build_nerf(1).total_flops
+
+
+class TestLLMs:
+    def test_opt_sizes(self):
+        for size in ("1.3b", "13b"):
+            graph = build_opt(1, size=size, num_layers=1)
+            assert len(graph) > 0
+
+    def test_opt_unknown_size(self):
+        with pytest.raises(ValueError):
+            build_opt(1, size="170b")
+
+    def test_opt_13b_layer_params(self):
+        graph = build_opt(1, size="13b", num_layers=1)
+        # One OPT-13B decoder layer has roughly 13e9 / 40 ~ 325M parameters.
+        assert 200e6 < graph.num_parameters < 450e6
+
+    def test_llama_gated_ffn(self):
+        graph = build_llama(1, size="7b", num_layers=1)
+        assert any(op.name.endswith("ffn_gate") for op in graph.operators)
+
+    def test_llama_unknown_size(self):
+        with pytest.raises(ValueError):
+            build_llama(1, size="70b")
+
+    def test_retnet_builds(self):
+        graph = build_retnet(2, num_layers=1)
+        assert any("state_update" in op.name for op in graph.operators)
+
+    def test_decode_batch_scaling(self):
+        small = build_opt(2, size="1.3b", num_layers=1)
+        large = build_opt(128, size="1.3b", num_layers=1)
+        assert large.total_flops > small.total_flops
+
+
+class TestGraphWellFormed:
+    @pytest.mark.parametrize("name", DNN_MODELS)
+    def test_dnn_models_build(self, name):
+        kwargs = {"num_layers": 1} if name in ("bert", "vit") else {}
+        graph = build_model(name, get_batch(name), **kwargs)
+        assert len(graph) > 0
+        assert graph.total_flops > 0
+
+
+def get_batch(name: str) -> int:
+    return MODEL_REGISTRY[name].batch_sizes[0]

@@ -1,0 +1,112 @@
+"""Tests for the Pareto-frontier utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from hypothesis import given, strategies as st
+
+from repro.core.pareto import dominates, hypervolume, pareto_front
+
+
+@dataclass(frozen=True)
+class Point:
+    memory: float
+    time: float
+
+
+MEM = lambda p: p.memory  # noqa: E731
+TIME = lambda p: p.time  # noqa: E731
+
+
+class TestParetoFront:
+    def test_simple_frontier(self):
+        points = [Point(1, 10), Point(2, 5), Point(3, 7), Point(4, 1)]
+        frontier = pareto_front(points, memory=MEM, time=TIME)
+        assert frontier == [Point(1, 10), Point(2, 5), Point(4, 1)]
+
+    def test_empty(self):
+        assert pareto_front([], memory=MEM, time=TIME) == []
+
+    def test_single(self):
+        assert pareto_front([Point(1, 1)], memory=MEM, time=TIME) == [Point(1, 1)]
+
+    def test_duplicates_memory_keeps_faster(self):
+        points = [Point(1, 10), Point(1, 4), Point(2, 8)]
+        frontier = pareto_front(points, memory=MEM, time=TIME)
+        assert Point(1, 4) in frontier
+        assert Point(1, 10) not in frontier
+
+    def test_sorted_by_memory_and_decreasing_time(self):
+        points = [Point(m, 100 / m) for m in range(1, 20)]
+        frontier = pareto_front(points, memory=MEM, time=TIME)
+        memories = [p.memory for p in frontier]
+        times = [p.time for p in frontier]
+        assert memories == sorted(memories)
+        assert times == sorted(times, reverse=True)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=50)
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_property_no_member_dominated(self, raw):
+        points = [Point(m, t) for m, t in raw]
+        frontier = pareto_front(points, memory=MEM, time=TIME)
+        assert frontier
+        for member in frontier:
+            assert not any(
+                dominates(other, member, memory=MEM, time=TIME)
+                for other in points
+                if other is not member
+            )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=50)
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_property_every_point_dominated_or_on_front(self, raw):
+        points = [Point(m, t) for m, t in raw]
+        frontier = pareto_front(points, memory=MEM, time=TIME)
+        frontier_keys = {(p.memory, p.time) for p in frontier}
+        for point in points:
+            covered = (point.memory, point.time) in frontier_keys or any(
+                member.memory <= point.memory and member.time <= point.time
+                for member in frontier
+            )
+            assert covered
+
+
+class TestDominates:
+    def test_strict_domination(self):
+        assert dominates(Point(1, 1), Point(2, 2), memory=MEM, time=TIME)
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(Point(1, 1), Point(1, 1), memory=MEM, time=TIME)
+
+    def test_tradeoff_points_incomparable(self):
+        assert not dominates(Point(1, 5), Point(5, 1), memory=MEM, time=TIME)
+        assert not dominates(Point(5, 1), Point(1, 5), memory=MEM, time=TIME)
+
+
+class TestHypervolume:
+    def test_richer_frontier_not_worse(self):
+        poor = [Point(2, 8)]
+        rich = [Point(2, 8), Point(6, 2)]
+        reference = (10.0, 10.0)
+        assert hypervolume(rich, memory=MEM, time=TIME, reference=reference) >= hypervolume(
+            poor, memory=MEM, time=TIME, reference=reference
+        )
+
+    def test_points_outside_reference_ignored(self):
+        frontier = [Point(20, 20)]
+        assert hypervolume(frontier, memory=MEM, time=TIME, reference=(10, 10)) == 0.0

@@ -1,0 +1,96 @@
+"""Tests for sub-tensor placement and rotation invariants (paper §4.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.placement import PlacementPlan
+from repro.core.plan import build_plan
+from repro.ir import matmul
+
+
+def make_plan(chip, cost_model, *, m=4, k=6, n=4, fop=None, temporal=None):
+    expr = matmul("mm", m=m, k=k, n=n).expr
+    fop = fop or {"m": 2, "k": 1, "n": 2}
+    temporal = temporal or {"A": 2, "B": 2, "C": 1}
+    plan = build_plan(expr, chip, cost_model, fop, temporal)
+    assert plan is not None
+    return expr, plan
+
+
+class TestPlacementConstruction:
+    def test_core_grid_matches_fop(self, tiny_chip, tiny_cost_model):
+        expr, plan = make_plan(tiny_chip, tiny_cost_model)
+        placement = PlacementPlan.build(expr, plan)
+        assert placement.num_cores == plan.cores_used
+
+    def test_every_tensor_placed(self, tiny_chip, tiny_cost_model):
+        expr, plan = make_plan(tiny_chip, tiny_cost_model)
+        placement = PlacementPlan.build(expr, plan)
+        assert set(placement.tensors) == {"A", "B", "C"}
+
+    def test_partitions_at_returns_all_tensors(self, tiny_chip, tiny_cost_model):
+        expr, plan = make_plan(tiny_chip, tiny_cost_model)
+        placement = PlacementPlan.build(expr, plan)
+        held = placement.partitions_at(0)
+        assert set(held) == {"A", "B", "C"}
+
+
+class TestRotationInvariants:
+    def test_ring_coverage(self, tiny_chip, tiny_cost_model):
+        expr, plan = make_plan(tiny_chip, tiny_cost_model)
+        placement = PlacementPlan.build(expr, plan)
+        assert placement.verify_ring_coverage()
+
+    def test_replica_consistency(self, tiny_chip, tiny_cost_model):
+        expr, plan = make_plan(tiny_chip, tiny_cost_model)
+        placement = PlacementPlan.build(expr, plan)
+        assert placement.verify_replica_consistency()
+
+    def test_verify_combined(self, tiny_chip, tiny_cost_model):
+        expr, plan = make_plan(tiny_chip, tiny_cost_model)
+        assert PlacementPlan.build(expr, plan).verify()
+
+    def test_rotation_returns_to_start(self, tiny_chip, tiny_cost_model):
+        expr, plan = make_plan(tiny_chip, tiny_cost_model)
+        placement = PlacementPlan.build(expr, plan)
+        initial = [placement.partitions_at(i) for i in range(placement.num_cores)]
+        ring = max(cfg.temporal_factor for cfg in plan.rtensors.values())
+        for _ in range(ring):
+            placement.step()
+        final = [placement.partitions_at(i) for i in range(placement.num_cores)]
+        assert final == initial
+
+    def test_each_step_changes_rotated_tensor(self, tiny_chip, tiny_cost_model):
+        expr, plan = make_plan(tiny_chip, tiny_cost_model)
+        placement = PlacementPlan.build(expr, plan)
+        rotated = [name for name, cfg in plan.rtensors.items() if cfg.is_rotated]
+        before = placement.partitions_at(0)
+        placement.step()
+        after = placement.partitions_at(0)
+        for name in rotated:
+            assert before[name] != after[name]
+
+    def test_unrotated_tensor_stays_put(self, tiny_chip, tiny_cost_model):
+        expr, plan = make_plan(tiny_chip, tiny_cost_model)
+        placement = PlacementPlan.build(expr, plan)
+        before = placement.partitions_at(0)["C"]
+        placement.step()
+        assert placement.partitions_at(0)["C"] == before
+
+
+class TestReplicatedPlacement:
+    def test_fully_replicated_plan(self, tiny_chip, tiny_cost_model):
+        expr, plan = make_plan(
+            tiny_chip,
+            tiny_cost_model,
+            fop={"m": 4, "k": 1, "n": 1},
+            temporal={"A": 1, "B": 1, "C": 1},
+        )
+        placement = PlacementPlan.build(expr, plan)
+        assert placement.verify()
+        # With no rotation a step is a no-op.
+        before = [placement.partitions_at(i) for i in range(placement.num_cores)]
+        placement.step()
+        after = [placement.partitions_at(i) for i in range(placement.num_cores)]
+        assert before == after

@@ -1,0 +1,174 @@
+"""Tests for compute-shift plan construction and its analytical metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.plan import build_library_plan, build_plan
+from repro.ir import conv2d, library_op, matmul
+from repro.ir.tensor import TensorRole
+
+
+@pytest.fixture()
+def mm_expr():
+    return matmul("mm", m=64, k=64, n=64).expr
+
+
+def plan_for(expr, chip, cost_model, fop, temporal):
+    plan = build_plan(expr, chip, cost_model, fop, temporal)
+    assert plan is not None
+    return plan
+
+
+class TestBasicInvariants:
+    def test_replicated_plan_has_no_shifts(self, mm_expr, small_chip, small_cost_model):
+        plan = plan_for(
+            mm_expr, small_chip, small_cost_model, {"m": 64, "k": 1, "n": 1}, {"A": 1, "B": 1, "C": 1}
+        )
+        assert plan.num_steps == 1
+        assert plan.comm_time_est == 0.0
+        assert plan.shift_ops == ()
+        assert plan.cores_used == 64
+
+    def test_rotated_plan_has_shifts(self, mm_expr, small_chip, small_cost_model):
+        plan = plan_for(
+            mm_expr, small_chip, small_cost_model, {"m": 64, "k": 1, "n": 1}, {"A": 1, "B": 8, "C": 1}
+        )
+        assert plan.num_steps > 1
+        assert plan.comm_time_est > 0
+        assert any(op.tensor_name == "B" for op in plan.shift_ops)
+
+    def test_temporal_split_trades_memory_for_communication(
+        self, mm_expr, small_chip, small_cost_model
+    ):
+        """The core trade-off of the paper: more temporal splitting, less memory, more shifts."""
+        fop = {"m": 64, "k": 1, "n": 1}
+        replicated = plan_for(mm_expr, small_chip, small_cost_model, fop, {"A": 1, "B": 1, "C": 1})
+        split = plan_for(mm_expr, small_chip, small_cost_model, fop, {"A": 1, "B": 8, "C": 1})
+        assert split.memory_bytes < replicated.memory_bytes
+        assert split.comm_time_est > replicated.comm_time_est
+
+    def test_memory_includes_shift_buffer(self, mm_expr, small_chip, small_cost_model):
+        plan = plan_for(
+            mm_expr, small_chip, small_cost_model, {"m": 64, "k": 1, "n": 1}, {"A": 1, "B": 1, "C": 1}
+        )
+        assert plan.memory_bytes == plan.data_bytes + small_chip.shift_buffer_bytes
+
+    def test_idle_bytes_only_counts_weights(self, mm_expr, small_chip, small_cost_model):
+        plan = plan_for(
+            mm_expr, small_chip, small_cost_model, {"m": 64, "k": 1, "n": 1}, {"A": 1, "B": 1, "C": 1}
+        )
+        weight_bytes = sum(
+            cfg.partition_bytes
+            for cfg in plan.rtensors.values()
+            if cfg.spec.role is TensorRole.WEIGHT
+        )
+        assert plan.idle_bytes == weight_bytes
+        assert plan.idle_bytes < plan.data_bytes
+
+    def test_too_many_cores_rejected(self, mm_expr, small_chip, small_cost_model):
+        assert (
+            build_plan(
+                mm_expr,
+                small_chip,
+                small_cost_model,
+                {"m": 64, "k": 2, "n": 1},
+                {"A": 1, "B": 1, "C": 1},
+            )
+            is None
+        )
+
+    def test_infeasible_temporal_rejected(self, small_chip, small_cost_model):
+        expr = matmul("mm", m=64, k=2, n=2).expr
+        assert (
+            build_plan(
+                expr, small_chip, small_cost_model, {"m": 32, "k": 1, "n": 1}, {"A": 1, "B": 16, "C": 1}
+            )
+            is None
+        )
+
+    def test_describe(self, mm_expr, small_chip, small_cost_model):
+        plan = plan_for(
+            mm_expr, small_chip, small_cost_model, {"m": 8, "k": 1, "n": 8}, {"A": 1, "B": 1, "C": 1}
+        )
+        assert "matmul" in plan.describe()
+
+
+class TestFigure7Example:
+    """The worked MatMul example of paper §4.2 / Figure 7."""
+
+    def test_step_count_and_subtask(self, small_chip, small_cost_model):
+        expr = matmul("mm", m=2, k=6, n=3).expr
+        fop = {"m": 2, "k": 1, "n": 3}
+        plan = plan_for(expr, small_chip, small_cost_model, fop, {"A": 3, "B": 2, "C": 1})
+        # rp on k is min(6/3, 6/2) = 2, so the sub-operator needs 6/2 = 3 steps.
+        assert plan.rotation_paces == {"k": 2}
+        assert plan.num_steps == 3
+        assert plan.subtask_shape == {"m": 1, "k": 2, "n": 1}
+        assert plan.cores_used == 6
+
+
+class TestReductionHandling:
+    def test_split_reduction_adds_merge_traffic(self, mm_expr, small_chip, small_cost_model):
+        no_split = plan_for(
+            mm_expr, small_chip, small_cost_model, {"m": 8, "k": 1, "n": 8}, {"A": 1, "B": 1, "C": 1}
+        )
+        split = plan_for(
+            mm_expr, small_chip, small_cost_model, {"m": 8, "k": 8, "n": 1}, {"A": 1, "B": 1, "C": 1}
+        )
+        assert any("partial" in op.tensor_name for op in split.shift_ops)
+        assert not any("partial" in op.tensor_name for op in no_split.shift_ops)
+
+
+class TestSetupBytes:
+    def test_setup_zero_from_same_plan(self, mm_expr, small_chip, small_cost_model):
+        plan = plan_for(
+            mm_expr, small_chip, small_cost_model, {"m": 64, "k": 1, "n": 1}, {"A": 1, "B": 1, "C": 1}
+        )
+        assert plan.setup_bytes_from(plan) == 0
+
+    def test_setup_from_smaller_idle_is_positive(self, mm_expr, small_chip, small_cost_model):
+        fop = {"m": 64, "k": 1, "n": 1}
+        idle = plan_for(mm_expr, small_chip, small_cost_model, fop, {"A": 1, "B": 8, "C": 1})
+        active = plan_for(mm_expr, small_chip, small_cost_model, fop, {"A": 1, "B": 1, "C": 1})
+        assert active.setup_bytes_from(idle) > 0
+        assert active.setup_bytes_from(None) >= active.setup_bytes_from(idle)
+
+    def test_setup_counts_only_weights(self, mm_expr, small_chip, small_cost_model):
+        fop = {"m": 64, "k": 1, "n": 1}
+        active = plan_for(mm_expr, small_chip, small_cost_model, fop, {"A": 1, "B": 1, "C": 1})
+        weight_partition = sum(
+            cfg.partition_bytes
+            for cfg in active.rtensors.values()
+            if cfg.spec.role is TensorRole.WEIGHT
+        )
+        assert active.setup_bytes_from(None) == weight_partition
+
+
+class TestConvPlans:
+    def test_conv_plan_builds_with_halo(self, small_chip, small_cost_model):
+        expr = conv2d(
+            "conv", batch=4, in_channels=8, out_channels=16, height=16, width=16, kernel=3
+        ).expr
+        plan = build_plan(
+            expr,
+            small_chip,
+            small_cost_model,
+            {"b": 4, "f": 4, "c": 1, "h": 2, "w": 2, "kh": 1, "kw": 1},
+            {spec.name: 1 for spec in expr.all_tensors},
+        )
+        assert plan is not None
+        input_cfg = plan.rtensors["I"]
+        # The per-core input slice includes the kernel halo.
+        assert input_cfg.sub_tensor_shape[2] == 16 // 2 + 2
+        assert plan.memory_bytes > 0
+
+
+class TestLibraryPlan:
+    def test_library_plan_has_no_shifts(self, small_chip, small_cost_model):
+        op = library_op("sort", kind="sort", data_bytes=64 * 1024, flops=64 * 1024)
+        plan = build_library_plan(op.expr, small_chip, small_cost_model)
+        assert plan.shift_ops == ()
+        assert plan.num_steps == 1
+        assert plan.cores_used <= small_chip.num_cores
+        assert plan.time_est > 0

@@ -1,0 +1,136 @@
+"""Tests for the rTensor configuration abstraction."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rtensor import RTensorConfig
+from repro.ir.tensor import TensorRole, tensor
+from repro.utils import ceil_div, divisors, prod
+
+
+def make_config(shape=(8, 16), fs=(2, 1), ft=(1, 4), rp=(0, 4), sharing=4, dtype_bytes=2):
+    return RTensorConfig(
+        spec=tensor("B", ["k", "n"], TensorRole.WEIGHT),
+        shape=shape,
+        dtype_bytes=dtype_bytes,
+        fs=fs,
+        ft=ft,
+        rp=rp,
+        sharing_degree=sharing,
+    )
+
+
+class TestShapes:
+    def test_sub_tensor_shape(self):
+        config = make_config()
+        assert config.sub_tensor_shape == (4, 16)
+
+    def test_partition_shape(self):
+        config = make_config()
+        assert config.partition_shape == (4, 4)
+
+    def test_explicit_sub_shape_wins(self):
+        config = RTensorConfig(
+            spec=tensor("I", ["h+kh"]),
+            shape=(10,),
+            dtype_bytes=2,
+            fs=(2,),
+            ft=(1,),
+            rp=(0,),
+            sharing_degree=1,
+            sub_shape=(7,),
+        )
+        assert config.sub_tensor_shape == (7,)
+
+    def test_bytes(self):
+        config = make_config()
+        assert config.tensor_bytes == 8 * 16 * 2
+        assert config.sub_tensor_bytes == 4 * 16 * 2
+        assert config.partition_bytes == 4 * 4 * 2
+
+
+class TestRotation:
+    def test_rotation_dim_and_axis(self):
+        config = make_config()
+        assert config.rotation_dim == 1
+        assert config.rotation_axis == "n"
+        assert config.is_rotated
+
+    def test_unrotated(self):
+        config = make_config(ft=(1, 1), rp=(0, 0), sharing=4)
+        assert config.rotation_dim is None
+        assert not config.is_rotated
+        assert config.shifted_bytes_per_cycle == 0
+        assert config.bytes_per_shift == 0
+
+    def test_rotation_steps(self):
+        config = make_config()
+        # Sub-tensor length 16 along n, pace 4 -> 4 steps.
+        assert config.rotation_steps == 4
+
+    def test_shifted_bytes_per_cycle(self):
+        config = make_config()
+        per_shift = config.bytes_per_shift
+        assert config.shifted_bytes_per_cycle == per_shift * (config.rotation_steps - 1)
+
+    def test_num_rings_and_replication(self):
+        config = make_config(ft=(1, 2), rp=(0, 8), sharing=4)
+        assert config.temporal_factor == 2
+        assert config.num_rings == 2
+        assert config.replication_bytes == config.sub_tensor_bytes
+
+
+class TestValidation:
+    def test_rejects_mismatched_rank(self):
+        with pytest.raises(ValueError):
+            make_config(fs=(2,))
+
+    def test_rejects_zero_factor(self):
+        with pytest.raises(ValueError):
+            make_config(fs=(0, 1))
+
+    def test_rejects_temporal_exceeding_sharing(self):
+        with pytest.raises(ValueError):
+            make_config(ft=(1, 8), rp=(0, 2), sharing=4)
+
+    def test_rejects_temporal_exceeding_extent(self):
+        with pytest.raises(ValueError):
+            make_config(shape=(8, 2), ft=(1, 4), rp=(0, 1), sharing=4)
+
+    def test_rejects_pace_exceeding_partition(self):
+        with pytest.raises(ValueError):
+            make_config(rp=(0, 5))
+
+    def test_rejects_bad_sharing(self):
+        with pytest.raises(ValueError):
+            make_config(sharing=0)
+
+    def test_describe_mentions_name(self):
+        assert "B" in make_config().describe()
+
+
+@given(
+    k=st.integers(min_value=1, max_value=64),
+    n=st.integers(min_value=1, max_value=64),
+    fs_k=st.integers(min_value=1, max_value=8),
+    sharing=st.sampled_from([1, 2, 4, 8, 16]),
+)
+def test_property_partition_never_larger_than_sub_tensor(k, n, fs_k, sharing):
+    """Per-core memory never exceeds the sub-tensor, for any valid split."""
+    fs = (min(fs_k, k), 1)
+    feasible_ft = [d for d in divisors(sharing) if d <= n]
+    for ft_n in feasible_ft:
+        config = RTensorConfig(
+            spec=tensor("B", ["k", "n"]),
+            shape=(k, n),
+            dtype_bytes=2,
+            fs=fs,
+            ft=(1, ft_n),
+            rp=(0, ceil_div(n, ft_n)) if ft_n > 1 else (0, 0),
+            sharing_degree=sharing,
+        )
+        assert config.partition_bytes <= config.sub_tensor_bytes
+        assert config.num_rings * config.temporal_factor == sharing
+        assert prod(config.partition_shape) > 0

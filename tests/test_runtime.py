@@ -1,0 +1,130 @@
+"""Tests for the executor, metrics helpers and the sub-task profiler."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.baselines import RollerCompiler
+from repro.hw.simulator import OpTiming, SimulationResult
+from repro.ir import OperatorGraph, elementwise, matmul
+from repro.runtime import (
+    EvaluationResult,
+    Executor,
+    SubTaskProfiler,
+    average_speedup,
+    bandwidth_utilization_gbps,
+    comm_fraction,
+    latency_breakdown,
+    per_operator_speedups,
+    speedup_distribution,
+)
+
+
+def small_graph() -> OperatorGraph:
+    graph = OperatorGraph(name="tiny-mlp")
+    fc1 = matmul("fc1", m=256, k=128, n=256)
+    act = elementwise("act", {"r": 256, "c": 256}, kind="relu", num_inputs=1)
+    graph.add(fc1)
+    graph.add(act, [fc1])
+    return graph
+
+
+class TestExecutor:
+    def test_evaluate_t10(self, small_executor, small_compiler):
+        result = small_executor.evaluate(small_compiler, small_graph())
+        assert result.ok
+        assert result.latency > 0
+        assert result.compiler_name == "CompiledModel" or result.status == "ok"
+        assert 0 <= result.comm_fraction <= 1
+
+    def test_evaluate_baseline_records_name(self, small_executor, small_chip):
+        result = small_executor.evaluate(RollerCompiler(small_chip), small_graph())
+        assert result.ok
+        assert result.compiler_name == "Roller"
+
+    def test_run_rejects_failed_compilation(self, small_executor, small_chip):
+        class FailedCompilation:
+            ok = False
+            status = "oom"
+
+        with pytest.raises(ValueError):
+            small_executor.run(FailedCompilation())
+
+    def test_speedup_over(self):
+        fast = EvaluationResult("a", "m", "c", "ok", latency=1.0)
+        slow = EvaluationResult("b", "m", "c", "ok", latency=2.0)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+        assert math.isnan(fast.speedup_over(EvaluationResult("c", "m", "c", "oom")))
+
+
+class TestMetrics:
+    def make_result(self, compute=1.0, shift=0.5):
+        result = SimulationResult(program_name="p")
+        result.compute_time = compute
+        result.shift_time = shift
+        result.intercore_bytes_per_core = 1e9
+        result.per_op = {
+            "a": OpTiming(compute=0.6, intercore=0.2),
+            "b": OpTiming(compute=0.4, intercore=0.3),
+        }
+        return result
+
+    def test_latency_breakdown(self):
+        breakdown = latency_breakdown(self.make_result())
+        assert breakdown["compute"] == pytest.approx(1.0)
+        assert breakdown["intercore"] == pytest.approx(0.5)
+        assert breakdown["total"] == pytest.approx(1.5)
+
+    def test_comm_fraction(self):
+        assert comm_fraction(self.make_result()) == pytest.approx(0.5 / 1.5)
+
+    def test_bandwidth_utilization_gbps(self):
+        assert bandwidth_utilization_gbps(self.make_result()) == pytest.approx(2.0)
+
+    def test_per_operator_speedups(self):
+        baseline = self.make_result()
+        optimized = SimulationResult(program_name="q")
+        optimized.per_op = {
+            "a": OpTiming(compute=0.2, intercore=0.2),
+            "b": OpTiming(compute=0.35, intercore=0.35),
+        }
+        speedups = per_operator_speedups(baseline, optimized)
+        assert speedups["a"] == pytest.approx(0.8 / 0.4)
+        assert speedups["b"] == pytest.approx(0.7 / 0.7)
+
+    def test_speedup_distribution(self):
+        stats = speedup_distribution({"a": 2.0, "b": 0.5, "c": 1.5})
+        assert stats["count"] == 3
+        assert stats["max"] == 2.0
+        assert stats["improved_fraction"] == pytest.approx(2 / 3)
+        assert stats["regressed_fraction"] == pytest.approx(1 / 3)
+
+    def test_speedup_distribution_empty(self):
+        assert speedup_distribution({})["count"] == 0
+
+    def test_average_speedup(self):
+        a = EvaluationResult("roller", "m", "c", "ok", latency=2.0)
+        b = EvaluationResult("t10", "m", "c", "ok", latency=1.0)
+        assert average_speedup([(a, b)]) == pytest.approx(2.0)
+
+    def test_average_speedup_empty(self):
+        assert math.isnan(average_speedup([]))
+
+
+class TestProfiler:
+    def test_profile_counts(self, small_chip):
+        profiler = SubTaskProfiler(small_chip)
+        report = profiler.profile(op_types=("matmul", "softmax"), samples_per_type=8)
+        assert report.sample_count() == 16
+        assert set(report.samples) == {"matmul", "softmax"}
+
+    def test_fit_cost_model(self, small_chip):
+        profiler = SubTaskProfiler(small_chip)
+        cost_model = profiler.fit_cost_model(op_types=("matmul",), samples_per_type=16)
+        assert cost_model.has_model("matmul")
+
+    def test_fit_comm_model(self, small_chip):
+        comm = SubTaskProfiler(small_chip).fit_comm_model()
+        assert comm.predict(1024) > 0

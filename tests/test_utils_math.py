@@ -1,0 +1,179 @@
+"""Unit and property tests for the integer-math helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    candidate_splits,
+    ceil_div,
+    clamp,
+    divisors,
+    geometric_mean,
+    iter_factorizations,
+    padded_length,
+    prod,
+    round_up,
+)
+
+
+class TestProd:
+    def test_empty(self):
+        assert prod([]) == 1
+
+    def test_basic(self):
+        assert prod([2, 3, 4]) == 24
+
+    def test_single(self):
+        assert prod([7]) == 7
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_one(self):
+        assert ceil_div(5, 1) == 5
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(4, 0)
+
+    @given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=1, max_value=10**4))
+    def test_matches_float_ceiling(self, a, b):
+        assert ceil_div(a, b) == -(-a // b)
+
+    @given(st.integers(min_value=1, max_value=10**6), st.integers(min_value=1, max_value=10**4))
+    def test_covers_numerator(self, a, b):
+        assert ceil_div(a, b) * b >= a
+        assert (ceil_div(a, b) - 1) * b < a
+
+
+class TestRoundUp:
+    def test_already_aligned(self):
+        assert round_up(64, 16) == 64
+
+    def test_rounds(self):
+        assert round_up(65, 16) == 80
+
+    def test_rejects_bad_multiple(self):
+        with pytest.raises(ValueError):
+            round_up(10, 0)
+
+
+class TestPaddedLength:
+    def test_even_split(self):
+        assert padded_length(12, 4) == 3
+
+    def test_uneven_split(self):
+        assert padded_length(10, 4) == 3
+
+    def test_rejects_nonpositive_parts(self):
+        with pytest.raises(ValueError):
+            padded_length(10, 0)
+
+
+class TestDivisors:
+    def test_small(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+
+    def test_prime(self):
+        assert divisors(13) == [1, 13]
+
+    def test_one(self):
+        assert divisors(1) == [1]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    @given(st.integers(min_value=1, max_value=5000))
+    def test_all_divide(self, n):
+        ds = divisors(n)
+        assert all(n % d == 0 for d in ds)
+        assert ds[0] == 1 and ds[-1] == n
+        assert ds == sorted(set(ds))
+
+
+class TestCandidateSplits:
+    def test_includes_one_and_limit(self):
+        splits = candidate_splits(100, 8)
+        assert 1 in splits
+        assert 8 in splits
+
+    def test_dense(self):
+        assert candidate_splits(5, 10, dense=True) == [1, 2, 3, 4, 5]
+
+    def test_capped_by_length(self):
+        assert max(candidate_splits(4, 100)) == 4
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            candidate_splits(0, 4)
+
+    @given(st.integers(min_value=1, max_value=2000), st.integers(min_value=1, max_value=256))
+    def test_within_bounds(self, length, max_parts):
+        splits = candidate_splits(length, max_parts)
+        assert all(1 <= s <= min(length, max_parts) for s in splits)
+
+
+class TestIterFactorizations:
+    def test_two_factors(self):
+        pairs = set(iter_factorizations(12, 2))
+        assert (3, 4) in pairs and (12, 1) in pairs and (1, 12) in pairs
+        assert all(a * b == 12 for a, b in pairs)
+
+    def test_single_factor(self):
+        assert list(iter_factorizations(9, 1)) == [(9,)]
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            list(iter_factorizations(0, 2))
+        with pytest.raises(ValueError):
+            list(iter_factorizations(4, 0))
+
+    @given(st.integers(min_value=1, max_value=200), st.integers(min_value=1, max_value=4))
+    def test_products_match(self, total, k):
+        for factors in iter_factorizations(total, k):
+            assert len(factors) == k
+            assert prod(factors) == total
+
+
+class TestClamp:
+    def test_inside(self):
+        assert clamp(5, 0, 10) == 5
+
+    def test_below(self):
+        assert clamp(-1, 0, 10) == 0
+
+    def test_above(self):
+        assert clamp(11, 0, 10) == 10
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            clamp(1, 5, 0)
+
+
+class TestGeometricMean:
+    def test_identity(self):
+        assert geometric_mean([4.0]) == pytest.approx(4.0)
+
+    def test_pair(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        mean = geometric_mean(values)
+        assert min(values) - 1e-9 <= mean <= max(values) + 1e-9
