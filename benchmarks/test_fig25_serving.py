@@ -1,0 +1,40 @@
+"""Benchmark regenerating Figure 25: serving throughput on a multi-chip fleet."""
+
+from conftest import run_once
+
+from repro.experiments import fig25_serving
+
+
+def test_fig25_serving(benchmark):
+    rows = run_once(benchmark, fig25_serving.run, quick=True)
+    assert rows
+    assert len({row["model"] for row in rows}) >= 2
+    # Steady state never compiles: every batch is a plan-cache hit.
+    assert all(row["recompiles"] == 0 for row in rows)
+    assert all(row["hit_rate"] == 1.0 for row in rows)
+    # Each model's batch buckets compile exactly once (first configuration);
+    # every later configuration reuses them, so compile cost collapses to 0.
+    for model in {row["model"] for row in rows}:
+        model_rows = [row for row in rows if row["model"] == model]
+        assert model_rows[0]["warm_compiles"] > 0
+        assert all(row["warm_compiles"] == 0 for row in model_rows[1:])
+    # Dynamic batching: on a single saturated chip, widening the batch window
+    # grows batches and raises throughput until the chip saturates.
+    for model in {row["model"] for row in rows}:
+        curve = sorted(
+            (
+                row
+                for row in rows
+                if row["model"] == model and row["chips"] == 1
+            ),
+            key=lambda row: row["window_x"],
+        )
+        assert len(curve) >= 2
+        batches = [row["mean_batch"] for row in curve]
+        throughputs = [row["throughput_rps"] for row in curve]
+        assert batches[-1] > batches[0]
+        assert throughputs[-1] > throughputs[0]
+        # Saturation: the last doubling of the window buys proportionally
+        # far less throughput than the overall gain (the curve flattens).
+        if len(curve) >= 3:
+            assert throughputs[-1] - throughputs[-2] < throughputs[-1] - throughputs[0]

@@ -15,6 +15,7 @@ everything the evaluation figures need.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Mapping
@@ -32,15 +33,23 @@ from repro.ir.graph import OperatorGraph
 
 #: Cost models are expensive enough to fit that sharing them across compiler
 #: instances targeting the same chip is worthwhile (they are deterministic).
+#: The serving worker pool compiles from several threads, so the cache is
+#: guarded by a lock; fitting happens outside it (a duplicate concurrent fit
+#: is wasted work but harmless — both threads produce the same model).
 _COST_MODEL_CACHE: dict[tuple[str, int], CostModel] = {}
+_COST_MODEL_LOCK = threading.Lock()
 
 
 def default_cost_model(chip: ChipSpec) -> CostModel:
     """Fitted cost model for ``chip``, cached per chip configuration."""
     key = (chip.name, chip.num_cores)
-    if key not in _COST_MODEL_CACHE:
-        _COST_MODEL_CACHE[key] = CostModel.fit(chip)
-    return _COST_MODEL_CACHE[key]
+    with _COST_MODEL_LOCK:
+        model = _COST_MODEL_CACHE.get(key)
+    if model is None:
+        model = CostModel.fit(chip)
+        with _COST_MODEL_LOCK:
+            model = _COST_MODEL_CACHE.setdefault(key, model)
+    return model
 
 
 @dataclass

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.utils.fingerprint import stable_hash
+
 
 @dataclass(frozen=True)
 class SearchConstraints:
@@ -69,6 +71,15 @@ class SearchConstraints:
     def relaxed(self, **overrides: object) -> "SearchConstraints":
         """Copy with selected fields overridden (used by the constraint sweep)."""
         return replace(self, **overrides)  # type: ignore[arg-type]
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the constraint setting.
+
+        Different constraints explore different plan spaces and therefore
+        produce different compiled programs; the serving plan cache includes
+        this in its key.
+        """
+        return stable_hash(("search-constraints", self))
 
 
 #: Default constraints used by the end-to-end experiments.

@@ -22,6 +22,7 @@ from repro.experiments import (
     fig22_vs_a100,
     fig23_llm,
     fig24_hbm,
+    fig25_serving,
     tab02_models,
     tab03_hardware,
 )
@@ -51,6 +52,7 @@ ALL_EXPERIMENTS = {
     "fig22": fig22_vs_a100,
     "fig23": fig23_llm,
     "fig24": fig24_hbm,
+    "fig25": fig25_serving,
     "tab02": tab02_models,
     "tab03": tab03_hardware,
     "ablation": ablation,

@@ -1,0 +1,143 @@
+"""Figure 25 (extension): serving throughput/latency on a multi-chip fleet.
+
+This experiment goes beyond the paper's single-model, single-chip latency
+measurements: it serves Poisson request streams for several registered
+models through the :mod:`repro.serving` subsystem, sweeping **offered load ×
+fleet size × batch window**, and reports throughput, tail latency, queueing
+and plan-cache behaviour.  Two effects it demonstrates:
+
+* the plan cache collapses steady-state compile cost to zero — after the
+  warmup of each configuration every batch is a cache hit, and
+* dynamic batching raises throughput with the batch window until the chip
+  saturates, at the price of added queueing latency.
+
+Models differ in per-batch latency by orders of magnitude, so offered load
+and batch window are expressed in *model-relative* units: the load factor
+multiplies the model's single-chip batch-1 capacity (``1 / batch-1
+latency``) and the window factor multiplies its batch-1 latency.  A load
+factor above 1 therefore saturates a single chip for every model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.constraints import (
+    DEFAULT_CONSTRAINTS,
+    FAST_CONSTRAINTS,
+    SearchConstraints,
+)
+from repro.experiments.common import QUICK_NUM_LAYERS, print_table
+from repro.hw.spec import IPU_MK2, ChipSpec
+from repro.serving import (
+    PlanCache,
+    ServedModel,
+    ServingScheduler,
+    poisson_workload,
+)
+
+#: The serving workload mix: one encoder, one CNN, one LLM decoder stack.
+SERVING_MODELS: tuple[str, ...] = ("bert", "resnet", "llama2-7b")
+
+
+def _served_model(name: str, max_batch_size: int, *, quick: bool) -> ServedModel:
+    """Registry-backed served model, truncated in quick mode like the figures."""
+    kwargs: dict[str, object] = {}
+    if quick and name in ("bert", "vit"):
+        kwargs["num_layers"] = QUICK_NUM_LAYERS
+    if quick and (name.startswith("opt") or name.startswith("llama")):
+        kwargs["num_layers"] = 1
+    return ServedModel.from_registry(name, max_batch_size=max_batch_size, **kwargs)
+
+
+def run(
+    *,
+    chip: ChipSpec = IPU_MK2,
+    models: Sequence[str] = SERVING_MODELS,
+    fleet_sizes: Sequence[int] = (1, 2, 4),
+    window_factors: Sequence[float] = (0.5, 2.0, 8.0),
+    load_factors: Sequence[float] = (0.8, 4.0),
+    num_requests: int = 200,
+    max_batch_size: int = 8,
+    constraints: SearchConstraints | None = None,
+    quick: bool = False,
+    seed: int = 0,
+) -> list[dict]:
+    """One row per (model, fleet size, batch window, offered load).
+
+    A single plan cache is shared by every configuration, so each
+    (model, batch bucket) compiles exactly once — the ``warm_compiles``
+    column is non-zero only the first time a model appears, and the
+    ``recompiles`` column (misses during serving) is always zero.
+    """
+    if constraints is None:
+        constraints = FAST_CONSTRAINTS if quick else DEFAULT_CONSTRAINTS
+    if quick:
+        fleet_sizes = tuple(fleet_sizes)[:2]
+        # Keep only the saturating load: the batching effect on throughput
+        # is invisible while the fleet is arrival-limited.
+        load_factors = tuple(factor for factor in load_factors if factor > 1.0)[-1:]
+        num_requests = min(num_requests, 100)
+    cache = PlanCache()
+    rows: list[dict] = []
+    for model_name in models:
+        served = _served_model(model_name, max_batch_size, quick=quick)
+        for fleet in fleet_sizes:
+            for window_factor in window_factors:
+                for load_factor in load_factors:
+                    scheduler = ServingScheduler(
+                        [served],
+                        chip=chip,
+                        num_chips=fleet,
+                        batch_window=1.0,  # placeholder, set below
+                        constraints=constraints,
+                        plan_cache=cache,
+                    )
+                    before = cache.stats.snapshot()
+                    scheduler.warm()
+                    warmed = cache.stats.since(before)
+                    # Model-relative units: batch-1 latency sets the scale of
+                    # both the offered load and the batch window.
+                    unit = scheduler.batch_latency(model_name, 1)
+                    scheduler.batch_window = window_factor * unit
+                    offered = load_factor / unit
+                    requests = poisson_workload(
+                        {model_name: offered}, num_requests=num_requests, seed=seed
+                    )
+                    report = scheduler.serve(requests)
+                    stats = report.per_model[model_name]
+                    tails = report.overall_percentiles
+                    rows.append(
+                        {
+                            "model": model_name,
+                            "chips": fleet,
+                            "load_x": load_factor,
+                            "window_x": window_factor,
+                            "offered_rps": offered,
+                            "window_ms": scheduler.batch_window * 1e3,
+                            "completed": stats.completed,
+                            "throughput_rps": report.overall_throughput,
+                            "p50_ms": tails["p50"] * 1e3,
+                            "p99_ms": tails["p99"] * 1e3,
+                            "mean_batch": stats.mean_batch_size,
+                            "utilization": report.utilization,
+                            "max_queue": report.max_queue_depth,
+                            "warm_compiles": warmed.misses,
+                            "warm_compile_s": warmed.compile_seconds,
+                            "recompiles": report.recompilations,
+                            "hit_rate": report.cache_hit_rate,
+                        }
+                    )
+    return rows
+
+
+def main() -> None:
+    """Print the serving sweep (quick grid)."""
+    print_table(
+        run(quick=True),
+        title="Figure 25: serving throughput vs fleet size and batch window",
+    )
+
+
+if __name__ == "__main__":
+    main()

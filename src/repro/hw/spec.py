@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from repro.utils.fingerprint import stable_hash
+
 
 KiB = 1024
 MiB = 1024 * KiB
@@ -91,6 +93,16 @@ class ChipSpec:
     def with_cores(self, num_cores: int) -> "ChipSpec":
         """Copy of this spec restricted/expanded to ``num_cores`` cores."""
         return replace(self, name=f"{self.name}-{num_cores}c", num_cores=num_cores)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of every field of the spec.
+
+        Programs compiled for one chip are only valid on a chip with
+        identical resources, so the fingerprint covers all fields (including
+        the display name, which disambiguates presets that happen to share
+        numbers).  Used by the serving plan cache as part of its key.
+        """
+        return stable_hash(("chip-spec", self))
 
 
 @dataclass(frozen=True)

@@ -17,6 +17,7 @@ import networkx as nx
 
 from repro.ir.operator import Operator
 from repro.ir.tensor import TensorRole
+from repro.utils.fingerprint import stable_hash
 
 
 @dataclass
@@ -92,6 +93,26 @@ class OperatorGraph:
             (self._graph.nodes[u]["op"], self._graph.nodes[v]["op"])
             for u, v in self._graph.edges()
         ]
+
+    # ------------------------------------------------------------------ #
+    # Identity
+    # ------------------------------------------------------------------ #
+    def fingerprint(self) -> str:
+        """Stable content hash of the graph's structure.
+
+        Covers every operator (name and full expression signature, hence
+        shapes, dtypes, roles and op types) and every producer/consumer
+        edge.  Nodes and edges are sorted by name so two graphs that contain
+        the same operators and edges fingerprint identically regardless of
+        the order they were built in.  The model's display ``name`` is
+        deliberately excluded: the plan cache should share compiled programs
+        between structurally identical graphs.
+        """
+        nodes = sorted(
+            (name, self._graph.nodes[name]["op"].signature()) for name in self._graph
+        )
+        edges = sorted(self._graph.edges())
+        return stable_hash(("operator-graph", tuple(nodes), tuple(edges)))
 
     # ------------------------------------------------------------------ #
     # Aggregate statistics

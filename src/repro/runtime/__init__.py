@@ -6,8 +6,11 @@ from repro.runtime.metrics import (
     bandwidth_utilization_gbps,
     comm_fraction,
     latency_breakdown,
+    latency_percentiles,
     per_operator_speedups,
+    percentile,
     speedup_distribution,
+    throughput_rps,
 )
 from repro.runtime.profiler import ProfileReport, SubTaskProfiler
 
@@ -20,6 +23,9 @@ __all__ = [
     "bandwidth_utilization_gbps",
     "comm_fraction",
     "latency_breakdown",
+    "latency_percentiles",
     "per_operator_speedups",
+    "percentile",
     "speedup_distribution",
+    "throughput_rps",
 ]

@@ -72,6 +72,42 @@ def speedup_distribution(speedups: Mapping[str, float]) -> dict[str, float]:
     }
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    ``q`` is in [0, 100].  Returns ``nan`` for an empty sequence so callers
+    can render "no data" without special-casing.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lower = int(rank)
+    upper = min(lower + 1, len(ordered) - 1)
+    fraction = rank - lower
+    return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
+
+
+def latency_percentiles(latencies: Sequence[float]) -> dict[str, float]:
+    """The p50/p95/p99 summary a serving SLO is stated against."""
+    return {
+        "p50": percentile(latencies, 50.0),
+        "p95": percentile(latencies, 95.0),
+        "p99": percentile(latencies, 99.0),
+    }
+
+
+def throughput_rps(completed: int, span_seconds: float) -> float:
+    """Requests per second completed over a (virtual) time span."""
+    if completed <= 0 or span_seconds <= 0:
+        return 0.0
+    return completed / span_seconds
+
+
 def average_speedup(results: Sequence[tuple[EvaluationResult, EvaluationResult]]) -> float:
     """Geometric-mean end-to-end speedup over (baseline, optimized) pairs."""
     ratios = [

@@ -1,0 +1,69 @@
+"""Model-serving subsystem: plan caching, dynamic batching, multi-chip pool.
+
+This layer sits on top of the compiler and simulator and answers the
+questions a production deployment asks: how many requests per second does a
+fleet of N chips sustain, what are the tail latencies under a given batching
+policy, and how much compile time does the plan cache amortise away.
+
+Quick start::
+
+    from repro.serving import PlanCache, ServedModel, ServingScheduler, poisson_workload
+
+    scheduler = ServingScheduler(
+        [ServedModel.from_registry("bert", num_layers=2, max_batch_size=8)],
+        num_chips=2,
+        batch_window=2e-3,
+    )
+    scheduler.warm()                       # compile every batch bucket once
+    report = scheduler.serve(
+        poisson_workload({"bert": 2000.0}, num_requests=200, seed=0)
+    )
+    print(report.summary())
+"""
+
+from repro.serving.batcher import Batch, DynamicBatcher, batch_buckets, bucket_for
+from repro.serving.metrics import ModelStats, ServingReport, build_model_stats
+from repro.serving.plan_cache import (
+    COMPILE,
+    HIT_DISK,
+    HIT_MEMORY,
+    CacheLookup,
+    CacheStats,
+    PlanCache,
+    plan_key,
+)
+from repro.serving.request import (
+    CompletedRequest,
+    InferenceRequest,
+    merge_workloads,
+    poisson_workload,
+    uniform_workload,
+)
+from repro.serving.scheduler import ServedModel, ServingScheduler
+from repro.serving.worker import BatchExecution, WorkerPool
+
+__all__ = [
+    "Batch",
+    "BatchExecution",
+    "COMPILE",
+    "CacheLookup",
+    "CacheStats",
+    "CompletedRequest",
+    "DynamicBatcher",
+    "HIT_DISK",
+    "HIT_MEMORY",
+    "InferenceRequest",
+    "ModelStats",
+    "PlanCache",
+    "ServedModel",
+    "ServingReport",
+    "ServingScheduler",
+    "WorkerPool",
+    "batch_buckets",
+    "bucket_for",
+    "build_model_stats",
+    "merge_workloads",
+    "plan_key",
+    "poisson_workload",
+    "uniform_workload",
+]

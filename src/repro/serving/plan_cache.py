@@ -1,0 +1,274 @@
+"""Content-addressed cache of compiled device programs.
+
+Compiling a model is orders of magnitude slower than serving one batch, so a
+serving system must compile each ``(graph, chip, constraints)`` combination
+exactly once and reuse the program forever (cf. TensorRT engine caches).  The
+cache is keyed by the stable fingerprints introduced on
+:meth:`~repro.ir.graph.OperatorGraph.fingerprint`,
+:meth:`~repro.hw.spec.ChipSpec.fingerprint` and
+:meth:`~repro.core.constraints.SearchConstraints.fingerprint`, and has two
+tiers:
+
+* an **in-memory tier** (dict) serving the steady state, and
+* an optional **on-disk tier** (one pickle per program) surviving process
+  restarts, so a redeployed server never recompiles either.
+
+All entry points are thread-safe: the worker pool compiles from several
+threads, and per-key locks guarantee a program is compiled at most once even
+when many threads miss on the same key simultaneously.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.core.compiler import CompiledModel, T10Compiler, default_cost_model
+from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
+from repro.hw.spec import ChipSpec
+from repro.ir.graph import OperatorGraph
+
+#: How a cache lookup was satisfied.
+HIT_MEMORY = "hit-memory"
+HIT_DISK = "hit-disk"
+COMPILE = "compile"
+
+
+def plan_key(
+    graph: OperatorGraph,
+    chip: ChipSpec,
+    constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+) -> str:
+    """Content-addressed cache key for one compilation."""
+    return f"{graph.fingerprint()}-{chip.fingerprint()}-{constraints.fingerprint()}"
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how the cache behaved."""
+
+    hits_memory: int = 0
+    hits_disk: int = 0
+    misses: int = 0
+    compile_seconds: float = 0.0
+    """Wall-clock seconds spent compiling on misses."""
+    saved_seconds: float = 0.0
+    """Compile seconds avoided by hits (each hit saves the original compile time)."""
+
+    @property
+    def lookups(self) -> int:
+        """Total number of cache lookups."""
+        return self.hits_memory + self.hits_disk + self.misses
+
+    @property
+    def hits(self) -> int:
+        """Lookups satisfied without compiling."""
+        return self.hits_memory + self.hits_disk
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups satisfied without compiling."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        """Copy of the current counters."""
+        return CacheStats(
+            hits_memory=self.hits_memory,
+            hits_disk=self.hits_disk,
+            misses=self.misses,
+            compile_seconds=self.compile_seconds,
+            saved_seconds=self.saved_seconds,
+        )
+
+    def since(self, before: "CacheStats") -> "CacheStats":
+        """Counters accumulated after the ``before`` snapshot was taken."""
+        return CacheStats(
+            hits_memory=self.hits_memory - before.hits_memory,
+            hits_disk=self.hits_disk - before.hits_disk,
+            misses=self.misses - before.misses,
+            compile_seconds=self.compile_seconds - before.compile_seconds,
+            saved_seconds=self.saved_seconds - before.saved_seconds,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict for tables and reports."""
+        return {
+            "lookups": self.lookups,
+            "hits_memory": self.hits_memory,
+            "hits_disk": self.hits_disk,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "compile_seconds": self.compile_seconds,
+            "saved_seconds": self.saved_seconds,
+        }
+
+
+@dataclass
+class CacheLookup:
+    """Result of one ``get_or_compile`` call."""
+
+    compiled: CompiledModel
+    outcome: str
+    """One of :data:`HIT_MEMORY`, :data:`HIT_DISK`, :data:`COMPILE`."""
+    key: str
+    seconds: float
+    """Wall-clock seconds the lookup took (compile time on a miss)."""
+
+    @property
+    def hit(self) -> bool:
+        """Whether the program was served without compiling."""
+        return self.outcome != COMPILE
+
+
+class PlanCache:
+    """Two-tier (memory + disk) cache of :class:`CompiledModel` programs."""
+
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        *,
+        compiler_factory: Callable[[ChipSpec, SearchConstraints], T10Compiler] | None = None,
+    ) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self._compiler_factory = compiler_factory or self._default_factory
+        self._memory: dict[str, CompiledModel] = {}
+        self._stats = CacheStats()
+        self._lock = threading.Lock()
+        self._key_locks: dict[str, threading.Lock] = {}
+
+    @staticmethod
+    def _default_factory(chip: ChipSpec, constraints: SearchConstraints) -> T10Compiler:
+        return T10Compiler(chip, cost_model=default_cost_model(chip), constraints=constraints)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> CacheStats:
+        """Lookup counters (live object, not a snapshot)."""
+        return self._stats
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._memory:
+                return True
+        path = self._disk_path(key)
+        return path is not None and path.exists()
+
+    def reset_stats(self) -> None:
+        """Zero the counters (e.g. after warmup, before measuring steady state)."""
+        with self._lock:
+            self._stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    # Tiers
+    # ------------------------------------------------------------------ #
+    def _disk_path(self, key: str) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{key}.plan.pkl"
+
+    def _load_disk(self, key: str) -> CompiledModel | None:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                compiled = pickle.load(handle)
+        except Exception:
+            # A corrupt or version-incompatible entry is just a miss; the
+            # fresh compile below overwrites it.
+            return None
+        return compiled if isinstance(compiled, CompiledModel) else None
+
+    def _store_disk(self, key: str, compiled: CompiledModel) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("wb") as handle:
+            pickle.dump(compiled, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+
+    def _key_lock(self, key: str) -> threading.Lock:
+        with self._lock:
+            lock = self._key_locks.get(key)
+            if lock is None:
+                lock = self._key_locks[key] = threading.Lock()
+            return lock
+
+    # ------------------------------------------------------------------ #
+    # Main entry point
+    # ------------------------------------------------------------------ #
+    def get_or_compile(
+        self,
+        graph: OperatorGraph,
+        chip: ChipSpec,
+        constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+    ) -> CacheLookup:
+        """Fetch the compiled program for ``graph`` on ``chip``, compiling on miss.
+
+        Failed compilations (OOM diagnoses) are cached too: retrying a model
+        that cannot fit the chip would waste the same compile time every
+        request.
+        """
+        key = plan_key(graph, chip, constraints)
+        start = time.perf_counter()
+        with self._lock:
+            compiled = self._memory.get(key)
+            if compiled is not None:
+                self._stats.hits_memory += 1
+                self._stats.saved_seconds += compiled.compile_time_seconds
+                return CacheLookup(compiled, HIT_MEMORY, key, time.perf_counter() - start)
+        # Serialise concurrent misses on the same key: the first thread
+        # compiles, the rest find the entry when they acquire the lock.
+        with self._key_lock(key):
+            with self._lock:
+                compiled = self._memory.get(key)
+            if compiled is not None:
+                with self._lock:
+                    self._stats.hits_memory += 1
+                    self._stats.saved_seconds += compiled.compile_time_seconds
+                return CacheLookup(compiled, HIT_MEMORY, key, time.perf_counter() - start)
+            compiled = self._load_disk(key)
+            if compiled is not None:
+                with self._lock:
+                    self._memory[key] = compiled
+                    self._stats.hits_disk += 1
+                    self._stats.saved_seconds += compiled.compile_time_seconds
+                return CacheLookup(compiled, HIT_DISK, key, time.perf_counter() - start)
+            compiler = self._compiler_factory(chip, constraints)
+            compiled = compiler.compile(graph)
+            self._store_disk(key, compiled)
+            with self._lock:
+                self._memory[key] = compiled
+                self._stats.misses += 1
+                self._stats.compile_seconds += compiled.compile_time_seconds
+            return CacheLookup(compiled, COMPILE, key, time.perf_counter() - start)
+
+    def warm(
+        self,
+        graphs: list[OperatorGraph],
+        chip: ChipSpec,
+        constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+        *,
+        max_workers: int | None = None,
+    ) -> list[CacheLookup]:
+        """Precompile ``graphs`` concurrently (exercises the thread-safe path)."""
+        if not graphs:
+            return []
+        workers = max_workers or min(8, len(graphs))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(
+                pool.map(lambda g: self.get_or_compile(g, chip, constraints), graphs)
+            )

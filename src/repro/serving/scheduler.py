@@ -1,0 +1,220 @@
+"""The serving front end: served-model configs and the scheduling loop.
+
+``ServingScheduler`` glues the pieces together: the
+:class:`~repro.serving.batcher.DynamicBatcher` turns the request stream into
+per-model batches, the :class:`~repro.serving.plan_cache.PlanCache` supplies
+each batch's compiled program (compiling at most once per padded batch
+size), and the :class:`~repro.serving.worker.WorkerPool` places batches on
+the simulated fleet.  ``serve`` replays one workload and returns a
+:class:`~repro.serving.metrics.ServingReport` with throughput, tail
+latencies, queueing and cache-health numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
+from repro.hw.spec import IPU_MK2, ChipSpec
+from repro.ir.graph import OperatorGraph
+from repro.serving.batcher import DynamicBatcher, batch_buckets, bucket_for
+from repro.serving.metrics import ServingReport, build_model_stats
+from repro.serving.plan_cache import CacheLookup, PlanCache
+from repro.serving.request import CompletedRequest, InferenceRequest
+from repro.serving.worker import WorkerPool
+
+
+@dataclass(frozen=True)
+class ServedModel:
+    """One model deployed behind the scheduler.
+
+    ``builder`` maps a (padded) batch size to the model's operator graph;
+    the scheduler only ever builds the bucketed sizes ``1, 2, 4, ...,
+    max_batch_size``.
+    """
+
+    name: str
+    builder: Callable[[int], OperatorGraph]
+    max_batch_size: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("ServedModel requires a name")
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+
+    @classmethod
+    def from_registry(
+        cls,
+        name: str,
+        *,
+        max_batch_size: int = 8,
+        **build_kwargs: object,
+    ) -> "ServedModel":
+        """Deploy a model from :mod:`repro.models.registry` by name.
+
+        ``build_kwargs`` are forwarded to the registry builder (e.g.
+        ``num_layers=2`` to serve a truncated stack in quick experiments).
+        """
+        from repro.models.registry import get_entry
+
+        entry = get_entry(name)
+        return cls(
+            name=name,
+            builder=lambda batch: entry.builder(batch, **build_kwargs),
+            max_batch_size=max_batch_size,
+        )
+
+    def bucket_graphs(self) -> list[OperatorGraph]:
+        """The graphs of every batch bucket this model can be served at."""
+        return [self.builder(size) for size in batch_buckets(self.max_batch_size)]
+
+
+class ServingScheduler:
+    """Serves inference requests for a set of models over a chip fleet."""
+
+    def __init__(
+        self,
+        models: Sequence[ServedModel],
+        *,
+        chip: ChipSpec = IPU_MK2,
+        num_chips: int = 1,
+        batch_window: float = 2e-3,
+        constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+        plan_cache: PlanCache | None = None,
+        cache_dir: str | Path | None = None,
+    ) -> None:
+        if not models:
+            raise ValueError("ServingScheduler needs at least one served model")
+        self.models: dict[str, ServedModel] = {}
+        for model in models:
+            if model.name in self.models:
+                raise ValueError(f"duplicate served model {model.name!r}")
+            self.models[model.name] = model
+        if plan_cache is not None and cache_dir is not None:
+            raise ValueError("pass either plan_cache or cache_dir, not both")
+        cache = plan_cache if plan_cache is not None else PlanCache(cache_dir)
+        self.batch_window = batch_window
+        self.pool = WorkerPool(
+            chip, num_chips=num_chips, plan_cache=cache, constraints=constraints
+        )
+        # Graphs are rebuilt per (model, bucket) on demand and memoised: the
+        # builder output is deterministic, and reusing the instance keeps
+        # fingerprinting cost off the per-batch path.
+        self._graphs: dict[tuple[str, int], OperatorGraph] = {}
+
+    # ------------------------------------------------------------------ #
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The cache shared by warmup and serving."""
+        return self.pool.plan_cache
+
+    @property
+    def chip(self) -> ChipSpec:
+        """The fleet's chip specification."""
+        return self.pool.chip
+
+    @property
+    def num_chips(self) -> int:
+        """Number of chips in the fleet."""
+        return self.pool.num_chips
+
+    def _graph_for(self, model_name: str, padded_size: int) -> OperatorGraph:
+        key = (model_name, padded_size)
+        graph = self._graphs.get(key)
+        if graph is None:
+            graph = self._graphs[key] = self.models[model_name].builder(padded_size)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    def batch_latency(self, model_name: str, batch_size: int = 1) -> float:
+        """Simulated latency of one batch of ``batch_size`` for ``model_name``.
+
+        The reciprocal is the model's single-chip capacity at that batch
+        size — the natural unit for sizing offered load in experiments.
+        Compiles through the plan cache on first use.
+        """
+        model = self.models[model_name]
+        padded = bucket_for(batch_size, model.max_batch_size)
+        status, error, latency = self.pool.measure(self._graph_for(model_name, padded))
+        if status != "ok":
+            raise RuntimeError(
+                f"{model_name} at batch {padded} does not serve on "
+                f"{self.chip.name}: {status} ({error})"
+            )
+        return latency
+
+    def warm(
+        self,
+        model_names: Iterable[str] | None = None,
+        *,
+        max_workers: int | None = None,
+    ) -> list[CacheLookup]:
+        """Precompile every batch bucket of the named (default: all) models.
+
+        Compilation fans out over a thread pool; after a full warmup a
+        serving run performs zero compilations.
+        """
+        names = list(model_names) if model_names is not None else sorted(self.models)
+        graphs: list[OperatorGraph] = []
+        for name in names:
+            model = self.models[name]
+            for size in batch_buckets(model.max_batch_size):
+                graphs.append(self._graph_for(name, size))
+        return self.pool.warm(graphs, max_workers=max_workers)
+
+    def serve(self, requests: Sequence[InferenceRequest]) -> ServingReport:
+        """Replay one workload through batching, caching and the worker pool."""
+        unknown = sorted({req.model for req in requests} - set(self.models))
+        if unknown:
+            raise ValueError(f"requests for unserved models {unknown}; "
+                             f"served: {sorted(self.models)}")
+        self.pool.reset()
+        stats_before = self.plan_cache.stats.snapshot()
+        batcher = DynamicBatcher(
+            max_batch_size={
+                name: model.max_batch_size for name, model in self.models.items()
+            },
+            batch_window=self.batch_window,
+        )
+        records: list[CompletedRequest] = []
+        for batch in batcher.batches(requests):
+            graph = self._graph_for(batch.model, batch.padded_size)
+            execution = self.pool.place(batch, graph)
+            for request in batch.requests:
+                records.append(
+                    CompletedRequest(
+                        request=request,
+                        batch_id=batch.batch_id,
+                        batch_size=len(batch),
+                        padded_batch_size=batch.padded_size,
+                        worker=execution.worker,
+                        dispatch_time=batch.dispatch_time,
+                        start_time=execution.start_time,
+                        completion_time=execution.completion_time,
+                        cache_outcome=execution.cache_outcome,
+                        status=execution.status,
+                        error=execution.error,
+                    )
+                )
+        records.sort(key=lambda record: record.request.request_id)
+        served = [record for record in records if record.ok]
+        makespan = 0.0
+        if served:
+            makespan = max(r.completion_time for r in served) - min(
+                r.request.arrival_time for r in served
+            )
+        return ServingReport(
+            num_chips=self.num_chips,
+            max_batch_size=max(model.max_batch_size for model in self.models.values()),
+            batch_window=self.batch_window,
+            completed=tuple(records),
+            per_model=build_model_stats(records),
+            cache=self.plan_cache.stats.since(stats_before),
+            makespan=makespan,
+            utilization=self.pool.utilization(makespan),
+            max_queue_depth=batcher.max_queue_depth,
+            mean_queue_depth=batcher.mean_queue_depth,
+        )

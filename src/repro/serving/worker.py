@@ -1,0 +1,159 @@
+"""Multi-chip worker pool placing batches onto simulated accelerators.
+
+The pool models ``num_chips`` identical chips, each running one batch at a
+time.  Placement is earliest-free-worker in virtual time: a batch starts at
+``max(dispatch_time, worker_free_time)`` and occupies the worker for the
+batch's simulated latency plus — on a plan-cache miss — the wall-clock
+compile time, which is how the experiments make the cost of a cold cache
+visible in the latency distribution.
+
+Batch latencies come from the analytical simulator.  Since the same compiled
+program yields the same latency every run, measurements are memoised per
+plan-cache key.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
+from repro.hw.simulator import ChipSimulator
+from repro.hw.spec import ChipSpec
+from repro.ir.graph import OperatorGraph
+from repro.serving.batcher import Batch
+from repro.serving.plan_cache import COMPILE, CacheLookup, PlanCache
+
+
+@dataclass(frozen=True)
+class BatchExecution:
+    """Outcome of placing one batch on the pool."""
+
+    batch: Batch
+    worker: int
+    start_time: float
+    completion_time: float
+    latency: float
+    """Simulated execution latency of the batch alone (seconds)."""
+    compile_penalty: float
+    """Extra seconds the worker was held compiling (0 on a cache hit)."""
+    cache_outcome: str
+    status: str = "ok"
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the batch actually executed."""
+        return self.status == "ok"
+
+
+class WorkerPool:
+    """Earliest-free placement of batches over N simulated chips."""
+
+    def __init__(
+        self,
+        chip: ChipSpec,
+        *,
+        num_chips: int = 1,
+        plan_cache: PlanCache | None = None,
+        constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+    ) -> None:
+        if num_chips < 1:
+            raise ValueError(f"num_chips must be >= 1, got {num_chips}")
+        self.chip = chip
+        self.num_chips = num_chips
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.constraints = constraints
+        self.simulator = ChipSimulator(chip)
+        self._latency_memo: dict[str, tuple[str, str, float]] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        """Restart virtual time: all workers free at t=0, counters cleared."""
+        # Heap of (free_time, worker_index); ties resolve to the lowest index.
+        self._free: list[tuple[float, int]] = [(0.0, i) for i in range(self.num_chips)]
+        heapq.heapify(self._free)
+        self.busy_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    def warm(
+        self,
+        graphs: list[OperatorGraph],
+        *,
+        max_workers: int | None = None,
+    ) -> list[CacheLookup]:
+        """Precompile ``graphs`` for this pool's chip via the shared plan cache.
+
+        Compilation runs on a thread pool — the concurrency the plan cache
+        and the compiler's cost-model cache are locked for.
+        """
+        return self.plan_cache.warm(
+            graphs, self.chip, self.constraints, max_workers=max_workers
+        )
+
+    def _measure(self, key: str, lookup: CacheLookup) -> tuple[str, str, float]:
+        """(status, error, latency) of one compiled program, memoised by key."""
+        memo = self._latency_memo.get(key)
+        if memo is not None:
+            return memo
+        compiled = lookup.compiled
+        if not compiled.ok:
+            memo = (compiled.status, compiled.error, float("inf"))
+        else:
+            simulation = self.simulator.run(compiled.program)
+            if not simulation.ok:
+                memo = (simulation.status, simulation.error, float("inf"))
+            else:
+                memo = ("ok", "", simulation.total_time)
+        self._latency_memo[key] = memo
+        return memo
+
+    def measure(self, graph: OperatorGraph) -> tuple[str, str, float]:
+        """(status, error, latency) of ``graph`` on this pool's chip.
+
+        Compiles through the plan cache on first use; useful for sizing
+        offered load relative to a model's single-batch capacity.
+        """
+        lookup = self.plan_cache.get_or_compile(graph, self.chip, self.constraints)
+        return self._measure(lookup.key, lookup)
+
+    # ------------------------------------------------------------------ #
+    def place(self, batch: Batch, graph: OperatorGraph) -> BatchExecution:
+        """Place one batch (with its padded-size graph) on the earliest free worker."""
+        lookup = self.plan_cache.get_or_compile(graph, self.chip, self.constraints)
+        status, error, latency = self._measure(lookup.key, lookup)
+        compile_penalty = lookup.seconds if lookup.outcome == COMPILE else 0.0
+        free_time, worker = heapq.heappop(self._free)
+        start = max(batch.dispatch_time, free_time)
+        if status != "ok":
+            # The batch is rejected (e.g. the padded graph does not fit the
+            # chip); the worker only pays the diagnosis time.
+            completion = start + compile_penalty
+        else:
+            completion = start + compile_penalty + latency
+        heapq.heappush(self._free, (completion, worker))
+        self.busy_seconds += completion - start
+        return BatchExecution(
+            batch=batch,
+            worker=worker,
+            start_time=start,
+            completion_time=completion,
+            latency=latency if status == "ok" else 0.0,
+            compile_penalty=compile_penalty,
+            cache_outcome=lookup.outcome,
+            status=status,
+            error=error,
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def makespan(self) -> float:
+        """Virtual time at which the last worker goes idle."""
+        return max(free for free, _ in self._free) if self._free else 0.0
+
+    def utilization(self, span: float | None = None) -> float:
+        """Fraction of fleet time spent executing batches."""
+        span = self.makespan if span is None else span
+        if span <= 0:
+            return 0.0
+        return min(1.0, self.busy_seconds / (span * self.num_chips))

@@ -5,6 +5,7 @@ package (IR, hardware model, compiler, baselines) can rely on them without
 creating import cycles.
 """
 
+from repro.utils.fingerprint import canonicalize, stable_hash
 from repro.utils.mathutils import (
     candidate_splits,
     ceil_div,
@@ -19,6 +20,7 @@ from repro.utils.mathutils import (
 
 __all__ = [
     "candidate_splits",
+    "canonicalize",
     "ceil_div",
     "clamp",
     "divisors",
@@ -27,4 +29,5 @@ __all__ = [
     "padded_length",
     "prod",
     "round_up",
+    "stable_hash",
 ]
