@@ -1,0 +1,13 @@
+"""Root pytest configuration: repository-wide command-line options."""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the tests/golden/ experiment snapshots from the "
+        "current code instead of comparing against them",
+    )

@@ -14,6 +14,13 @@ from repro.core.constraints import (
 from repro.core.cost_model import CommModel, CostModel, KernelSample, LinearKernelModel
 from repro.core.inter_op import InterOpScheduler, ModelSchedule, OperatorSchedule
 from repro.core.intra_op import IntraOpOptimizer, SearchSpaceStats
+from repro.core.parallel import (
+    GraphSearchResult,
+    ParallelCompilationEngine,
+    SingleFlight,
+    default_jobs,
+    resolve_jobs,
+)
 from repro.core.pareto import pareto_front
 from repro.core.placement import PlacementPlan
 from repro.core.plan import OperatorPlan, ShiftOp, build_library_plan, build_plan
@@ -25,6 +32,7 @@ __all__ = [
     "CostModel",
     "DEFAULT_CONSTRAINTS",
     "FAST_CONSTRAINTS",
+    "GraphSearchResult",
     "InterOpScheduler",
     "IntraOpOptimizer",
     "KernelSample",
@@ -32,15 +40,19 @@ __all__ = [
     "ModelSchedule",
     "OperatorPlan",
     "OperatorSchedule",
+    "ParallelCompilationEngine",
     "PlacementPlan",
     "RTensorConfig",
     "SearchConstraints",
     "SearchSpaceStats",
     "ShiftOp",
+    "SingleFlight",
     "T10Compiler",
     "THOROUGH_CONSTRAINTS",
     "build_library_plan",
     "build_plan",
     "default_cost_model",
+    "default_jobs",
     "pareto_front",
+    "resolve_jobs",
 ]

@@ -25,11 +25,13 @@ from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
 from repro.core.cost_model import CostModel
 from repro.core.inter_op import InterOpScheduler, ModelSchedule
 from repro.core.intra_op import IntraOpOptimizer, SearchSpaceStats
+from repro.core.parallel import ParallelCompilationEngine
 from repro.core.plan import OperatorPlan
 from repro.hw.memory import OutOfChipMemoryError
 from repro.hw.program import DeviceProgram
 from repro.hw.spec import IPU_MK2, ChipSpec
 from repro.ir.graph import OperatorGraph
+from repro.ir.operator import Operator
 
 #: Cost models are expensive enough to fit that sharing them across compiler
 #: instances targeting the same chip is worthwhile (they are deterministic).
@@ -100,32 +102,67 @@ class T10Compiler:
         *,
         cost_model: CostModel | None = None,
         constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+        jobs: int | None = 1,
+        parallel_backend: str = "auto",
     ) -> None:
+        """``jobs`` controls intra-op search parallelism: 1 compiles serially,
+        N fans unique-operator searches out over N workers, and ``None`` picks
+        a host-appropriate default.  Results are identical for every setting
+        (see :mod:`repro.core.parallel` for the determinism argument).
+        """
         self.chip = chip
         self.cost_model = cost_model or default_cost_model(chip)
         self.constraints = constraints
         self.intra_op = IntraOpOptimizer(chip, self.cost_model, constraints)
         self.inter_op = InterOpScheduler(chip, self.cost_model)
+        self.engine = ParallelCompilationEngine(
+            chip,
+            self.cost_model,
+            constraints,
+            jobs=jobs,
+            backend=parallel_backend,
+        )
+
+    @property
+    def jobs(self) -> int:
+        """Worker count the intra-op searches fan out over."""
+        return self.engine.jobs
+
+    def close(self) -> None:
+        """Release the engine's worker pool (idempotent; no-op for jobs=1)."""
+        self.engine.close()
+
+    def __enter__(self) -> "T10Compiler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------ #
     def compile(self, graph: OperatorGraph) -> CompiledModel:
         """Compile ``graph`` into a device program (or an OOM diagnosis)."""
         start = time.perf_counter()
-        pareto: dict[str, list[OperatorPlan]] = {}
-        stats: dict[str, SearchSpaceStats] = {}
+        search = self.engine.search_graph(graph, self.intra_op)
+        if not search.ok:
+            return CompiledModel(
+                graph=graph,
+                chip=self.chip,
+                status="oom",
+                pareto_plans=search.pareto,
+                search_stats=search.stats,
+                compile_time_seconds=time.perf_counter() - start,
+                error=search.error or "",
+            )
         try:
-            for operator in graph.operators:
-                pareto[operator.name] = self.intra_op.pareto_plans(operator)
-                stats[operator.name] = self.intra_op.search_space_stats(operator)
-            schedule = self.inter_op.reconcile(pareto)
+            schedule = self.inter_op.reconcile(search.pareto)
             program = generate_program(graph, schedule, self.chip)
         except (OutOfChipMemoryError, ValueError) as error:
             return CompiledModel(
                 graph=graph,
                 chip=self.chip,
                 status="oom",
-                pareto_plans=pareto,
-                search_stats=stats,
+                pareto_plans=search.pareto,
+                search_stats=search.stats,
                 compile_time_seconds=time.perf_counter() - start,
                 error=str(error),
             )
@@ -136,11 +173,11 @@ class T10Compiler:
             status="ok",
             program=program,
             schedule=schedule,
-            pareto_plans=pareto,
-            search_stats=stats,
+            pareto_plans=search.pareto,
+            search_stats=search.stats,
             compile_time_seconds=elapsed,
         )
 
-    def compile_operator(self, operator) -> list[OperatorPlan]:
+    def compile_operator(self, operator: Operator) -> list[OperatorPlan]:
         """Convenience wrapper: Pareto plans of a single operator."""
         return self.intra_op.pareto_plans(operator)

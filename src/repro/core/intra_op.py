@@ -42,6 +42,18 @@ class SearchSpaceStats:
     optimized: int
 
 
+def infeasible_plan_error(op_name: str, chip_name: str) -> ValueError:
+    """The error raised when an operator admits no feasible plan.
+
+    Centralised so the serial and parallel search paths raise bit-identical
+    diagnostics (the parallel engine reconstructs serial error ordering).
+    """
+    return ValueError(
+        f"no feasible execution plan for operator {op_name!r} "
+        f"on chip {chip_name}"
+    )
+
+
 class IntraOpOptimizer:
     """Searches Pareto-optimal compute-shift plans for individual operators."""
 
@@ -54,8 +66,12 @@ class IntraOpOptimizer:
         self.chip = chip
         self.cost_model = cost_model
         self.constraints = constraints
-        self._pareto_cache: dict[tuple, list[OperatorPlan]] = {}
-        self._stats_cache: dict[tuple, SearchSpaceStats] = {}
+        # One dict holding (frontier, stats) per signature: a single atomic
+        # assignment per completed search, so concurrent readers (the plan
+        # cache shares one optimizer across serving threads) never observe a
+        # half-written result.  Duplicate concurrent searches of one
+        # signature are wasted but harmless — the search is deterministic.
+        self._cache: dict[tuple, tuple[list[OperatorPlan], SearchSpaceStats]] = {}
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -66,16 +82,40 @@ class IntraOpOptimizer:
         Raises :class:`ValueError` if no feasible plan exists (the operator
         cannot fit the chip at all).
         """
-        signature = operator.signature()
-        if signature not in self._pareto_cache:
-            self._search(operator)
-        plans = self._pareto_cache[signature]
+        plans, _ = self.search_results(operator)
         if not plans:
-            raise ValueError(
-                f"no feasible execution plan for operator {operator.name!r} "
-                f"on chip {self.chip.name}"
-            )
+            raise infeasible_plan_error(operator.name, self.chip.name)
         return plans
+
+    def search_results(
+        self, operator: Operator
+    ) -> tuple[list[OperatorPlan], SearchSpaceStats]:
+        """Frontier and stats of ``operator`` without raising on infeasibility.
+
+        An infeasible operator yields an empty frontier; callers that need the
+        serial error behaviour (``pareto_plans``) raise on it themselves.  This
+        is the entry point the parallel engine's workers use.
+        """
+        signature = operator.signature()
+        cached = self._cache.get(signature)
+        if cached is None:
+            cached = self._search(operator)
+        return cached
+
+    def peek(
+        self, signature: tuple
+    ) -> tuple[list[OperatorPlan], SearchSpaceStats] | None:
+        """Cached search result for ``signature``, or ``None`` if not searched."""
+        return self._cache.get(signature)
+
+    def seed(
+        self,
+        signature: tuple,
+        plans: list[OperatorPlan],
+        stats: SearchSpaceStats,
+    ) -> None:
+        """Install an externally computed search result (parallel engine merge)."""
+        self._cache[signature] = (plans, stats)
 
     def enumerate_plans(self, operator: Operator) -> list[OperatorPlan]:
         """All costed candidate plans (used by the plan-space studies)."""
@@ -84,20 +124,19 @@ class IntraOpOptimizer:
 
     def search_space_stats(self, operator: Operator) -> SearchSpaceStats:
         """Complete / filtered / Pareto plan-space sizes for ``operator``."""
-        signature = operator.signature()
-        if signature not in self._stats_cache:
-            self._search(operator)
-        return self._stats_cache[signature]
+        _, stats = self.search_results(operator)
+        return stats
 
     def clear_cache(self) -> None:
         """Drop cached search results (used when constraints change)."""
-        self._pareto_cache.clear()
-        self._stats_cache.clear()
+        self._cache.clear()
 
     # ------------------------------------------------------------------ #
     # Search
     # ------------------------------------------------------------------ #
-    def _search(self, operator: Operator) -> None:
+    def _search(
+        self, operator: Operator
+    ) -> tuple[list[OperatorPlan], SearchSpaceStats]:
         signature = operator.signature()
         candidates = list(self._candidate_plans(operator))
         fitting = [
@@ -108,13 +147,15 @@ class IntraOpOptimizer:
             memory=lambda plan: plan.memory_bytes,
             time=lambda plan: plan.time_est,
         )
-        self._pareto_cache[signature] = frontier
-        self._stats_cache[signature] = SearchSpaceStats(
+        stats = SearchSpaceStats(
             complete=complete_space_size(operator.expr, self.chip.num_cores),
             filtered=float(len(candidates)),
             evaluated=len(candidates),
             optimized=len(frontier),
         )
+        result = (frontier, stats)
+        self._cache[signature] = result
+        return result
 
     def _candidate_plans(self, operator: Operator) -> Iterable[OperatorPlan]:
         expr = operator.expr

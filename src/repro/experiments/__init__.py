@@ -14,6 +14,7 @@ from repro.experiments import (
     fig14_bandwidth,
     fig15_operator_perf,
     fig16_compile_time,
+    fig16_parallel,
     fig17_intra_op_plans,
     fig18_search_space,
     fig19_constraints,
@@ -44,6 +45,7 @@ ALL_EXPERIMENTS = {
     "fig14": fig14_bandwidth,
     "fig15": fig15_operator_perf,
     "fig16": fig16_compile_time,
+    "fig16p": fig16_parallel,
     "fig17": fig17_intra_op_plans,
     "fig18": fig18_search_space,
     "fig19": fig19_constraints,

@@ -11,6 +11,7 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 
@@ -18,10 +19,21 @@ from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments.common import print_table
 
 
-def _run_one(name: str, *, quick: bool) -> None:
+def _run_one(name: str, *, quick: bool, jobs: int | None = None) -> None:
     module = ALL_EXPERIMENTS[name]
+    kwargs: dict[str, object] = {"quick": quick}
+    # Compile-time experiments accept a parallel-compilation width; the rest
+    # are compile-once studies where parallelism would only perturb timings.
+    if jobs is not None:
+        parameters = inspect.signature(module.run).parameters
+        if "jobs" in parameters:
+            kwargs["jobs"] = jobs
+        elif "jobs_grid" in parameters:
+            kwargs["jobs_grid"] = (1, jobs)  # serial reference + requested width
+        else:
+            print(f"note: {name} does not compile per run; --jobs ignored")
     start = time.perf_counter()
-    rows = module.run(quick=quick)
+    rows = module.run(**kwargs)
     elapsed = time.perf_counter() - start
     title = f"{name} — {module.__doc__.strip().splitlines()[0]} ({elapsed:.1f}s)"
     print_table(rows, title=title)
@@ -43,7 +55,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the reduced grids used by the benchmark suite",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel-compilation workers for experiments that compile "
+        "(identical output to serial; see README 'Parallel compilation')",
+    )
     args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
     if args.experiment == "list":
         for name, module in ALL_EXPERIMENTS.items():
@@ -52,12 +74,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.experiment == "all":
         for name in ALL_EXPERIMENTS:
-            _run_one(name, quick=args.quick)
+            _run_one(name, quick=args.quick, jobs=args.jobs)
         return 0
     if args.experiment not in ALL_EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
         return 2
-    _run_one(args.experiment, quick=args.quick)
+    _run_one(args.experiment, quick=args.quick, jobs=args.jobs)
     return 0
 
 

@@ -57,15 +57,38 @@ _T10_CACHE: dict[tuple, T10Compiler] = {}
 
 
 def shared_t10_compiler(
-    chip: ChipSpec, constraints: SearchConstraints = DEFAULT_CONSTRAINTS
+    chip: ChipSpec,
+    constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+    *,
+    jobs: int | None = 1,
 ) -> T10Compiler:
-    """A cached T10 compiler for ``chip`` (plan cache shared across experiments)."""
-    key = (chip.name, chip.num_cores, chip.sram_per_core, constraints)
+    """A cached T10 compiler for ``chip`` (plan cache shared across experiments).
+
+    ``jobs`` selects the parallel-compilation width; compilers with different
+    widths are cached separately (their plan searches produce identical
+    results, but a sweep must not let one setting's warm cache serve another's
+    timing run).
+    """
+    key = (chip.name, chip.num_cores, chip.sram_per_core, constraints, jobs)
     if key not in _T10_CACHE:
         _T10_CACHE[key] = T10Compiler(
-            chip, cost_model=default_cost_model(chip), constraints=constraints
+            chip,
+            cost_model=default_cost_model(chip),
+            constraints=constraints,
+            jobs=jobs,
         )
     return _T10_CACHE[key]
+
+
+def close_shared_compilers() -> None:
+    """Close and forget the cached compilers (releases jobs>1 worker pools).
+
+    Long interactive sessions that swept parallel widths can call this to
+    stop idle pool workers from outliving the sweep.
+    """
+    while _T10_CACHE:
+        _, compiler = _T10_CACHE.popitem()
+        compiler.close()
 
 
 def make_compilers(
@@ -73,13 +96,14 @@ def make_compilers(
     *,
     names: Sequence[str] = COMPILER_ORDER,
     constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+    jobs: int | None = 1,
 ) -> dict[str, object]:
     """Instantiate the requested compilers for one chip."""
     factories: dict[str, Callable[[], object]] = {
         "PopART": lambda: PopARTCompiler(chip),
         "Ansor": lambda: AnsorCompiler(chip),
         "Roller": lambda: RollerCompiler(chip),
-        "T10": lambda: shared_t10_compiler(chip, constraints),
+        "T10": lambda: shared_t10_compiler(chip, constraints, jobs=jobs),
     }
     unknown = [name for name in names if name not in factories]
     if unknown:
@@ -95,11 +119,14 @@ def evaluate_workload(
     compiler_names: Sequence[str] = COMPILER_ORDER,
     quick: bool = False,
     constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+    jobs: int | None = 1,
 ) -> dict[str, EvaluationResult]:
     """Compile and simulate one workload with each requested compiler."""
     graph = build_workload(model_name, batch_size, quick=quick)
     executor = Executor(chip)
-    compilers = make_compilers(chip, names=compiler_names, constraints=constraints)
+    compilers = make_compilers(
+        chip, names=compiler_names, constraints=constraints, jobs=jobs
+    )
     return {name: executor.evaluate(compiler, graph) for name, compiler in compilers.items()}
 
 

@@ -23,17 +23,25 @@ def run(
     batch_sizes: Sequence[int] | None = None,
     constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
     quick: bool = False,
+    jobs: int | None = 1,
 ) -> list[dict]:
-    """One row per (model, batch) with T10's compilation time."""
+    """One row per (model, batch) with T10's compilation time.
+
+    ``jobs`` selects the parallel-compilation width (identical programs, see
+    :mod:`repro.core.parallel`); the fig16p sweep compares widths directly.
+    """
     rows: list[dict] = []
     for model_name in models:
         sizes = batch_sizes if batch_sizes is not None else batch_sizes_for(model_name, quick=quick)
         for batch in sizes:
             graph = build_workload(model_name, batch, quick=quick)
-            compiler = T10Compiler(
-                chip, cost_model=default_cost_model(chip), constraints=constraints
-            )
-            compiled = compiler.compile(graph)
+            with T10Compiler(
+                chip,
+                cost_model=default_cost_model(chip),
+                constraints=constraints,
+                jobs=jobs,
+            ) as compiler:
+                compiled = compiler.compile(graph)
             rows.append(
                 {
                     "model": model_name,

@@ -14,8 +14,9 @@ tiers:
   restarts, so a redeployed server never recompiles either.
 
 All entry points are thread-safe: the worker pool compiles from several
-threads, and per-key locks guarantee a program is compiled at most once even
-when many threads miss on the same key simultaneously.
+threads, and a :class:`~repro.core.parallel.SingleFlight` guard guarantees a
+program is compiled at most once even when many threads miss on the same key
+simultaneously.
 """
 
 from __future__ import annotations
@@ -30,6 +31,7 @@ from typing import Callable
 
 from repro.core.compiler import CompiledModel, T10Compiler, default_cost_model
 from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
+from repro.core.parallel import SingleFlight
 from repro.hw.spec import ChipSpec
 from repro.ir.graph import OperatorGraph
 
@@ -133,19 +135,48 @@ class PlanCache:
         cache_dir: str | Path | None = None,
         *,
         compiler_factory: Callable[[ChipSpec, SearchConstraints], T10Compiler] | None = None,
+        jobs: int | None = 1,
     ) -> None:
+        """``jobs`` is forwarded to compilers the cache builds itself (the
+        default factory); a custom ``compiler_factory`` decides its own
+        parallelism.  Compilers are memoised per (chip, constraints) so one
+        worker pool and one intra-op plan cache serve all misses.
+        """
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+        self.jobs = jobs
         self._compiler_factory = compiler_factory or self._default_factory
+        self._compilers: dict[tuple[str, str], T10Compiler] = {}
         self._memory: dict[str, CompiledModel] = {}
         self._stats = CacheStats()
         self._lock = threading.Lock()
-        self._key_locks: dict[str, threading.Lock] = {}
+        self._flight = SingleFlight()
 
-    @staticmethod
-    def _default_factory(chip: ChipSpec, constraints: SearchConstraints) -> T10Compiler:
-        return T10Compiler(chip, cost_model=default_cost_model(chip), constraints=constraints)
+    def _default_factory(
+        self, chip: ChipSpec, constraints: SearchConstraints
+    ) -> T10Compiler:
+        return T10Compiler(
+            chip,
+            cost_model=default_cost_model(chip),
+            constraints=constraints,
+            jobs=self.jobs,
+        )
+
+    def _compiler_for(
+        self, chip: ChipSpec, constraints: SearchConstraints
+    ) -> T10Compiler:
+        """The shared compiler for one (chip, constraints) target."""
+        key = (chip.fingerprint(), constraints.fingerprint())
+        with self._lock:
+            compiler = self._compilers.get(key)
+        if compiler is None:
+            built = self._compiler_factory(chip, constraints)
+            with self._lock:
+                compiler = self._compilers.setdefault(key, built)
+            if compiler is not built and hasattr(built, "close"):
+                built.close()  # lost the race; don't leak its worker pool
+        return compiler
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -169,6 +200,13 @@ class PlanCache:
         """Zero the counters (e.g. after warmup, before measuring steady state)."""
         with self._lock:
             self._stats = CacheStats()
+
+    def close(self) -> None:
+        """Release the worker pools of memoised compilers (idempotent)."""
+        with self._lock:
+            compilers, self._compilers = list(self._compilers.values()), {}
+        for compiler in compilers:
+            compiler.close()
 
     # ------------------------------------------------------------------ #
     # Tiers
@@ -200,16 +238,18 @@ class PlanCache:
             pickle.dump(compiled, handle, protocol=pickle.HIGHEST_PROTOCOL)
         tmp.replace(path)
 
-    def _key_lock(self, key: str) -> threading.Lock:
-        with self._lock:
-            lock = self._key_locks.get(key)
-            if lock is None:
-                lock = self._key_locks[key] = threading.Lock()
-            return lock
-
     # ------------------------------------------------------------------ #
     # Main entry point
     # ------------------------------------------------------------------ #
+    def _memory_hit(self, key: str, start: float) -> CacheLookup | None:
+        with self._lock:
+            compiled = self._memory.get(key)
+            if compiled is None:
+                return None
+            self._stats.hits_memory += 1
+            self._stats.saved_seconds += compiled.compile_time_seconds
+        return CacheLookup(compiled, HIT_MEMORY, key, time.perf_counter() - start)
+
     def get_or_compile(
         self,
         graph: OperatorGraph,
@@ -220,26 +260,21 @@ class PlanCache:
 
         Failed compilations (OOM diagnoses) are cached too: retrying a model
         that cannot fit the chip would waste the same compile time every
-        request.
+        request.  Concurrent misses on one key are single-flighted: exactly
+        one caller compiles, the rest receive its program as a memory hit.
         """
         key = plan_key(graph, chip, constraints)
         start = time.perf_counter()
-        with self._lock:
-            compiled = self._memory.get(key)
-            if compiled is not None:
-                self._stats.hits_memory += 1
-                self._stats.saved_seconds += compiled.compile_time_seconds
-                return CacheLookup(compiled, HIT_MEMORY, key, time.perf_counter() - start)
-        # Serialise concurrent misses on the same key: the first thread
-        # compiles, the rest find the entry when they acquire the lock.
-        with self._key_lock(key):
-            with self._lock:
-                compiled = self._memory.get(key)
-            if compiled is not None:
-                with self._lock:
-                    self._stats.hits_memory += 1
-                    self._stats.saved_seconds += compiled.compile_time_seconds
-                return CacheLookup(compiled, HIT_MEMORY, key, time.perf_counter() - start)
+        hit = self._memory_hit(key, start)
+        if hit is not None:
+            return hit
+
+        def miss() -> CacheLookup:
+            # Re-check under the flight: we may have become leader just after
+            # the previous leader published the entry.
+            hit = self._memory_hit(key, start)
+            if hit is not None:
+                return hit
             compiled = self._load_disk(key)
             if compiled is not None:
                 with self._lock:
@@ -247,7 +282,7 @@ class PlanCache:
                     self._stats.hits_disk += 1
                     self._stats.saved_seconds += compiled.compile_time_seconds
                 return CacheLookup(compiled, HIT_DISK, key, time.perf_counter() - start)
-            compiler = self._compiler_factory(chip, constraints)
+            compiler = self._compiler_for(chip, constraints)
             compiled = compiler.compile(graph)
             self._store_disk(key, compiled)
             with self._lock:
@@ -255,6 +290,18 @@ class PlanCache:
                 self._stats.misses += 1
                 self._stats.compile_seconds += compiled.compile_time_seconds
             return CacheLookup(compiled, COMPILE, key, time.perf_counter() - start)
+
+        lookup, leader = self._flight.do(key, miss)
+        if leader:
+            return lookup
+        # A follower rode on the leader's compile: by the time it returns the
+        # program is resident, so the lookup counts as a memory hit (with the
+        # follower's own wait time, which is how the cost of riding shows up
+        # in serving latency).
+        with self._lock:
+            self._stats.hits_memory += 1
+            self._stats.saved_seconds += lookup.compiled.compile_time_seconds
+        return CacheLookup(lookup.compiled, HIT_MEMORY, key, time.perf_counter() - start)
 
     def warm(
         self,

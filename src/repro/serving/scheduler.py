@@ -85,7 +85,13 @@ class ServingScheduler:
         constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
         plan_cache: PlanCache | None = None,
         cache_dir: str | Path | None = None,
+        jobs: int | None = None,
     ) -> None:
+        """``jobs=None`` (the default) lets each cache-miss compile fan its
+        intra-op searches out over a host-appropriate worker count; pass
+        ``jobs=1`` to force serial compilation.  Either way the compiled
+        programs are identical — parallelism only changes compile latency.
+        """
         if not models:
             raise ValueError("ServingScheduler needs at least one served model")
         self.models: dict[str, ServedModel] = {}
@@ -95,7 +101,17 @@ class ServingScheduler:
             self.models[model.name] = model
         if plan_cache is not None and cache_dir is not None:
             raise ValueError("pass either plan_cache or cache_dir, not both")
-        cache = plan_cache if plan_cache is not None else PlanCache(cache_dir)
+        if plan_cache is not None and jobs is not None:
+            raise ValueError(
+                "jobs has no effect on a caller-supplied plan_cache (its "
+                "compilers are already configured); set jobs when building "
+                "the cache instead"
+            )
+        # Only a cache this scheduler built itself is closed by close(): a
+        # caller-supplied cache may be shared with other schedulers whose
+        # compiles are still in flight.
+        self._owns_cache = plan_cache is None
+        cache = plan_cache if plan_cache is not None else PlanCache(cache_dir, jobs=jobs)
         self.batch_window = batch_window
         self.pool = WorkerPool(
             chip, num_chips=num_chips, plan_cache=cache, constraints=constraints
@@ -110,6 +126,15 @@ class ServingScheduler:
     def plan_cache(self) -> PlanCache:
         """The cache shared by warmup and serving."""
         return self.pool.plan_cache
+
+    def close(self) -> None:
+        """Release compiler worker pools held by the scheduler's own cache.
+
+        A no-op when the cache was supplied by the caller — shared caches are
+        closed by whoever created them, once every scheduler is done.
+        """
+        if self._owns_cache:
+            self.plan_cache.close()
 
     @property
     def chip(self) -> ChipSpec:

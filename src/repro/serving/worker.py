@@ -57,12 +57,17 @@ class WorkerPool:
         num_chips: int = 1,
         plan_cache: PlanCache | None = None,
         constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+        jobs: int | None = 1,
     ) -> None:
+        """``jobs`` sets the parallel-compilation width of the pool's own plan
+        cache; it is ignored when an external ``plan_cache`` is supplied (the
+        cache's compilers are configured by whoever built it).
+        """
         if num_chips < 1:
             raise ValueError(f"num_chips must be >= 1, got {num_chips}")
         self.chip = chip
         self.num_chips = num_chips
-        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache(jobs=jobs)
         self.constraints = constraints
         self.simulator = ChipSimulator(chip)
         self._latency_memo: dict[str, tuple[str, str, float]] = {}

@@ -7,11 +7,20 @@ integration tests use the full IPU MK2 configuration.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.core import CostModel, SearchConstraints, T10Compiler
 from repro.hw.spec import IPU_MK2, ChipSpec, KiB
 from repro.runtime import Executor
+
+#: Parallel-compilation width for the shared compiler fixture.  CI runs a
+#: second matrix leg with ``REPRO_TEST_JOBS=4`` so the compiles going through
+#: ``small_compiler`` exercise the worker-pool path (results are identical by
+#: design; see docs/testing.md).  Tests building their own compilers choose
+#: their own width.
+TEST_JOBS = int(os.environ.get("REPRO_TEST_JOBS", "1"))
 
 
 @pytest.fixture(scope="session")
@@ -80,7 +89,13 @@ def fast_constraints() -> SearchConstraints:
 @pytest.fixture()
 def small_compiler(small_chip, small_cost_model, fast_constraints) -> T10Compiler:
     """A T10 compiler bound to the small test chip."""
-    return T10Compiler(small_chip, cost_model=small_cost_model, constraints=fast_constraints)
+    with T10Compiler(
+        small_chip,
+        cost_model=small_cost_model,
+        constraints=fast_constraints,
+        jobs=TEST_JOBS,
+    ) as compiler:
+        yield compiler
 
 
 @pytest.fixture()

@@ -123,6 +123,60 @@ class TestCompiler:
         plans = small_compiler.compile_operator(matmul("mm", m=128, k=128, n=128))
         assert plans
 
+    def test_compile_operator_matches_intra_op_search(self, small_compiler):
+        operator = matmul("mm", m=128, k=128, n=128)
+        assert small_compiler.compile_operator(operator) is (
+            small_compiler.intra_op.pareto_plans(operator)
+        )
+
+    def test_compile_operator_infeasible_raises(
+        self, small_cost_model, fast_constraints
+    ):
+        cramped = ChipSpec(
+            name="cramped",
+            num_cores=64,
+            sram_per_core=32 * KiB,
+            core_flops=100e9,
+            link_bandwidth=5.5e9,
+            link_latency=0.4e-6,
+            offchip_bandwidth=8e9,
+        )
+        compiler = T10Compiler(
+            cramped, cost_model=small_cost_model, constraints=fast_constraints
+        )
+        with pytest.raises(ValueError, match="no feasible execution plan"):
+            compiler.compile_operator(matmul("huge", m=4096, k=4096, n=4096))
+
+    def test_plan_for_unknown_operator(self, small_compiler):
+        compiled = small_compiler.compile(small_graph())
+        assert compiled.ok
+        with pytest.raises(KeyError):
+            compiled.plan_for("not-an-operator")
+
+    def test_summary_reports_failure_diagnosis(
+        self, small_cost_model, fast_constraints
+    ):
+        cramped = ChipSpec(
+            name="cramped",
+            num_cores=64,
+            sram_per_core=32 * KiB,
+            core_flops=100e9,
+            link_bandwidth=5.5e9,
+            link_latency=0.4e-6,
+            offchip_bandwidth=8e9,
+        )
+        compiler = T10Compiler(
+            cramped, cost_model=small_cost_model, constraints=fast_constraints
+        )
+        graph = OperatorGraph(name="too-big")
+        graph.add(matmul("huge", m=4096, k=4096, n=4096))
+        compiled = compiler.compile(graph)
+        assert not compiled.ok
+        summary = compiled.summary()
+        assert "too-big" in summary
+        assert "oom" in summary
+        assert compiled.error in summary
+
     def test_plan_cache_shared_across_layers(self, ipu_chip, ipu_cost_model, fast_constraints):
         """Identical transformer layers are searched once (paper §6.3)."""
         compiler = T10Compiler(ipu_chip, cost_model=ipu_cost_model, constraints=fast_constraints)

@@ -18,6 +18,7 @@ from repro.experiments import (
     fig14_bandwidth,
     fig15_operator_perf,
     fig16_compile_time,
+    fig16_parallel,
     fig18_search_space,
     fig19_constraints,
     fig20_inter_op,
@@ -33,7 +34,7 @@ from repro.experiments.common import format_table
 
 class TestHarness:
     def test_all_experiments_registered(self):
-        assert len(ALL_EXPERIMENTS) == 19
+        assert len(ALL_EXPERIMENTS) == 20
         for module in ALL_EXPERIMENTS.values():
             assert hasattr(module, "run")
             assert hasattr(module, "main")
@@ -146,6 +147,47 @@ class TestFig16:
         assert rows
         assert all(row["compile_time_s"] > 0 for row in rows)
         assert all(row["unique_operators"] <= row["operators"] for row in rows)
+
+
+class TestFig16Parallel:
+    def test_sweep_rows_and_determinism(self):
+        rows = fig16_parallel.run(
+            models=("nerf",), jobs_grid=(1, 2), quick=True
+        )
+        assert len(rows) == 2
+        by_jobs = {row["jobs"]: row for row in rows}
+        assert set(by_jobs) == {1, 2}
+        assert all(row["plans_match"] for row in rows)
+        assert all(row["compile_time_s"] > 0 for row in rows)
+        assert by_jobs[1]["speedup_vs_serial"] == pytest.approx(1.0)
+
+    def test_serial_reference_always_included(self):
+        rows = fig16_parallel.run(models=("nerf",), jobs_grid=(2,), quick=True)
+        assert {row["jobs"] for row in rows} == {1, 2}
+
+    def test_serial_reference_runs_first_regardless_of_grid_order(self):
+        rows = fig16_parallel.run(models=("nerf",), jobs_grid=(2, 1), quick=True)
+        assert [row["jobs"] for row in rows] == [1, 2]
+        assert all(row["plans_match"] for row in rows)
+
+    def test_bad_jobs_grid_rejected(self):
+        with pytest.raises(ValueError):
+            fig16_parallel.run(models=("nerf",), jobs_grid=(0, 2), quick=True)
+        with pytest.raises(ValueError):
+            fig16_parallel.run(models=("nerf",), jobs_grid=(), quick=True)
+
+    def test_cli_jobs_flag_maps_to_jobs_grid(self, capsys):
+        from repro.experiments.__main__ import main as cli_main
+
+        assert cli_main(["fig16p", "--quick", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs" in out
+
+    def test_cli_jobs_flag_noted_when_ignored(self, capsys):
+        from repro.experiments.__main__ import main as cli_main
+
+        assert cli_main(["tab03", "--quick", "--jobs", "2"]) == 0
+        assert "--jobs ignored" in capsys.readouterr().out
 
 
 class TestFig18:

@@ -1,0 +1,294 @@
+"""Golden-file regression tests for every ``fig*``/``tab*`` experiment.
+
+Each experiment's ``run()`` is executed on a small deterministic slice and
+checked against a committed snapshot in ``tests/golden/``:
+
+* the **row schema** (ordered union of column names) must match exactly, and
+* the **key columns** — identity and deterministic-count columns, never
+  wall-clock timings — must match value-for-value, row-for-row.
+
+On top of the snapshots, per-experiment **invariants** re-assert the headline
+qualitative claim of the corresponding paper figure (e.g. fig18's
+``complete >= filtered >= optimized`` plan-space reduction, fig16p's zero
+plan divergence).
+
+After an intentional change to an experiment's output, regenerate with::
+
+    pytest tests/test_golden_experiments.py --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+import pytest
+
+from repro.experiments import (
+    ablation,
+    fig02_memory_footprint,
+    fig08_cost_model,
+    fig12_end_to_end,
+    fig13_breakdown,
+    fig14_bandwidth,
+    fig15_operator_perf,
+    fig16_compile_time,
+    fig16_parallel,
+    fig17_intra_op_plans,
+    fig18_search_space,
+    fig19_constraints,
+    fig20_inter_op,
+    fig21_scalability,
+    fig22_vs_a100,
+    fig23_llm,
+    fig24_hbm,
+    fig25_serving,
+    tab02_models,
+    tab03_hardware,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+# --------------------------------------------------------------------------- #
+# Invariants (the headline claim of each figure, re-checked on live rows)
+# --------------------------------------------------------------------------- #
+def invariant_fig12(rows: list[dict]) -> None:
+    for row in rows:
+        assert row["t10_ms"] is not None
+        assert row["t10_ms"] < row["roller_ms"]
+
+
+def invariant_fig15(rows: list[dict]) -> None:
+    for row in rows:
+        assert row["improved_pct"] >= 50.0
+        assert row["max_speedup"] >= row["min_speedup"] > 0
+
+
+def invariant_fig16(rows: list[dict]) -> None:
+    for row in rows:
+        assert row["compile_time_s"] > 0
+        assert row["unique_operators"] <= row["operators"]
+
+
+def invariant_fig16p(rows: list[dict]) -> None:
+    for row in rows:
+        assert row["plans_match"], "parallel compile diverged from serial"
+        assert row["status"] == "ok"
+        assert row["compile_time_s"] > 0
+
+
+def invariant_fig18(rows: list[dict]) -> None:
+    for row in rows:
+        assert (
+            row["complete_space"]
+            >= row["filtered_space"]
+            >= row["optimized_space"]
+            >= 1
+        )
+
+
+def invariant_fig20(rows: list[dict]) -> None:
+    for row in rows:
+        assert row["chosen_est_ms"] <= row["initial_est_ms"] * 1.001
+
+
+def invariant_fig25(rows: list[dict]) -> None:
+    for row in rows:
+        assert row["recompiles"] == 0
+        assert row["hit_rate"] == 1.0
+
+
+def invariant_ablation(rows: list[dict]) -> None:
+    by_variant = {row["variant"]: row for row in rows if "variant" in row}
+    assert by_variant["full"]["latency_ms"] is not None
+
+
+# --------------------------------------------------------------------------- #
+# Specs: one deterministic slice per experiment
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class GoldenSpec:
+    """How to run and snapshot one experiment."""
+
+    runner: Callable[[], list[dict]]
+    key_columns: tuple[str, ...]
+    """Columns snapshotted by value (identity/count columns, never timings)."""
+    invariant: Callable[[list[dict]], None] | None = None
+
+
+SPECS: dict[str, GoldenSpec] = {
+    "fig02": GoldenSpec(
+        lambda: fig02_memory_footprint.run(),
+        ("operator",),
+    ),
+    "fig08": GoldenSpec(
+        lambda: fig08_cost_model.run(),
+        ("op_type", "fit_samples", "holdout_samples"),
+    ),
+    "fig12": GoldenSpec(
+        lambda: fig12_end_to_end.run(models=("nerf",), quick=True),
+        ("model", "batch"),
+        invariant_fig12,
+    ),
+    "fig13": GoldenSpec(
+        lambda: fig13_breakdown.run(models=("nerf",), quick=True),
+        ("model", "batch", "compiler"),
+    ),
+    "fig14": GoldenSpec(
+        lambda: fig14_bandwidth.run(models=("nerf",), quick=True),
+        ("model", "batch"),
+    ),
+    "fig15": GoldenSpec(
+        lambda: fig15_operator_perf.run(models=("nerf",), quick=True),
+        ("model", "batch", "operators"),
+        invariant_fig15,
+    ),
+    "fig16": GoldenSpec(
+        lambda: fig16_compile_time.run(models=("nerf",), quick=True),
+        ("model", "batch", "operators", "unique_operators", "status"),
+        invariant_fig16,
+    ),
+    "fig16p": GoldenSpec(
+        lambda: fig16_parallel.run(models=("nerf",), jobs_grid=(1, 2), quick=True),
+        ("model", "batch", "jobs", "operators", "unique_operators", "status"),
+        invariant_fig16p,
+    ),
+    "fig17": GoldenSpec(
+        lambda: fig17_intra_op_plans.run(quick=True),
+        ("operator", "candidates", "pareto_plans"),
+    ),
+    "fig18": GoldenSpec(
+        lambda: fig18_search_space.run(quick=True),
+        ("operator", "optimized_space"),
+        invariant_fig18,
+    ),
+    "fig19": GoldenSpec(
+        lambda: fig19_constraints.run(models=("nerf",), batch_size=1, quick=True),
+        ("model", "setting", "status"),
+    ),
+    "fig20": GoldenSpec(
+        lambda: fig20_inter_op.run(workloads=(("nerf", 1),), quick=True),
+        ("model", "batch", "search_steps"),
+        invariant_fig20,
+    ),
+    "fig21": GoldenSpec(
+        lambda: fig21_scalability.run(
+            workloads=(("nerf", 1),), core_counts=(736, 1472), quick=True
+        ),
+        ("model", "batch", "cores", "chip"),
+    ),
+    "fig22": GoldenSpec(
+        lambda: fig22_vs_a100.run(models=("nerf",), quick=True),
+        ("model", "batch"),
+    ),
+    "fig23": GoldenSpec(
+        lambda: fig23_llm.run(models=("opt-1.3b",), batch_sizes=(2,), quick=True),
+        ("model", "batch", "layers"),
+    ),
+    "fig24": GoldenSpec(
+        lambda: fig24_hbm.run(
+            workloads=(("opt-1.3b", 8),), bandwidths_gbps=(200, 6400), quick=True
+        ),
+        ("model", "batch", "hbm_gbps"),
+    ),
+    "fig25": GoldenSpec(
+        lambda: fig25_serving.run(quick=True),
+        ("model", "chips", "load_x", "window_x", "completed"),
+        invariant_fig25,
+    ),
+    "tab02": GoldenSpec(
+        lambda: tab02_models.run(quick=True),
+        ("model", "description", "operators", "batch_sizes"),
+    ),
+    "tab03": GoldenSpec(
+        lambda: tab03_hardware.run(),
+        ("device", "num_cores"),
+    ),
+    "ablation": GoldenSpec(
+        lambda: ablation.run(workloads=(("nerf", 1),), quick=True),
+        ("model", "batch", "variant", "status"),
+        invariant_ablation,
+    ),
+}
+
+
+# --------------------------------------------------------------------------- #
+# Snapshot plumbing
+# --------------------------------------------------------------------------- #
+def ordered_columns(rows: Sequence[dict]) -> list[str]:
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def snapshot(name: str, spec: GoldenSpec, rows: Sequence[dict]) -> dict:
+    return {
+        "experiment": name,
+        "key_columns": list(spec.key_columns),
+        "columns": ordered_columns(rows),
+        "rows": [
+            {column: row.get(column) for column in spec.key_columns}
+            for row in rows
+        ],
+    }
+
+
+def golden_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.json"
+
+
+@pytest.fixture(scope="session")
+def update_golden(request) -> bool:
+    return bool(request.config.getoption("--update-golden"))
+
+
+@pytest.mark.parametrize("name", sorted(SPECS))
+def test_experiment_matches_golden(name: str, update_golden: bool):
+    spec = SPECS[name]
+    rows = spec.runner()
+    assert rows, f"{name} produced no rows"
+    produced = snapshot(name, spec, rows)
+
+    path = golden_path(name)
+    if update_golden:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(produced, indent=2, sort_keys=False) + "\n")
+    assert path.exists(), (
+        f"missing golden snapshot {path}; run "
+        f"pytest tests/test_golden_experiments.py --update-golden"
+    )
+    golden = json.loads(path.read_text())
+
+    assert produced["columns"] == golden["columns"], (
+        f"{name} row schema drifted from the committed snapshot "
+        f"(regen with --update-golden if intentional)"
+    )
+    assert produced["key_columns"] == golden["key_columns"]
+    assert len(produced["rows"]) == len(golden["rows"]), (
+        f"{name} row count changed: {len(produced['rows'])} vs "
+        f"golden {len(golden['rows'])}"
+    )
+    for index, (live, saved) in enumerate(zip(produced["rows"], golden["rows"])):
+        assert live == saved, f"{name} row {index} key values drifted"
+
+    if spec.invariant is not None:
+        spec.invariant(rows)
+
+
+def test_every_experiment_has_a_spec():
+    """New experiments must add a golden spec (and a snapshot) here."""
+    from repro.experiments import ALL_EXPERIMENTS
+
+    assert set(SPECS) == set(ALL_EXPERIMENTS)
+
+
+def test_no_orphan_snapshots():
+    """Committed snapshots all correspond to a live experiment spec."""
+    committed = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert committed <= set(SPECS), f"orphan snapshots: {committed - set(SPECS)}"

@@ -1,0 +1,266 @@
+"""Tests for the parallel compilation engine and the single-flight guard.
+
+The engine's contract is *bit-for-bit determinism*: for any graph, chip and
+constraint setting, ``jobs=N`` must produce exactly the serial compile's
+frontiers, schedule, program and error behaviour.  These tests check that
+contract on every registry model (quick mode), on both pool backends, and on
+the failure paths, plus the SingleFlight semantics the serving cache relies
+on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core import (
+    FAST_CONSTRAINTS,
+    ParallelCompilationEngine,
+    SingleFlight,
+    T10Compiler,
+    default_jobs,
+    resolve_jobs,
+)
+from repro.core.parallel import BACKENDS
+from repro.experiments.common import build_workload
+from repro.hw.spec import ChipSpec, KiB
+from repro.ir import OperatorGraph, matmul
+from repro.models import list_models
+
+
+def compile_pair(chip, cost_model, graph, *, jobs, backend="auto"):
+    """Compile ``graph`` serially and with ``jobs`` workers; return both."""
+    serial = T10Compiler(chip, cost_model=cost_model, constraints=FAST_CONSTRAINTS)
+    with T10Compiler(
+        chip,
+        cost_model=cost_model,
+        constraints=FAST_CONSTRAINTS,
+        jobs=jobs,
+        parallel_backend=backend,
+    ) as parallel:
+        return serial.compile(graph), parallel.compile(graph)
+
+
+def assert_identical(serial, parallel):
+    """The determinism guarantee, field by field."""
+    assert parallel.status == serial.status
+    assert parallel.error == serial.error
+    assert list(parallel.pareto_plans) == list(serial.pareto_plans)
+    assert parallel.pareto_plans == serial.pareto_plans
+    assert parallel.search_stats == serial.search_stats
+    assert parallel.schedule == serial.schedule
+    assert parallel.program == serial.program
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("model_name", list_models())
+    def test_registry_models_identical_at_jobs_4(
+        self, ipu_chip, ipu_cost_model, model_name
+    ):
+        """jobs=4 equals jobs=1 on every registry model (quick workloads)."""
+        graph = build_workload(model_name, 1, quick=True)
+        serial, parallel = compile_pair(ipu_chip, ipu_cost_model, graph, jobs=4)
+        assert_identical(serial, parallel)
+
+    @pytest.mark.parametrize("backend", ["process", "thread", "serial"])
+    def test_backends_agree(self, small_chip, small_cost_model, backend):
+        graph = build_workload("nerf", 1, quick=True)
+        serial, parallel = compile_pair(
+            small_chip, small_cost_model, graph, jobs=3, backend=backend
+        )
+        assert_identical(serial, parallel)
+
+    def test_oom_failure_is_identical(self, small_cost_model):
+        """Infeasible graphs produce the same diagnosis, serial or parallel."""
+        cramped = ChipSpec(
+            name="cramped",
+            num_cores=64,
+            sram_per_core=32 * KiB,
+            core_flops=100e9,
+            link_bandwidth=5.5e9,
+            link_latency=0.4e-6,
+            offchip_bandwidth=8e9,
+        )
+        graph = OperatorGraph(name="too-big")
+        graph.add(matmul("ok-ish", m=64, k=64, n=64))
+        graph.add(matmul("huge", m=4096, k=4096, n=4096))
+        serial, parallel = compile_pair(cramped, small_cost_model, graph, jobs=4)
+        assert serial.status == "oom"
+        assert parallel.status == "oom"
+        assert parallel.error == serial.error
+        # The partial frontier state stops at the same operator.
+        assert parallel.pareto_plans == serial.pareto_plans
+        assert parallel.search_stats == serial.search_stats
+
+
+class TestEngine:
+    def test_dedupes_signatures_before_dispatch(
+        self, small_chip, small_cost_model, fast_constraints
+    ):
+        compiler = T10Compiler(
+            small_chip, cost_model=small_cost_model, constraints=fast_constraints
+        )
+        graph = OperatorGraph(name="repeated")
+        for i in range(6):
+            graph.add(matmul(f"mm{i}", m=128, k=64, n=128))
+        result = compiler.engine.search_graph(graph, compiler.intra_op)
+        assert result.ok
+        assert result.unique_operators == 1
+        assert result.dispatched == 1
+        assert len(result.pareto) == 6
+        # All six operators share one frontier object (searched once).
+        assert len({id(plans) for plans in result.pareto.values()}) == 1
+
+    def test_warm_cache_dispatches_nothing(
+        self, small_chip, small_cost_model, fast_constraints
+    ):
+        compiler = T10Compiler(
+            small_chip, cost_model=small_cost_model, constraints=fast_constraints
+        )
+        graph = OperatorGraph(name="g")
+        graph.add(matmul("mm", m=128, k=64, n=128))
+        first = compiler.engine.search_graph(graph, compiler.intra_op)
+        second = compiler.engine.search_graph(graph, compiler.intra_op)
+        assert first.dispatched == 1
+        assert second.dispatched == 0
+        assert second.pareto == first.pareto
+
+    def test_jobs_resolution(self):
+        assert resolve_jobs(None) == default_jobs()
+        assert resolve_jobs(3) == 3
+        assert default_jobs() >= 1
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+    def test_unknown_backend_rejected(self, small_chip, small_cost_model):
+        assert "auto" in BACKENDS
+        with pytest.raises(ValueError):
+            ParallelCompilationEngine(
+                small_chip,
+                small_cost_model,
+                FAST_CONSTRAINTS,
+                jobs=2,
+                backend="gpu",
+            )
+
+    def test_close_is_idempotent(self, small_chip, small_cost_model, fast_constraints):
+        compiler = T10Compiler(
+            small_chip,
+            cost_model=small_cost_model,
+            constraints=fast_constraints,
+            jobs=2,
+            parallel_backend="thread",
+        )
+        graph = OperatorGraph(name="g")
+        graph.add(matmul("a", m=128, k=64, n=128))
+        graph.add(matmul("b", m=64, k=128, n=64))
+        assert compiler.compile(graph).ok
+        compiler.close()
+        compiler.close()
+
+    def test_compiler_jobs_property(self, small_chip, small_cost_model):
+        with T10Compiler(
+            small_chip, cost_model=small_cost_model, jobs=2, parallel_backend="thread"
+        ) as compiler:
+            assert compiler.jobs == 2
+
+
+class TestSingleFlight:
+    def test_serial_calls_each_run(self):
+        flight = SingleFlight()
+        calls = []
+        for i in range(3):
+            value, leader = flight.do("k", lambda i=i: calls.append(i) or i)
+            assert leader
+            assert value == i
+        assert calls == [0, 1, 2]
+
+    def test_concurrent_callers_share_one_execution(self):
+        flight = SingleFlight()
+        started = threading.Event()
+        release = threading.Event()
+        executions = []
+
+        def slow():
+            executions.append(threading.current_thread().name)
+            started.set()
+            release.wait(timeout=5)
+            return "result"
+
+        results: list[tuple[str, bool]] = []
+
+        def caller():
+            results.append(flight.do("k", slow))
+
+        threads = [threading.Thread(target=caller) for _ in range(8)]
+        threads[0].start()
+        assert started.wait(timeout=5)
+        assert flight.in_flight("k")
+        for thread in threads[1:]:
+            thread.start()
+        time.sleep(0.05)  # let followers reach the wait
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert len(executions) == 1
+        assert len(results) == 8
+        assert all(value == "result" for value, _ in results)
+        assert sum(1 for _, leader in results if leader) == 1
+        assert not flight.in_flight("k")
+
+    def test_leader_exception_propagates_to_followers(self):
+        flight = SingleFlight()
+        started = threading.Event()
+        release = threading.Event()
+
+        def failing():
+            started.set()
+            release.wait(timeout=5)
+            raise RuntimeError("boom")
+
+        errors: list[BaseException] = []
+
+        def caller():
+            try:
+                flight.do("k", failing)
+            except RuntimeError as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=caller) for _ in range(4)]
+        threads[0].start()
+        assert started.wait(timeout=5)
+        for thread in threads[1:]:
+            thread.start()
+        time.sleep(0.05)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert len(errors) == 4
+        assert all("boom" in str(exc) for exc in errors)
+        # The failed call is forgotten: the next caller retries.
+        value, leader = flight.do("k", lambda: "recovered")
+        assert value == "recovered" and leader
+
+    def test_distinct_keys_do_not_serialise(self):
+        flight = SingleFlight()
+        order: list[str] = []
+        gate = threading.Event()
+
+        def slow_a():
+            order.append("a-start")
+            gate.wait(timeout=5)
+            order.append("a-end")
+            return "a"
+
+        thread = threading.Thread(target=lambda: flight.do("a", slow_a))
+        thread.start()
+        deadline = time.time() + 5
+        while "a-start" not in order and time.time() < deadline:
+            time.sleep(0.001)
+        value, leader = flight.do("b", lambda: "b")  # must not block on "a"
+        assert value == "b" and leader
+        gate.set()
+        thread.join(timeout=5)
+        assert order == ["a-start", "a-end"]

@@ -86,6 +86,47 @@ class TestParetoFront:
             assert covered
 
 
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=50)
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_property_idempotent(self, raw):
+        """Filtering a frontier again changes nothing: it is a fixed point."""
+        points = [Point(m, t) for m, t in raw]
+        frontier = pareto_front(points, memory=MEM, time=TIME)
+        assert pareto_front(frontier, memory=MEM, time=TIME) == frontier
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=50)
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    def test_property_permutation_invariant(self, raw, rng):
+        """The frontier depends only on the point set, not the input order.
+
+        (Compared as (memory, time) pairs: items with identical objectives
+        are interchangeable, so any of them may represent the pair.)
+        """
+        points = [Point(m, t) for m, t in raw]
+        reference = pareto_front(points, memory=MEM, time=TIME)
+        shuffled = list(points)
+        rng.shuffle(shuffled)
+        permuted = pareto_front(shuffled, memory=MEM, time=TIME)
+        assert [(p.memory, p.time) for p in permuted] == [
+            (p.memory, p.time) for p in reference
+        ]
+
+
 class TestDominates:
     def test_strict_domination(self):
         assert dominates(Point(1, 1), Point(2, 2), memory=MEM, time=TIME)

@@ -223,3 +223,74 @@ def test_property_enumerated_partitions_valid(m, k, n):
         assert prod(fop.values()) <= 64
         for axis, factor in fop.items():
             assert 1 <= factor <= expr.axes[axis]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(min_value=4, max_value=256),
+    k=st.integers(min_value=4, max_value=256),
+    n=st.integers(min_value=4, max_value=256),
+)
+def test_property_factors_divide_padded_shapes(m, k, n):
+    """Each partition factor divides its axis's padded extent evenly.
+
+    A sub-operator's extent is ``ceil(L / f)``; the padded axis length is
+    therefore ``ceil(L / f) * f``, which every ``f`` must divide with no
+    remainder and which never falls short of the original extent.
+    """
+    expr = matmul("mm", m=m, k=k, n=n).expr
+    constraints = SearchConstraints(
+        core_count_samples=3, max_factorizations_per_target=40, max_temporal_combos=8
+    )
+    for fop in enumerate_operator_partitions(expr, 64, constraints):
+        extents = sub_extents(expr, fop)
+        for axis, factor in fop.items():
+            original = expr.axes[axis]
+            padded = extents[axis] * factor
+            assert padded % factor == 0
+            assert padded >= original
+            assert extents[axis] == -(-original // factor)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    m=st.integers(min_value=2, max_value=512),
+    k=st.integers(min_value=2, max_value=512),
+    n=st.integers(min_value=2, max_value=512),
+    cores=st.sampled_from([8, 64, 1472]),
+)
+def test_property_complete_space_matches_closed_form(m, k, n, cores):
+    """``complete_space_size`` equals its closed form, recomputed independently:
+
+    ``prod_axes min(L_axis, C) * prod_tensors min(C, longest_dim)``.
+    """
+    expr = matmul("mm", m=m, k=k, n=n).expr
+    spatial = 1.0
+    for extent in expr.axes.values():
+        spatial *= max(1, min(extent, cores))
+    temporal = 1.0
+    for spec in expr.all_tensors:
+        longest = max(expr.tensor_shape(spec)) if spec.dims else 1
+        temporal *= max(1, min(cores, longest))
+    assert complete_space_size(expr, cores) == spatial * temporal
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    m=st.integers(min_value=4, max_value=256),
+    k=st.integers(min_value=4, max_value=256),
+    n=st.integers(min_value=4, max_value=256),
+)
+def test_property_filtered_space_matches_closed_form(m, k, n):
+    """``filtered_space_size`` is exactly |F_op candidates| x temporal combos."""
+    expr = matmul("mm", m=m, k=k, n=n).expr
+    constraints = SearchConstraints(
+        core_count_samples=3, max_factorizations_per_target=40, max_temporal_combos=8
+    )
+    fops = enumerate_operator_partitions(expr, 64, constraints)
+    per_tensor = 6
+    combos = min(constraints.max_temporal_combos, per_tensor ** len(expr.all_tensors))
+    expected = float(len(fops) * combos)
+    assert filtered_space_size(
+        expr, 64, constraints, temporal_choices_per_tensor=per_tensor
+    ) == expected
