@@ -1,0 +1,46 @@
+"""Multi-chip sharded execution: partition, compile and pipeline a model.
+
+Models too large for one chip's distributed SRAM — or fleets that want
+higher throughput than one chip sustains — are split into pipeline stages
+across a chip group.  The layer composes the existing single-chip pieces:
+
+* :mod:`repro.dist.partition` — DP stage partitioner balancing per-stage
+  compute (cost-model estimates) against inter-chip activation transfers;
+* :mod:`repro.dist.pipeline` — virtual-time micro-batch pipeline simulator
+  with fill/steady/drain accounting;
+* :mod:`repro.dist.sharded` — :class:`ShardedCompiler`, compiling each
+  stage with the ordinary single-chip pipeline through the serving plan
+  cache (stage-slice scoped keys).
+
+Quick start::
+
+    from repro.dist import ShardedCompiler
+
+    sharded = ShardedCompiler(chip).compile(graph, num_stages=2)
+    if sharded.ok:
+        result = sharded.pipeline(num_micro_batches=8)
+        print(sharded.summary(), result.throughput())
+"""
+
+from repro.dist.partition import (
+    StagePartition,
+    StageSlice,
+    estimate_operator_time,
+    partition_graph,
+    stage_subgraph,
+)
+from repro.dist.pipeline import PipelineResult, PipelineSimulator
+from repro.dist.sharded import ShardedCompiler, ShardedModel, StagePlan
+
+__all__ = [
+    "PipelineResult",
+    "PipelineSimulator",
+    "ShardedCompiler",
+    "ShardedModel",
+    "StagePartition",
+    "StagePlan",
+    "StageSlice",
+    "estimate_operator_time",
+    "partition_graph",
+    "stage_subgraph",
+]

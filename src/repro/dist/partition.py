@@ -1,0 +1,252 @@
+"""Pipeline-stage partitioning of an operator graph across chips.
+
+A model too large for one chip's distributed SRAM is split into contiguous
+pipeline stages along its topological order, one stage per chip.  The
+partitioner balances two costs against each other, both priced with the same
+deterministic models the rest of the system uses:
+
+* **per-stage compute time** — estimated per operator from the fitted
+  :class:`~repro.core.cost_model.CostModel` (the operator's FLOPs/bytes
+  spread over the chip's cores), and
+* **inter-chip activation transfer** — every graph edge crossing a stage
+  boundary moves its producer's output over the
+  :class:`~repro.hw.interconnect.InterconnectModel` link.
+
+The search is a classic chain-partition dynamic program (O(stages · ops²))
+minimising the pipeline *bottleneck* — the slowest stage including its
+outgoing transfer — which is what bounds steady-state throughput.  Stages
+whose persistent weights alone exceed the chip's total SRAM are rejected
+during the search (they could never compile); if no partition satisfies that
+bound the DP falls back to pure time balancing and leaves the final OOM
+diagnosis to the per-stage compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.cost_model import CostModel
+from repro.dist.pipeline import PipelineSimulator
+from repro.hw.interconnect import InterconnectModel, default_interconnect
+from repro.hw.spec import ChipSpec
+from repro.ir.graph import OperatorGraph
+from repro.ir.operator import Operator
+
+
+def estimate_operator_time(
+    operator: Operator, cost_model: CostModel, chip: ChipSpec
+) -> float:
+    """Pre-compilation estimate of one operator's on-chip execution time.
+
+    The operator's work is assumed evenly spread over every core — the same
+    first-order assumption the intra-op search optimises towards — so the
+    estimate is the cost model's prediction for a 1/num_cores sub-task.
+    Only the *relative* magnitudes matter for stage balancing.
+    """
+    cores = max(chip.num_cores, 1)
+    return cost_model.compute_time(
+        operator.op_type,
+        dict(operator.axes),
+        operator.total_flops / cores,
+        operator.total_bytes / cores,
+    )
+
+
+@dataclass(frozen=True)
+class StageSlice:
+    """One stage: the half-open range ``[start, stop)`` of the topo order."""
+
+    index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start >= self.stop:
+            raise ValueError(f"stage {self.index} slice [{self.start}, {self.stop}) is empty")
+
+    @property
+    def num_ops(self) -> int:
+        return self.stop - self.start
+
+    def scope(self, num_stages: int) -> str:
+        """Cache-key scope naming this slice (see ``plan_key(scope=...)``).
+
+        Scopes end up in on-disk cache filenames, so only filename-safe
+        characters are used.
+        """
+        return f"stage{self.index + 1}of{num_stages}.{self.start}-{self.stop}"
+
+
+@dataclass(frozen=True)
+class StagePartition:
+    """A full partition of one graph into pipeline stages."""
+
+    graph_name: str
+    num_stages: int
+    order: tuple[str, ...]
+    """Operator names in the topological order the slices index into."""
+    slices: tuple[StageSlice, ...]
+    est_stage_times: tuple[float, ...]
+    """Estimated compute time of each stage (seconds)."""
+    transfer_bytes: tuple[int, ...]
+    """Activation bytes crossing each of the ``num_stages - 1`` boundaries."""
+    est_transfer_times: tuple[float, ...]
+    """Estimated link time of each boundary transfer (seconds)."""
+    memory_feasible: bool
+    """Whether every stage's weights fit the chip's total SRAM (heuristic)."""
+
+    @property
+    def est_bottleneck(self) -> float:
+        """Estimated steady-state period of this partition.
+
+        Delegates to the pipeline simulator so the partitioner's objective
+        and the simulator's reported bottleneck can never diverge.
+        """
+        return PipelineSimulator(self.est_stage_times, self.est_transfer_times).bottleneck
+
+    def stage_ops(self, index: int) -> tuple[str, ...]:
+        """Names of the operators assigned to one stage."""
+        stage = self.slices[index]
+        return self.order[stage.start : stage.stop]
+
+
+def stage_subgraph(graph: OperatorGraph, stage: StageSlice, num_stages: int) -> OperatorGraph:
+    """The operator subgraph of one stage (intra-stage edges only).
+
+    Edges crossing the stage boundary become external activations: the
+    consumer stage receives them over the inter-chip link before executing,
+    which the pipeline simulator accounts separately.
+    """
+    ops = graph.operators
+    members = {op.name for op in ops[stage.start : stage.stop]}
+    sub = OperatorGraph(name=f"{graph.name}::stage{stage.index + 1}of{num_stages}")
+    for op in ops[stage.start : stage.stop]:
+        inputs = [p.name for p in graph.predecessors(op.name) if p.name in members]
+        sub.add(op, inputs)
+    return sub
+
+
+def _boundary_bytes(graph: OperatorGraph, order: Sequence[Operator]) -> list[int]:
+    """Activation bytes crossing each inter-op boundary of the topo order.
+
+    ``result[b]`` is the total output bytes of producers at position < ``b``
+    still needed at position >= ``b`` — i.e. what a cut after the first
+    ``b`` operators must ship downstream.  A producer feeding several
+    downstream consumers ships **one** copy per boundary (the consumer
+    stages forward/fan it out locally), so each producer contributes its
+    output bytes to every boundary up to its farthest consumer, once.
+    """
+    position = {op.name: i for i, op in enumerate(order)}
+    crossing = [0] * (len(order) + 1)
+    for producer in order:
+        consumers = graph.successors(producer.name)
+        if not consumers:
+            continue
+        lo = position[producer.name]
+        hi = max(position[consumer.name] for consumer in consumers)
+        for boundary in range(lo + 1, hi + 1):
+            crossing[boundary] += producer.output_bytes
+    return crossing
+
+
+def partition_graph(
+    graph: OperatorGraph,
+    num_stages: int,
+    *,
+    cost_model: CostModel,
+    chip: ChipSpec,
+    interconnect: InterconnectModel | None = None,
+) -> StagePartition:
+    """Split ``graph`` into ``num_stages`` contiguous pipeline stages.
+
+    Deterministic for fixed inputs: the DP breaks ties towards the earlier
+    split point, and the topological order is the graph's canonical one.
+    Raises ``ValueError`` when the graph has fewer operators than stages.
+    """
+    if num_stages < 1:
+        raise ValueError(f"num_stages must be >= 1, got {num_stages}")
+    ops = graph.operators
+    if not ops:
+        raise ValueError(f"cannot partition empty graph {graph.name!r}")
+    if num_stages > len(ops):
+        raise ValueError(
+            f"cannot split {len(ops)} operators of {graph.name!r} into "
+            f"{num_stages} non-empty stages"
+        )
+    link = interconnect if interconnect is not None else default_interconnect(chip)
+
+    op_times = [estimate_operator_time(op, cost_model, chip) for op in ops]
+    weights = [op.weight_bytes for op in ops]
+    crossing = _boundary_bytes(graph, ops)
+    transfer_times = [link.transfer_time(nbytes) for nbytes in crossing]
+
+    # Prefix sums so any slice cost is O(1) inside the DP.
+    time_prefix = [0.0]
+    weight_prefix = [0]
+    for t, w in zip(op_times, weights):
+        time_prefix.append(time_prefix[-1] + t)
+        weight_prefix.append(weight_prefix[-1] + w)
+
+    capacity = chip.total_sram
+
+    def slice_cost(start: int, stop: int) -> float:
+        """Stage compute plus the transfer out of its trailing boundary."""
+        compute = time_prefix[stop] - time_prefix[start]
+        outgoing = transfer_times[stop] if stop < len(ops) else 0.0
+        return compute + outgoing
+
+    def slice_fits(start: int, stop: int) -> bool:
+        return weight_prefix[stop] - weight_prefix[start] <= capacity
+
+    def solve(respect_memory: bool) -> list[int] | None:
+        """Boundary positions minimising the bottleneck (None if infeasible).
+
+        ``dp[j][i]`` is the best bottleneck splitting the first ``i`` ops
+        into ``j`` stages; ``choice`` records the split point for recovery.
+        """
+        n = len(ops)
+        inf = float("inf")
+        dp = [[inf] * (n + 1) for _ in range(num_stages + 1)]
+        choice = [[-1] * (n + 1) for _ in range(num_stages + 1)]
+        dp[0][0] = 0.0
+        for j in range(1, num_stages + 1):
+            for i in range(j, n + 1):
+                for split in range(j - 1, i):
+                    if dp[j - 1][split] == inf:
+                        continue
+                    if respect_memory and not slice_fits(split, i):
+                        continue
+                    candidate = max(dp[j - 1][split], slice_cost(split, i))
+                    if candidate < dp[j][i]:
+                        dp[j][i] = candidate
+                        choice[j][i] = split
+        if dp[num_stages][n] == inf:
+            return None
+        bounds = [n]
+        for j in range(num_stages, 0, -1):
+            bounds.append(choice[j][bounds[-1]])
+        return bounds[::-1]
+
+    bounds = solve(respect_memory=True)
+    memory_feasible = bounds is not None
+    if bounds is None:
+        bounds = solve(respect_memory=False)
+        assert bounds is not None  # always solvable: num_stages <= len(ops)
+
+    slices = tuple(
+        StageSlice(index=i, start=bounds[i], stop=bounds[i + 1])
+        for i in range(num_stages)
+    )
+    return StagePartition(
+        graph_name=graph.name,
+        num_stages=num_stages,
+        order=tuple(op.name for op in ops),
+        slices=slices,
+        est_stage_times=tuple(
+            time_prefix[s.stop] - time_prefix[s.start] for s in slices
+        ),
+        transfer_bytes=tuple(crossing[s.stop] for s in slices[:-1]),
+        est_transfer_times=tuple(transfer_times[s.stop] for s in slices[:-1]),
+        memory_feasible=memory_feasible,
+    )

@@ -1,0 +1,138 @@
+"""Virtual-time simulation of pipelined micro-batch execution.
+
+Once a model is split into stages placed on consecutive chips, inference
+streams micro-batches through the pipeline: chip ``s`` executes micro-batch
+``m`` while chip ``s-1`` already works on micro-batch ``m+1``, with the
+activations of each boundary crossing the inter-chip link in between.  The
+simulator plays the standard pipeline recurrence in virtual time::
+
+    start[m][s]  = max(finish[m][s-1] + link[s-1], finish[m-1][s] + link[s])
+    finish[m][s] = start[m][s] + stage_latency[s]
+
+A stage stays occupied until its previous micro-batch's activations have
+left over the link (the transfer holds the producing chip's link and
+activation buffer), so the steady-state period equals the *bottleneck* —
+the slowest stage plus its outgoing transfer — which is exactly the
+quantity the stage partitioner minimises.  The result carries the
+fill/steady/drain decomposition the throughput analysis needs: with ``M``
+micro-batches the total is ``fill + (M - 1) * bottleneck`` once the
+pipeline fills, so throughput approaches ``1 / bottleneck``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Timing of one pipelined execution of ``num_micro_batches`` micro-batches."""
+
+    stage_latencies: tuple[float, ...]
+    transfer_times: tuple[float, ...]
+    num_micro_batches: int
+    total_latency: float
+    """Virtual seconds from the first micro-batch entering stage 0 to the
+    last one leaving the final stage."""
+    fill_time: float
+    """When the first micro-batch exits the pipeline (fill phase)."""
+    drain_time: float
+    """Tail after the last micro-batch leaves stage 0 (drain phase)."""
+    bottleneck: float
+    """Slowest stage including its outgoing transfer — the steady-state period."""
+    stage_utilization: tuple[float, ...]
+    """Fraction of the total each stage spent executing micro-batches."""
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stage_latencies)
+
+    @property
+    def steady_period(self) -> float:
+        """Average spacing between consecutive micro-batch completions."""
+        if self.num_micro_batches <= 1:
+            return 0.0
+        return (self.total_latency - self.fill_time) / (self.num_micro_batches - 1)
+
+    def throughput(self, samples_per_micro_batch: int = 1) -> float:
+        """Samples completed per virtual second over the whole execution."""
+        if self.total_latency <= 0:
+            return float("nan")
+        return self.num_micro_batches * samples_per_micro_batch / self.total_latency
+
+
+class PipelineSimulator:
+    """Replays the pipeline recurrence for fixed per-stage timings."""
+
+    def __init__(
+        self,
+        stage_latencies: Sequence[float],
+        transfer_times: Sequence[float] = (),
+    ) -> None:
+        """``transfer_times`` has one entry per stage boundary (``stages - 1``)."""
+        if not stage_latencies:
+            raise ValueError("pipeline needs at least one stage")
+        if any(latency < 0 for latency in stage_latencies):
+            raise ValueError(f"stage latencies must be >= 0, got {stage_latencies!r}")
+        if len(transfer_times) != len(stage_latencies) - 1:
+            raise ValueError(
+                f"expected {len(stage_latencies) - 1} transfer times for "
+                f"{len(stage_latencies)} stages, got {len(transfer_times)}"
+            )
+        if any(transfer < 0 for transfer in transfer_times):
+            raise ValueError(f"transfer times must be >= 0, got {transfer_times!r}")
+        self.stage_latencies = tuple(stage_latencies)
+        self.transfer_times = tuple(transfer_times)
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stage_latencies)
+
+    @property
+    def bottleneck(self) -> float:
+        """Slowest stage including its outgoing transfer."""
+        return max(
+            latency + (self.transfer_times[i] if i < len(self.transfer_times) else 0.0)
+            for i, latency in enumerate(self.stage_latencies)
+        )
+
+    def run(self, num_micro_batches: int) -> PipelineResult:
+        """Simulate ``num_micro_batches`` micro-batches streaming through."""
+        if num_micro_batches < 1:
+            raise ValueError(f"num_micro_batches must be >= 1, got {num_micro_batches}")
+        stages = self.num_stages
+        finish_prev = [0.0] * stages  # finish[m-1][s]
+        first_exit = 0.0
+        last_stage0_exit = 0.0
+        busy = [0.0] * stages
+        for micro in range(num_micro_batches):
+            arrival = 0.0
+            finish_this = [0.0] * stages
+            for s in range(stages):
+                outgoing = self.transfer_times[s] if s < stages - 1 else 0.0
+                # The stage frees up only once the previous micro-batch's
+                # activations have left over the link.
+                start = max(arrival, finish_prev[s] + (outgoing if micro else 0.0))
+                finish = start + self.stage_latencies[s]
+                finish_this[s] = finish
+                busy[s] += self.stage_latencies[s]
+                if s < stages - 1:
+                    arrival = finish + outgoing
+            if micro == 0:
+                first_exit = finish_this[-1]
+            last_stage0_exit = finish_this[0]
+            finish_prev = finish_this
+        total = finish_prev[-1]
+        return PipelineResult(
+            stage_latencies=self.stage_latencies,
+            transfer_times=self.transfer_times,
+            num_micro_batches=num_micro_batches,
+            total_latency=total,
+            fill_time=first_exit,
+            drain_time=total - last_stage0_exit,
+            bottleneck=self.bottleneck,
+            stage_utilization=tuple(
+                b / total if total > 0 else 0.0 for b in busy
+            ),
+        )

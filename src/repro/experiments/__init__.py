@@ -24,6 +24,7 @@ from repro.experiments import (
     fig23_llm,
     fig24_hbm,
     fig25_serving,
+    fig26_multichip,
     tab02_models,
     tab03_hardware,
 )
@@ -55,6 +56,7 @@ ALL_EXPERIMENTS = {
     "fig23": fig23_llm,
     "fig24": fig24_hbm,
     "fig25": fig25_serving,
+    "fig26": fig26_multichip,
     "tab02": tab02_models,
     "tab03": tab03_hardware,
     "ablation": ablation,

@@ -31,12 +31,20 @@ def build_workload(
     batch_size: int,
     *,
     quick: bool = False,
+    num_layers: int | None = None,
 ) -> OperatorGraph:
-    """Build a registered model, optionally truncated for quick runs."""
+    """Build a registered model, optionally truncated for quick runs.
+
+    ``num_layers`` overrides the layer count outright (it wins over the
+    quick-mode truncation) — the multi-chip experiment uses it to build
+    stacks that deliberately exceed one chip's SRAM.
+    """
     kwargs: dict[str, object] = {}
-    if quick and model_name in ("bert", "vit"):
+    if num_layers is not None:
+        kwargs["num_layers"] = num_layers
+    elif quick and model_name in ("bert", "vit"):
         kwargs["num_layers"] = QUICK_NUM_LAYERS
-    if quick and (model_name.startswith("opt") or model_name.startswith("llama")):
+    elif quick and (model_name.startswith("opt") or model_name.startswith("llama")):
         kwargs["num_layers"] = 1
     return build_model(model_name, batch_size, **kwargs)
 

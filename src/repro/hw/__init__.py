@@ -6,6 +6,12 @@ the substitution rationale.
 """
 
 from repro.hw.hbm import HBMConfig, HBMModel, PrefetchGroup
+from repro.hw.interconnect import (
+    IPU_LINK,
+    InterconnectConfig,
+    InterconnectModel,
+    default_interconnect,
+)
 from repro.hw.memory import CoreMemoryTracker, OutOfChipMemoryError
 from repro.hw.program import (
     AllToAllStep,
@@ -32,7 +38,10 @@ __all__ = [
     "HBMConfig",
     "HBMModel",
     "HBMTransferStep",
+    "IPU_LINK",
     "IPU_MK2",
+    "InterconnectConfig",
+    "InterconnectModel",
     "LoadStoreStep",
     "OpTiming",
     "OutOfChipMemoryError",
@@ -41,6 +50,7 @@ __all__ = [
     "ShiftStep",
     "SimulationResult",
     "SyncStep",
+    "default_interconnect",
     "scaled_ipu",
     "virtual_ipu",
 ]

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.hw.memory import OutOfChipMemoryError
+
 
 @dataclass(frozen=True)
 class HBMConfig:
@@ -40,6 +42,10 @@ class PrefetchGroup:
     names: tuple[str, ...]
     load_bytes: int
     execution_time: float
+    oversized: bool = False
+    """Whether the group alone exceeds the prefetch buffer.  An oversized
+    group can never be double-buffered: its load is fully exposed instead of
+    overlapping the previous group's execution."""
 
     def __post_init__(self) -> None:
         if self.load_bytes < 0:
@@ -65,6 +71,7 @@ class HBMModel:
         execution_times: Sequence[float],
         *,
         group_size: int = 1,
+        on_oversized: str = "flag",
     ) -> list[PrefetchGroup]:
         """Pack consecutive operators into prefetch groups.
 
@@ -72,27 +79,56 @@ class HBMModel:
         larger group size reproduces *Inter Op* prefetching, with the
         constraint that a group's total load must fit the prefetch buffer
         (groups are cut early when it would not).
+
+        A *single* operator whose load alone exceeds the prefetch buffer can
+        never satisfy that constraint.  ``on_oversized`` decides what
+        happens: ``"flag"`` (default) cuts it into its own group marked
+        ``oversized=True`` — :meth:`pipeline_latency` then exposes its full
+        load instead of pretending it double-buffers — while ``"raise"``
+        rejects the schedule with :class:`OutOfChipMemoryError`.
         """
         if not (len(op_names) == len(load_bytes) == len(execution_times)):
             raise ValueError("op_names, load_bytes and execution_times must align")
         if group_size < 1:
             raise ValueError("group_size must be >= 1")
+        if on_oversized not in ("flag", "raise"):
+            raise ValueError(
+                f"on_oversized must be 'flag' or 'raise', got {on_oversized!r}"
+            )
         groups: list[PrefetchGroup] = []
         current_names: list[str] = []
         current_bytes = 0
         current_time = 0.0
+
+        def flush() -> None:
+            nonlocal current_names, current_bytes, current_time
+            groups.append(
+                PrefetchGroup(tuple(current_names), current_bytes, current_time)
+            )
+            current_names, current_bytes, current_time = [], 0, 0.0
+
         for name, nbytes, duration in zip(op_names, load_bytes, execution_times):
+            if nbytes > self.config.prefetch_buffer_bytes:
+                if on_oversized == "raise":
+                    raise OutOfChipMemoryError(
+                        nbytes,
+                        self.config.prefetch_buffer_bytes,
+                        f"operator {name!r} cannot be double-buffered",
+                    )
+                if current_names:
+                    flush()
+                groups.append(
+                    PrefetchGroup((name,), nbytes, duration, oversized=True)
+                )
+                continue
             over_budget = current_bytes + nbytes > self.config.prefetch_buffer_bytes
             if current_names and (len(current_names) >= group_size or over_budget):
-                groups.append(
-                    PrefetchGroup(tuple(current_names), current_bytes, current_time)
-                )
-                current_names, current_bytes, current_time = [], 0, 0.0
+                flush()
             current_names.append(name)
             current_bytes += nbytes
             current_time += duration
         if current_names:
-            groups.append(PrefetchGroup(tuple(current_names), current_bytes, current_time))
+            flush()
         return groups
 
     def pipeline_latency(self, groups: Sequence[PrefetchGroup]) -> float:
@@ -100,15 +136,21 @@ class HBMModel:
 
         The first group's load cannot be hidden; afterwards each group's
         prefetch overlaps the previous group's execution, so each stage costs
-        ``max(execution of current, load of next)``.
+        ``max(execution of current, load of next)``.  An oversized group
+        does not fit the prefetch buffer, so its load cannot overlap the
+        previous group's execution at all — both are paid in full.
         """
         if not groups:
             return 0.0
         latency = self.load_time(groups[0].load_bytes)
         for index, group in enumerate(groups):
             if index + 1 < len(groups):
-                next_load = self.load_time(groups[index + 1].load_bytes)
-                latency += max(group.execution_time, next_load)
+                next_group = groups[index + 1]
+                next_load = self.load_time(next_group.load_bytes)
+                if next_group.oversized:
+                    latency += group.execution_time + next_load
+                else:
+                    latency += max(group.execution_time, next_load)
             else:
                 latency += group.execution_time
         return latency

@@ -119,6 +119,23 @@ class SimulationResult:
         return self.per_op.get(op_name, OpTiming())
 
 
+def measure_compilation(simulator: "ChipSimulator", compilation) -> tuple[str, str, float]:
+    """(status, error, latency) of one compiled model on ``simulator``.
+
+    The shared measurement policy of the serving worker pool and the
+    multi-chip sharding layer: failed compilations and failed simulations
+    report ``float("inf")`` latency with their diagnosis, successful runs
+    report the simulated end-to-end time.  ``compilation`` is any object
+    with ``ok``/``status``/``error``/``program`` (e.g. ``CompiledModel``).
+    """
+    if not compilation.ok:
+        return compilation.status, compilation.error, float("inf")
+    result = simulator.run(compilation.program)
+    if not result.ok:
+        return result.status, result.error, float("inf")
+    return "ok", "", result.total_time
+
+
 class ChipSimulator:
     """Deterministic analytical simulator for an inter-core connected chip."""
 

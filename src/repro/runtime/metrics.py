@@ -49,7 +49,12 @@ def per_operator_speedups(
 
 
 def speedup_distribution(speedups: Mapping[str, float]) -> dict[str, float]:
-    """Summary statistics of a per-operator speedup distribution."""
+    """Summary statistics of a per-operator speedup distribution.
+
+    Exactly-1.0 speedups count as *unchanged*, so the improved, regressed
+    and unchanged fractions partition the operators:
+    ``improved_fraction + regressed_fraction + unchanged_fraction == 1``.
+    """
     values = sorted(speedups.values())
     if not values:
         return {
@@ -59,9 +64,11 @@ def speedup_distribution(speedups: Mapping[str, float]) -> dict[str, float]:
             "geomean": 0.0,
             "improved_fraction": 0.0,
             "regressed_fraction": 0.0,
+            "unchanged_fraction": 0.0,
         }
     improved = sum(1 for value in values if value > 1.0)
     regressed = sum(1 for value in values if value < 1.0)
+    unchanged = len(values) - improved - regressed
     return {
         "count": len(values),
         "min": values[0],
@@ -69,6 +76,7 @@ def speedup_distribution(speedups: Mapping[str, float]) -> dict[str, float]:
         "geomean": geometric_mean(values),
         "improved_fraction": improved / len(values),
         "regressed_fraction": regressed / len(values),
+        "unchanged_fraction": unchanged / len(values),
     }
 
 
@@ -102,9 +110,17 @@ def latency_percentiles(latencies: Sequence[float]) -> dict[str, float]:
 
 
 def throughput_rps(completed: int, span_seconds: float) -> float:
-    """Requests per second completed over a (virtual) time span."""
-    if completed <= 0 or span_seconds <= 0:
+    """Requests per second completed over a (virtual) time span.
+
+    Zero completions over any span is genuinely zero throughput; a positive
+    completion count over a degenerate (instant or negative) window has no
+    meaningful rate, so it returns ``nan`` — the same "no data" convention
+    as :func:`percentile` — instead of silently reporting zero.
+    """
+    if completed <= 0:
         return 0.0
+    if span_seconds <= 0:
+        return float("nan")
     return completed / span_seconds
 
 

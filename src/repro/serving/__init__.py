@@ -21,7 +21,14 @@ Quick start::
     print(report.summary())
 """
 
-from repro.serving.batcher import Batch, DynamicBatcher, batch_buckets, bucket_for
+from repro.serving.batcher import (
+    Batch,
+    BatchReplay,
+    DynamicBatcher,
+    ReplayStats,
+    batch_buckets,
+    bucket_for,
+)
 from repro.serving.metrics import ModelStats, ServingReport, build_model_stats
 from repro.serving.plan_cache import (
     COMPILE,
@@ -45,6 +52,7 @@ from repro.serving.worker import BatchExecution, WorkerPool
 __all__ = [
     "Batch",
     "BatchExecution",
+    "BatchReplay",
     "COMPILE",
     "CacheLookup",
     "CacheStats",
@@ -55,6 +63,7 @@ __all__ = [
     "InferenceRequest",
     "ModelStats",
     "PlanCache",
+    "ReplayStats",
     "ServedModel",
     "ServingReport",
     "ServingScheduler",

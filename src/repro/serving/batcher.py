@@ -21,6 +21,46 @@ from typing import Iterator, Mapping, Sequence
 from repro.serving.request import InferenceRequest
 
 
+@dataclass
+class ReplayStats:
+    """Queue statistics of one :meth:`DynamicBatcher.batches` replay.
+
+    Stats are local to the replay that produced them (not batcher instance
+    state), so creating a new replay never clobbers the numbers of a
+    previous one.  Samples accumulate as the replay is consumed; the
+    properties reflect whatever has been consumed so far.
+    """
+
+    queue_depth_samples: list[int] = field(default_factory=list)
+    """Pending-request count sampled at every arrival."""
+
+    @property
+    def max_queue_depth(self) -> int:
+        """Deepest the admission queue got during the replay."""
+        return max(self.queue_depth_samples, default=0)
+
+    @property
+    def mean_queue_depth(self) -> float:
+        """Average queue depth sampled at arrivals during the replay."""
+        if not self.queue_depth_samples:
+            return 0.0
+        return sum(self.queue_depth_samples) / len(self.queue_depth_samples)
+
+
+class BatchReplay(Iterator["Batch"]):
+    """Dispatch-ordered batch iterator carrying its own :class:`ReplayStats`."""
+
+    def __init__(self, generator: Iterator["Batch"], stats: ReplayStats) -> None:
+        self._generator = generator
+        self.stats = stats
+
+    def __iter__(self) -> "BatchReplay":
+        return self
+
+    def __next__(self) -> "Batch":
+        return next(self._generator)
+
+
 def batch_buckets(max_batch_size: int) -> tuple[int, ...]:
     """The padded batch sizes compiled for one model: 1, 2, 4, ... max."""
     if max_batch_size < 1:
@@ -83,7 +123,8 @@ class DynamicBatcher:
 
     The batcher runs in virtual time: :meth:`batches` replays the request
     stream and yields batches in dispatch order.  Queue-depth statistics are
-    sampled at every arrival for the serving report.
+    sampled at every arrival and attached to the returned replay — each
+    replay owns its stats, so a batcher can be reused across workloads.
     """
 
     def __init__(
@@ -101,7 +142,6 @@ class DynamicBatcher:
             raise ValueError(f"batch_window must be >= 0, got {batch_window}")
         self.max_batch_size = max_batch_size
         self.batch_window = batch_window
-        self.queue_depth_samples: list[int] = []
 
     def max_batch_for(self, model: str) -> int:
         """The batch-size cap applying to one model."""
@@ -112,12 +152,21 @@ class DynamicBatcher:
         return self.max_batch_size[model]
 
     # ------------------------------------------------------------------ #
-    def batches(self, requests: Sequence[InferenceRequest]) -> Iterator[Batch]:
-        """Yield dispatch-ordered batches for an arrival-ordered request stream."""
+    def batches(self, requests: Sequence[InferenceRequest]) -> BatchReplay:
+        """Dispatch-ordered batches for an arrival-ordered request stream.
+
+        Returns a :class:`BatchReplay`: iterate it for the batches, read its
+        ``stats`` for the queue-depth statistics of *this* replay.
+        """
+        stats = ReplayStats()
+        return BatchReplay(self._replay(requests, stats), stats)
+
+    def _replay(
+        self, requests: Sequence[InferenceRequest], stats: ReplayStats
+    ) -> Iterator[Batch]:
         ordered = sorted(requests, key=lambda req: (req.arrival_time, req.request_id))
         pending: dict[str, _PendingQueue] = {}
         next_batch_id = 0
-        self.queue_depth_samples = []
 
         def close(model: str, when: float) -> Batch:
             nonlocal next_batch_id
@@ -147,22 +196,9 @@ class DynamicBatcher:
                 yield close(model, deadline)
             queue = pending.setdefault(request.model, _PendingQueue())
             queue.requests.append(request)
-            self.queue_depth_samples.append(sum(len(q) for q in pending.values()))
+            stats.queue_depth_samples.append(sum(len(q) for q in pending.values()))
             if len(queue) >= self.max_batch_for(request.model):
                 yield close(request.model, request.arrival_time)
         # Drain whatever is still pending, in deadline order.
         for model in sorted(pending, key=lambda name: pending[name].deadline):
             yield close(model, pending[model].deadline + self.batch_window)
-
-    # ------------------------------------------------------------------ #
-    @property
-    def max_queue_depth(self) -> int:
-        """Deepest the admission queue got during the last replay."""
-        return max(self.queue_depth_samples, default=0)
-
-    @property
-    def mean_queue_depth(self) -> float:
-        """Average queue depth sampled at arrivals during the last replay."""
-        if not self.queue_depth_samples:
-            return 0.0
-        return sum(self.queue_depth_samples) / len(self.queue_depth_samples)

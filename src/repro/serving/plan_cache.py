@@ -45,9 +45,18 @@ def plan_key(
     graph: OperatorGraph,
     chip: ChipSpec,
     constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+    *,
+    scope: str = "",
 ) -> str:
-    """Content-addressed cache key for one compilation."""
-    return f"{graph.fingerprint()}-{chip.fingerprint()}-{constraints.fingerprint()}"
+    """Content-addressed cache key for one compilation.
+
+    ``scope`` namespaces the entry beyond the content fingerprints — the
+    multi-chip sharding layer passes its stage slice (e.g. ``stage2of4``) so
+    each pipeline stage's plan is cached independently of structurally
+    identical stages and of the unsharded graph.
+    """
+    key = f"{graph.fingerprint()}-{chip.fingerprint()}-{constraints.fingerprint()}"
+    return f"{key}-{scope}" if scope else key
 
 
 @dataclass
@@ -255,6 +264,8 @@ class PlanCache:
         graph: OperatorGraph,
         chip: ChipSpec,
         constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+        *,
+        scope: str = "",
     ) -> CacheLookup:
         """Fetch the compiled program for ``graph`` on ``chip``, compiling on miss.
 
@@ -262,8 +273,9 @@ class PlanCache:
         that cannot fit the chip would waste the same compile time every
         request.  Concurrent misses on one key are single-flighted: exactly
         one caller compiles, the rest receive its program as a memory hit.
+        ``scope`` extends the key (see :func:`plan_key`).
         """
-        key = plan_key(graph, chip, constraints)
+        key = plan_key(graph, chip, constraints, scope=scope)
         start = time.perf_counter()
         hit = self._memory_hit(key, start)
         if hit is not None:

@@ -32,18 +32,23 @@ class ServedModel:
 
     ``builder`` maps a (padded) batch size to the model's operator graph;
     the scheduler only ever builds the bucketed sizes ``1, 2, 4, ...,
-    max_batch_size``.
+    max_batch_size``.  ``num_stages > 1`` serves the model pipeline-sharded
+    across a group of that many chips (:mod:`repro.dist`) — the way models
+    too large for one chip's SRAM stay servable.
     """
 
     name: str
     builder: Callable[[int], OperatorGraph]
     max_batch_size: int = 8
+    num_stages: int = 1
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("ServedModel requires a name")
         if self.max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.num_stages < 1:
+            raise ValueError(f"num_stages must be >= 1, got {self.num_stages}")
 
     @classmethod
     def from_registry(
@@ -51,6 +56,7 @@ class ServedModel:
         name: str,
         *,
         max_batch_size: int = 8,
+        num_stages: int = 1,
         **build_kwargs: object,
     ) -> "ServedModel":
         """Deploy a model from :mod:`repro.models.registry` by name.
@@ -65,6 +71,7 @@ class ServedModel:
             name=name,
             builder=lambda batch: entry.builder(batch, **build_kwargs),
             max_batch_size=max_batch_size,
+            num_stages=num_stages,
         )
 
     def bucket_graphs(self) -> list[OperatorGraph]:
@@ -98,6 +105,11 @@ class ServingScheduler:
         for model in models:
             if model.name in self.models:
                 raise ValueError(f"duplicate served model {model.name!r}")
+            if model.num_stages > num_chips:
+                raise ValueError(
+                    f"model {model.name!r} needs a group of {model.num_stages} "
+                    f"chips but the fleet has only {num_chips}"
+                )
             self.models[model.name] = model
         if plan_cache is not None and cache_dir is not None:
             raise ValueError("pass either plan_cache or cache_dir, not both")
@@ -163,7 +175,11 @@ class ServingScheduler:
         """
         model = self.models[model_name]
         padded = bucket_for(batch_size, model.max_batch_size)
-        status, error, latency = self.pool.measure(self._graph_for(model_name, padded))
+        graph = self._graph_for(model_name, padded)
+        if model.num_stages > 1:
+            status, error, latency = self.pool.measure_sharded(graph, model.num_stages)
+        else:
+            status, error, latency = self.pool.measure(graph)
         if status != "ok":
             raise RuntimeError(
                 f"{model_name} at batch {padded} does not serve on "
@@ -180,15 +196,25 @@ class ServingScheduler:
         """Precompile every batch bucket of the named (default: all) models.
 
         Compilation fans out over a thread pool; after a full warmup a
-        serving run performs zero compilations.
+        serving run performs zero compilations.  Sharded models warm their
+        per-stage programs (never the unsharded graph, which may not even
+        fit one chip); their stage compiles go through the same shared plan
+        cache but are not part of the returned lookups.
         """
         names = list(model_names) if model_names is not None else sorted(self.models)
         graphs: list[OperatorGraph] = []
+        sharded: list[tuple[OperatorGraph, int]] = []
         for name in names:
             model = self.models[name]
             for size in batch_buckets(model.max_batch_size):
-                graphs.append(self._graph_for(name, size))
-        return self.pool.warm(graphs, max_workers=max_workers)
+                graph = self._graph_for(name, size)
+                if model.num_stages > 1:
+                    sharded.append((graph, model.num_stages))
+                else:
+                    graphs.append(graph)
+        lookups = self.pool.warm(graphs, max_workers=max_workers) if graphs else []
+        self.pool.warm_sharded(sharded, max_workers=max_workers)
+        return lookups
 
     def serve(self, requests: Sequence[InferenceRequest]) -> ServingReport:
         """Replay one workload through batching, caching and the worker pool."""
@@ -205,9 +231,12 @@ class ServingScheduler:
             batch_window=self.batch_window,
         )
         records: list[CompletedRequest] = []
-        for batch in batcher.batches(requests):
+        replay = batcher.batches(requests)
+        for batch in replay:
             graph = self._graph_for(batch.model, batch.padded_size)
-            execution = self.pool.place(batch, graph)
+            execution = self.pool.place(
+                batch, graph, num_stages=self.models[batch.model].num_stages
+            )
             for request in batch.requests:
                 records.append(
                     CompletedRequest(
@@ -240,6 +269,6 @@ class ServingScheduler:
             cache=self.plan_cache.stats.since(stats_before),
             makespan=makespan,
             utilization=self.pool.utilization(makespan),
-            max_queue_depth=batcher.max_queue_depth,
-            mean_queue_depth=batcher.mean_queue_depth,
+            max_queue_depth=replay.stats.max_queue_depth,
+            mean_queue_depth=replay.stats.mean_queue_depth,
         )

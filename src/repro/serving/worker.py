@@ -7,6 +7,11 @@ batch's simulated latency plus — on a plan-cache miss — the wall-clock
 compile time, which is how the experiments make the cost of a cold cache
 visible in the latency distribution.
 
+Models sharded across a chip group (:mod:`repro.dist`) place the same way,
+except a batch occupies ``num_stages`` chips simultaneously — the earliest
+free group — for the pipelined latency of the sharded program, and the
+compile penalty covers every stage that missed the plan cache.
+
 Batch latencies come from the analytical simulator.  Since the same compiled
 program yields the same latency every run, measurements are memoised per
 plan-cache key.
@@ -15,14 +20,26 @@ plan-cache key.
 from __future__ import annotations
 
 import heapq
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
-from repro.hw.simulator import ChipSimulator
+from repro.core.parallel import SingleFlight
+from repro.dist.sharded import ShardedCompiler, ShardedModel
+from repro.hw.interconnect import InterconnectModel, default_interconnect
+from repro.hw.simulator import ChipSimulator, measure_compilation
 from repro.hw.spec import ChipSpec
 from repro.ir.graph import OperatorGraph
 from repro.serving.batcher import Batch
-from repro.serving.plan_cache import COMPILE, CacheLookup, PlanCache
+from repro.serving.plan_cache import (
+    COMPILE,
+    HIT_DISK,
+    HIT_MEMORY,
+    CacheLookup,
+    PlanCache,
+    plan_key,
+)
 
 
 @dataclass(frozen=True)
@@ -40,6 +57,9 @@ class BatchExecution:
     cache_outcome: str
     status: str = "ok"
     error: str = ""
+    workers: tuple[int, ...] = ()
+    """Every chip the batch occupied (the whole group for sharded models;
+    equals ``(worker,)`` for single-chip placements)."""
 
     @property
     def ok(self) -> bool:
@@ -58,10 +78,13 @@ class WorkerPool:
         plan_cache: PlanCache | None = None,
         constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
         jobs: int | None = 1,
+        interconnect: InterconnectModel | None = None,
     ) -> None:
         """``jobs`` sets the parallel-compilation width of the pool's own plan
         cache; it is ignored when an external ``plan_cache`` is supplied (the
         cache's compilers are configured by whoever built it).
+        ``interconnect`` prices the stage-boundary transfers of sharded
+        models (defaults to the chip's ``inter_chip_bandwidth``).
         """
         if num_chips < 1:
             raise ValueError(f"num_chips must be >= 1, got {num_chips}")
@@ -69,8 +92,15 @@ class WorkerPool:
         self.num_chips = num_chips
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache(jobs=jobs)
         self.constraints = constraints
+        self.interconnect = (
+            interconnect if interconnect is not None else default_interconnect(chip)
+        )
         self.simulator = ChipSimulator(chip)
         self._latency_memo: dict[str, tuple[str, str, float]] = {}
+        self._sharded_compiler: ShardedCompiler | None = None
+        self._sharded_memo: dict[tuple[str, int], ShardedModel] = {}
+        self._sharded_lock = threading.Lock()
+        self._sharded_flight = SingleFlight()
         self.reset()
 
     def reset(self) -> None:
@@ -96,21 +126,32 @@ class WorkerPool:
             graphs, self.chip, self.constraints, max_workers=max_workers
         )
 
+    def warm_sharded(
+        self,
+        items: list[tuple[OperatorGraph, int]],
+        *,
+        max_workers: int | None = None,
+    ) -> list[ShardedModel]:
+        """Precompile sharded models for this pool's chip groups.
+
+        ``items`` pairs each graph with its stage count.  Same fan-out
+        policy as :meth:`warm`; stage compiles are single-flighted by the
+        shared plan cache, and failed shardings come back as non-``ok``
+        models rather than raising.
+        """
+        if not items:
+            return []
+        workers = max_workers or min(8, len(items))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(lambda item: self.sharded_model(*item), items))
+
     def _measure(self, key: str, lookup: CacheLookup) -> tuple[str, str, float]:
         """(status, error, latency) of one compiled program, memoised by key."""
         memo = self._latency_memo.get(key)
-        if memo is not None:
-            return memo
-        compiled = lookup.compiled
-        if not compiled.ok:
-            memo = (compiled.status, compiled.error, float("inf"))
-        else:
-            simulation = self.simulator.run(compiled.program)
-            if not simulation.ok:
-                memo = (simulation.status, simulation.error, float("inf"))
-            else:
-                memo = ("ok", "", simulation.total_time)
-        self._latency_memo[key] = memo
+        if memo is None:
+            memo = self._latency_memo[key] = measure_compilation(
+                self.simulator, lookup.compiled
+            )
         return memo
 
     def measure(self, graph: OperatorGraph) -> tuple[str, str, float]:
@@ -123,8 +164,95 @@ class WorkerPool:
         return self._measure(lookup.key, lookup)
 
     # ------------------------------------------------------------------ #
-    def place(self, batch: Batch, graph: OperatorGraph) -> BatchExecution:
-        """Place one batch (with its padded-size graph) on the earliest free worker."""
+    # Sharded models (repro.dist)
+    # ------------------------------------------------------------------ #
+    def _sharded(
+        self, graph: OperatorGraph, num_stages: int
+    ) -> tuple[ShardedModel, float, str]:
+        """(sharded model, compile seconds this call incurred, cache outcome).
+
+        Stage programs live in the shared plan cache (stage-slice scoped
+        keys); the memo only avoids re-running the partitioner and the
+        per-stage pipeline simulation per batch.  Thread-safe: concurrent
+        callers of one (graph, num_stages) are single-flighted, mirroring
+        the plan cache — only the builder reports the stage compiles.
+        """
+        if not 1 < num_stages <= self.num_chips:
+            raise ValueError(
+                f"num_stages must be in [2, num_chips={self.num_chips}], got {num_stages}"
+            )
+        key = (plan_key(graph, self.chip, self.constraints), num_stages)
+        with self._sharded_lock:
+            cached = self._sharded_memo.get(key)
+        if cached is not None:
+            return cached, 0.0, HIT_MEMORY
+
+        built_fresh = False
+
+        def build() -> ShardedModel:
+            nonlocal built_fresh
+            with self._sharded_lock:
+                cached = self._sharded_memo.get(key)
+                if cached is not None:
+                    return cached
+                if self._sharded_compiler is None:
+                    self._sharded_compiler = ShardedCompiler(
+                        self.chip,
+                        constraints=self.constraints,
+                        interconnect=self.interconnect,
+                        plan_cache=self.plan_cache,
+                    )
+                compiler = self._sharded_compiler
+            model = compiler.compile(graph, num_stages)
+            with self._sharded_lock:
+                self._sharded_memo[key] = model
+            built_fresh = True
+            return model
+
+        model, leader = self._sharded_flight.do(key, build)
+        if not (leader and built_fresh):
+            return model, 0.0, HIT_MEMORY
+        penalty = sum(
+            stage.compile_seconds
+            for stage in model.stages
+            if stage.cache_outcome == COMPILE
+        )
+        # The batch-level outcome is the weakest stage outcome: any stage
+        # that compiled makes the whole lookup a compile, else any disk hit
+        # makes it a disk hit.
+        outcomes = {stage.cache_outcome for stage in model.stages}
+        if COMPILE in outcomes:
+            outcome = COMPILE
+        elif HIT_DISK in outcomes:
+            outcome = HIT_DISK
+        else:
+            outcome = HIT_MEMORY
+        return model, penalty, outcome
+
+    def sharded_model(self, graph: OperatorGraph, num_stages: int) -> ShardedModel:
+        """The compiled sharding of ``graph`` over a group of ``num_stages`` chips."""
+        model, _, _ = self._sharded(graph, num_stages)
+        return model
+
+    def measure_sharded(self, graph: OperatorGraph, num_stages: int) -> tuple[str, str, float]:
+        """(status, error, pipelined latency) of ``graph`` sharded over a group."""
+        model, _, _ = self._sharded(graph, num_stages)
+        if not model.ok:
+            return model.status, model.error, float("inf")
+        return "ok", "", model.latency
+
+    # ------------------------------------------------------------------ #
+    def place(
+        self, batch: Batch, graph: OperatorGraph, *, num_stages: int = 1
+    ) -> BatchExecution:
+        """Place one batch (with its padded-size graph) on the earliest free worker.
+
+        With ``num_stages > 1`` the batch runs the pipeline-sharded program
+        and occupies the ``num_stages`` earliest-free chips as one group
+        until the whole pipeline drains.
+        """
+        if num_stages > 1:
+            return self._place_sharded(batch, graph, num_stages)
         lookup = self.plan_cache.get_or_compile(graph, self.chip, self.constraints)
         status, error, latency = self._measure(lookup.key, lookup)
         compile_penalty = lookup.seconds if lookup.outcome == COMPILE else 0.0
@@ -148,6 +276,35 @@ class WorkerPool:
             cache_outcome=lookup.outcome,
             status=status,
             error=error,
+            workers=(worker,),
+        )
+
+    def _place_sharded(
+        self, batch: Batch, graph: OperatorGraph, num_stages: int
+    ) -> BatchExecution:
+        model, compile_penalty, cache_outcome = self._sharded(graph, num_stages)
+        if model.ok:
+            status, error, latency = "ok", "", model.latency
+        else:
+            status, error, latency = model.status, model.error, 0.0
+        group = [heapq.heappop(self._free) for _ in range(num_stages)]
+        start = max(batch.dispatch_time, max(free for free, _ in group))
+        completion = start + compile_penalty + (latency if status == "ok" else 0.0)
+        workers = tuple(sorted(worker for _, worker in group))
+        for worker in workers:
+            heapq.heappush(self._free, (completion, worker))
+        self.busy_seconds += (completion - start) * num_stages
+        return BatchExecution(
+            batch=batch,
+            worker=workers[0],
+            start_time=start,
+            completion_time=completion,
+            latency=latency,
+            compile_penalty=compile_penalty,
+            cache_outcome=cache_outcome,
+            status=status,
+            error=error,
+            workers=workers,
         )
 
     # ------------------------------------------------------------------ #

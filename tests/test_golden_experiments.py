@@ -45,6 +45,7 @@ from repro.experiments import (
     fig23_llm,
     fig24_hbm,
     fig25_serving,
+    fig26_multichip,
     tab02_models,
     tab03_hardware,
 )
@@ -99,6 +100,23 @@ def invariant_fig25(rows: list[dict]) -> None:
     for row in rows:
         assert row["recompiles"] == 0
         assert row["hit_rate"] == 1.0
+
+
+def invariant_fig26(rows: list[dict]) -> None:
+    for row in rows:
+        assert row["plans_match"], "sharded stage plans diverged across compiles"
+    groups: dict[tuple, list[dict]] = {}
+    for row in rows:
+        groups.setdefault((row["model"], row["batch"], row["micro_batches"]), []).append(row)
+    rescued = False
+    for group in groups.values():
+        ordered = sorted(group, key=lambda row: row["chips"])
+        if ordered[0]["chips"] == 1 and ordered[0]["status"] == "oom":
+            assert any(r["status"] == "ok" and r["chips"] >= 2 for r in ordered)
+            rescued = True
+        throughputs = [r["throughput_rps"] for r in ordered if r["status"] == "ok"]
+        assert all(a < b for a, b in zip(throughputs, throughputs[1:]))
+    assert rescued, "no workload exercised the OOM-then-sharded path"
 
 
 def invariant_ablation(rows: list[dict]) -> None:
@@ -198,6 +216,11 @@ SPECS: dict[str, GoldenSpec] = {
         lambda: fig25_serving.run(quick=True),
         ("model", "chips", "load_x", "window_x", "completed"),
         invariant_fig25,
+    ),
+    "fig26": GoldenSpec(
+        lambda: fig26_multichip.run(quick=True),
+        ("model", "batch", "operators", "chips", "micro_batches", "status", "stage_ops"),
+        invariant_fig26,
     ),
     "tab02": GoldenSpec(
         lambda: tab02_models.run(quick=True),

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.hw.hbm import HBMConfig, HBMModel, PrefetchGroup
+from repro.hw.memory import OutOfChipMemoryError
 
 
 @pytest.fixture()
@@ -52,6 +53,32 @@ class TestGrouping:
         with pytest.raises(ValueError):
             hbm.group_operators(["a"], [1], [1.0], group_size=0)
 
+    def test_oversized_operator_is_cut_and_flagged(self, hbm):
+        # Regression: an operator whose load alone exceeds the prefetch
+        # buffer used to form a silently un-double-bufferable group.
+        big = hbm.config.prefetch_buffer_bytes + 1
+        groups = hbm.group_operators(
+            ["a", "huge", "b"], [10, big, 10], [1.0, 1.0, 1.0], group_size=4
+        )
+        assert [group.names for group in groups] == [("a",), ("huge",), ("b",)]
+        assert [group.oversized for group in groups] == [False, True, False]
+
+    def test_oversized_operator_raises_when_asked(self, hbm):
+        big = hbm.config.prefetch_buffer_bytes + 1
+        with pytest.raises(OutOfChipMemoryError, match="double-buffered"):
+            hbm.group_operators(["huge"], [big], [1.0], on_oversized="raise")
+
+    def test_exactly_buffer_sized_operator_is_not_oversized(self, hbm):
+        groups = hbm.group_operators(
+            ["a"], [hbm.config.prefetch_buffer_bytes], [1.0], on_oversized="raise"
+        )
+        assert len(groups) == 1
+        assert not groups[0].oversized
+
+    def test_unknown_oversized_policy_rejected(self, hbm):
+        with pytest.raises(ValueError):
+            hbm.group_operators(["a"], [1], [1.0], on_oversized="ignore")
+
 
 class TestPipelineLatency:
     def test_empty(self, hbm):
@@ -97,6 +124,18 @@ class TestPipelineLatency:
         single = hbm.pipeline_latency(hbm.group_operators(names, loads, times, group_size=1))
         grouped = hbm.pipeline_latency(hbm.group_operators(names, loads, times, group_size=2))
         assert grouped <= single
+
+    def test_oversized_group_load_is_fully_exposed(self):
+        hbm = HBMModel(HBMConfig(bandwidth=1e9))
+        big = hbm.config.prefetch_buffer_bytes + int(1e9)
+        groups = hbm.group_operators(
+            ["a", "huge"], [int(1e9), big], [5.0, 0.1], group_size=1
+        )
+        assert groups[1].oversized
+        # The oversized load (big / 1 GB/s) cannot hide behind the 5 s
+        # execution of "a": it is paid in full on top.
+        expected = 1.0 + 5.0 + big / 1e9 + 0.1
+        assert hbm.pipeline_latency(groups) == pytest.approx(expected)
 
     def test_validation(self):
         with pytest.raises(ValueError):

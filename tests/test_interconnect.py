@@ -1,0 +1,55 @@
+"""Tests for the chip-to-chip interconnect model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.interconnect import (
+    IPU_LINK,
+    InterconnectConfig,
+    InterconnectModel,
+    default_interconnect,
+)
+from repro.hw.spec import IPU_MK2
+
+
+class TestConfig:
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            InterconnectConfig(bandwidth=0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            InterconnectConfig(bandwidth=1e9, latency=-1e-6)
+
+    def test_fingerprint_is_stable_and_config_sensitive(self):
+        a = InterconnectConfig(bandwidth=1e9, latency=1e-6)
+        b = InterconnectConfig(bandwidth=1e9, latency=1e-6)
+        c = InterconnectConfig(bandwidth=2e9, latency=1e-6)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.fingerprint() != c.fingerprint()
+
+
+class TestTransferTime:
+    def test_zero_bytes_costs_nothing(self):
+        link = InterconnectModel(InterconnectConfig(bandwidth=1e9, latency=1e-6))
+        assert link.transfer_time(0) == 0.0
+
+    def test_latency_plus_bandwidth(self):
+        link = InterconnectModel(InterconnectConfig(bandwidth=1e9, latency=2e-6))
+        assert link.transfer_time(int(1e9)) == pytest.approx(1.0 + 2e-6)
+
+    def test_monotonic_in_bytes(self):
+        link = InterconnectModel(IPU_LINK)
+        times = [link.transfer_time(n) for n in (1, 1024, 1 << 20, 1 << 30)]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_rejects_negative_bytes(self):
+        link = InterconnectModel(IPU_LINK)
+        with pytest.raises(ValueError):
+            link.transfer_time(-1)
+
+
+def test_default_interconnect_uses_chip_bandwidth():
+    link = default_interconnect(IPU_MK2)
+    assert link.config.bandwidth == IPU_MK2.inter_chip_bandwidth

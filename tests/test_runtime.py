@@ -19,6 +19,7 @@ from repro.runtime import (
     latency_breakdown,
     per_operator_speedups,
     speedup_distribution,
+    throughput_rps,
 )
 
 
@@ -100,9 +101,39 @@ class TestMetrics:
         assert stats["max"] == 2.0
         assert stats["improved_fraction"] == pytest.approx(2 / 3)
         assert stats["regressed_fraction"] == pytest.approx(1 / 3)
+        assert stats["unchanged_fraction"] == 0.0
+
+    def test_speedup_distribution_counts_unchanged(self):
+        # Exactly-1.0 speedups belong to their own bucket; the three
+        # fractions partition the operators (regression: they used to sum
+        # below 1 whenever any operator was unchanged).
+        stats = speedup_distribution({"a": 2.0, "b": 1.0, "c": 0.5, "d": 1.0})
+        assert stats["improved_fraction"] == 0.25
+        assert stats["regressed_fraction"] == 0.25
+        assert stats["unchanged_fraction"] == 0.5
+        assert (
+            stats["improved_fraction"]
+            + stats["regressed_fraction"]
+            + stats["unchanged_fraction"]
+            == 1.0
+        )
 
     def test_speedup_distribution_empty(self):
-        assert speedup_distribution({})["count"] == 0
+        stats = speedup_distribution({})
+        assert stats["count"] == 0
+        assert stats["unchanged_fraction"] == 0.0
+
+    def test_throughput_rps(self):
+        assert throughput_rps(10, 2.0) == pytest.approx(5.0)
+        assert throughput_rps(0, 2.0) == 0.0
+        assert throughput_rps(0, 0.0) == 0.0
+
+    def test_throughput_rps_degenerate_window_is_nan(self):
+        # Completions over an instant (or negative) window have no rate;
+        # regression: this used to report 0.0, indistinguishable from a
+        # genuinely idle server.
+        assert math.isnan(throughput_rps(5, 0.0))
+        assert math.isnan(throughput_rps(5, -1.0))
 
     def test_average_speedup(self):
         a = EvaluationResult("roller", "m", "c", "ok", latency=2.0)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.core import T10Compiler
 from repro.ir import OperatorGraph, elementwise, matmul
@@ -186,9 +187,76 @@ class TestDynamicBatcher:
 
     def test_queue_depth_is_sampled(self):
         batcher = DynamicBatcher(max_batch_size=8, batch_window=1.0)
-        list(batcher.batches(uniform_workload(["m"], num_requests=5, interval=0.0)))
-        assert batcher.max_queue_depth == 5
-        assert batcher.mean_queue_depth == pytest.approx(3.0)
+        replay = batcher.batches(uniform_workload(["m"], num_requests=5, interval=0.0))
+        list(replay)
+        assert replay.stats.max_queue_depth == 5
+        assert replay.stats.mean_queue_depth == pytest.approx(3.0)
+
+    def test_replay_stats_are_local_to_each_replay(self):
+        # Regression: stats used to live on the batcher and were only reset
+        # when a new generator was first advanced, so a consumed replay's
+        # numbers survived — and a created-but-unconsumed replay read stale
+        # data from the previous one.
+        batcher = DynamicBatcher(max_batch_size=8, batch_window=1.0)
+        first = batcher.batches(uniform_workload(["m"], num_requests=5, interval=0.0))
+        list(first)
+        second = batcher.batches([])  # created but never consumed
+        assert second.stats.max_queue_depth == 0
+        assert second.stats.mean_queue_depth == 0.0
+        # The consumed replay keeps its own numbers untouched.
+        assert first.stats.max_queue_depth == 5
+        assert first.stats.mean_queue_depth == pytest.approx(3.0)
+        third = batcher.batches(uniform_workload(["m"], num_requests=2, interval=0.0))
+        list(third)
+        assert third.stats.max_queue_depth == 2
+        assert first.stats.max_queue_depth == 5
+
+
+# --------------------------------------------------------------------------- #
+# Batcher properties (hypothesis)
+# --------------------------------------------------------------------------- #
+arrival_streams = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False, allow_infinity=False),
+        st.sampled_from(["a", "b", "c"]),
+    ),
+    max_size=50,
+)
+
+
+class TestBatcherProperties:
+    @given(
+        stream=arrival_streams,
+        max_batch=st.integers(min_value=1, max_value=6),
+        window=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    )
+    @settings(deadline=None, max_examples=200)
+    def test_batches_partition_requests_in_dispatch_order(
+        self, stream, max_batch, window
+    ):
+        """Every request lands in exactly one batch; dispatch never rewinds."""
+        requests = [
+            InferenceRequest(request_id=i, model=model, arrival_time=arrival)
+            for i, (arrival, model) in enumerate(stream)
+        ]
+        batcher = DynamicBatcher(max_batch_size=max_batch, batch_window=window)
+        batches = list(batcher.batches(requests))
+
+        batched_ids = [req.request_id for batch in batches for req in batch.requests]
+        assert len(batched_ids) == len(set(batched_ids)), "a request was batched twice"
+        assert sorted(batched_ids) == sorted(req.request_id for req in requests)
+
+        dispatch_times = [batch.dispatch_time for batch in batches]
+        assert all(
+            earlier <= later
+            for earlier, later in zip(dispatch_times, dispatch_times[1:])
+        ), f"dispatch times rewound: {dispatch_times}"
+
+        for batch in batches:
+            assert 1 <= len(batch) <= batcher.max_batch_for(batch.model)
+            assert batch.padded_size >= len(batch)
+            # A batch never dispatches before its requests exist.
+            assert batch.dispatch_time >= max(r.arrival_time for r in batch.requests)
 
 
 # --------------------------------------------------------------------------- #
