@@ -1,0 +1,24 @@
+"""Tracked micro-benchmarks (``python -m repro.bench``).
+
+The first tracked number is compile time: :mod:`repro.bench.runner` times
+full-graph compiles across registry models, records the streaming search's
+sketch/materialize accounting and emits ``BENCH_compile.json`` — the perf
+trajectory the ROADMAP's "fast as the hardware allows" north star is measured
+against.
+"""
+
+from repro.bench.runner import (
+    DEFAULT_BENCH_MODELS,
+    SCHEMA_VERSION,
+    BenchConfig,
+    BenchReport,
+    run_bench,
+)
+
+__all__ = [
+    "BenchConfig",
+    "BenchReport",
+    "DEFAULT_BENCH_MODELS",
+    "SCHEMA_VERSION",
+    "run_bench",
+]

@@ -1,0 +1,80 @@
+"""CLI for the compile-time benchmark: ``python -m repro.bench``."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.runner import DEFAULT_BENCH_MODELS, BenchConfig, run_bench
+from repro.models import list_models
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Time full-graph compiles and record the sketch/materialize "
+        "search accounting into BENCH_compile.json.",
+    )
+    parser.add_argument(
+        "--models",
+        default=",".join(DEFAULT_BENCH_MODELS),
+        help="comma-separated registry models to compile "
+        f"(default: {','.join(DEFAULT_BENCH_MODELS)})",
+    )
+    parser.add_argument("--batch", type=int, default=1, help="batch size (default 1)")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="truncated model stacks + fast constraints (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="parallel-compilation width (default 1)"
+    )
+    parser.add_argument(
+        "--no-reference",
+        action="store_true",
+        help="skip the eager reference search (before/after accounting)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_compile.json",
+        help="report path (default BENCH_compile.json)",
+    )
+    args = parser.parse_args(argv)
+
+    models = [name.strip() for name in args.models.split(",") if name.strip()]
+    known = set(list_models())
+    unknown = [name for name in models if name not in known]
+    if unknown:
+        parser.error(f"unknown models {unknown}; known: {sorted(known)}")
+
+    report = run_bench(
+        BenchConfig(
+            models=models,
+            batch_size=args.batch,
+            quick=args.quick,
+            jobs=args.jobs,
+            reference=not args.no_reference,
+            output=args.output,
+        )
+    )
+    for row in report.rows:
+        ratio = row.get("materialized_reduction") or row.get("materialization_ratio")
+        print(
+            f"{row['model']:>10} bs{row['batch']}: {row['status']}, "
+            f"compile {row['compile_seconds']:.2f}s, "
+            f"sketched {row['sketched']}, materialized {row['materialized']} "
+            f"({ratio if ratio is not None else '?'}x fewer than eager), "
+            f"warm lookup {row['cache_hit_seconds'] * 1e3:.2f}ms"
+        )
+    totals = report.totals
+    print(
+        f"total: {totals['compile_seconds']:.2f}s compile, "
+        f"{totals['evaluated']} candidates evaluated, "
+        f"{totals['materialized']} materialized "
+        f"(ratio {totals['materialization_ratio']}), report -> {args.output}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

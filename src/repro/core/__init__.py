@@ -21,9 +21,16 @@ from repro.core.parallel import (
     default_jobs,
     resolve_jobs,
 )
-from repro.core.pareto import pareto_front
+from repro.core.pareto import ParetoAccumulator, pareto_front
 from repro.core.placement import PlacementPlan
-from repro.core.plan import OperatorPlan, ShiftOp, build_library_plan, build_plan
+from repro.core.plan import (
+    OperatorPlan,
+    PlanSketch,
+    ShiftOp,
+    build_library_plan,
+    build_plan,
+    sketch_plan,
+)
 from repro.core.rtensor import RTensorConfig
 
 __all__ = [
@@ -41,7 +48,9 @@ __all__ = [
     "OperatorPlan",
     "OperatorSchedule",
     "ParallelCompilationEngine",
+    "ParetoAccumulator",
     "PlacementPlan",
+    "PlanSketch",
     "RTensorConfig",
     "SearchConstraints",
     "SearchSpaceStats",
@@ -55,4 +64,5 @@ __all__ = [
     "default_jobs",
     "pareto_front",
     "resolve_jobs",
+    "sketch_plan",
 ]

@@ -67,6 +67,16 @@ class CompiledModel:
     search_stats: dict[str, SearchSpaceStats] = field(default_factory=dict)
     compile_time_seconds: float = 0.0
     error: str = ""
+    unique_operators: int = 0
+    """Distinct operator signatures in the graph (searched at most once)."""
+    dispatched_searches: int = 0
+    """Fresh plan searches this compile ran (signature-cache misses)."""
+    sketched_candidates: int = 0
+    """Plan candidates sketched across the fresh searches."""
+    evaluated_candidates: int = 0
+    """Feasible candidates sketched (the eager search would build them all)."""
+    materialized_plans: int = 0
+    """Candidates fully built after SRAM and frontier lower-bound pruning."""
 
     @property
     def ok(self) -> bool:
@@ -143,6 +153,13 @@ class T10Compiler:
         """Compile ``graph`` into a device program (or an OOM diagnosis)."""
         start = time.perf_counter()
         search = self.engine.search_graph(graph, self.intra_op)
+        accounting = dict(
+            unique_operators=search.unique_operators,
+            dispatched_searches=search.dispatched,
+            sketched_candidates=search.sketched_candidates,
+            evaluated_candidates=search.evaluated_candidates,
+            materialized_plans=search.materialized_plans,
+        )
         if not search.ok:
             return CompiledModel(
                 graph=graph,
@@ -152,6 +169,7 @@ class T10Compiler:
                 search_stats=search.stats,
                 compile_time_seconds=time.perf_counter() - start,
                 error=search.error or "",
+                **accounting,
             )
         try:
             schedule = self.inter_op.reconcile(search.pareto)
@@ -165,6 +183,7 @@ class T10Compiler:
                 search_stats=search.stats,
                 compile_time_seconds=time.perf_counter() - start,
                 error=str(error),
+                **accounting,
             )
         elapsed = time.perf_counter() - start
         return CompiledModel(
@@ -176,6 +195,7 @@ class T10Compiler:
             pareto_plans=search.pareto,
             search_stats=search.stats,
             compile_time_seconds=elapsed,
+            **accounting,
         )
 
     def compile_operator(self, operator: Operator) -> list[OperatorPlan]:

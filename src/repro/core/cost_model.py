@@ -60,6 +60,20 @@ class LinearKernelModel:
         c0, c1, c2 = self.coefficients
         return float(max(c0 + c1 * flops + c2 * nbytes, 1e-9))
 
+    def predict_batch(self, flops: Sequence[float], nbytes: Sequence[float]) -> list[float]:
+        """Vectorised :meth:`predict` over many sub-tasks at once.
+
+        The arithmetic is element-wise float64 in the same association order
+        as the scalar path, so each result is bit-identical to calling
+        :meth:`predict` per sample — the streaming plan search relies on that
+        to stay exactly equal to the one-plan-at-a-time implementation.
+        """
+        c0, c1, c2 = self.coefficients
+        times = c0 + c1 * np.asarray(flops, dtype=np.float64) + c2 * np.asarray(
+            nbytes, dtype=np.float64
+        )
+        return [float(t) for t in np.maximum(times, 1e-9)]
+
     def accuracy(self, samples: Sequence[KernelSample] | None = None) -> dict[str, float]:
         """Mean absolute percentage error and R² against ``samples``."""
         samples = list(samples) if samples is not None else self.samples
@@ -161,6 +175,34 @@ class CostModel:
         if model is not None:
             return model.predict(flops, nbytes)
         return self._default_compute_time(flops, nbytes)
+
+    def compute_time_batch(
+        self,
+        op_type: str,
+        subtasks: Sequence[tuple[Mapping[str, int], float, float]],
+    ) -> list[float]:
+        """Per-step compute times of many sub-tasks of one operator type.
+
+        Each element of ``subtasks`` is ``(subtask_shape, flops, nbytes)``.
+        For fitted kernel models the prediction is one vectorised least-squares
+        evaluation (the streaming plan search costs whole batches of surviving
+        sketches this way); custom and fallback cost functions are evaluated
+        per sample.  Results are bit-identical to calling :meth:`compute_time`
+        on each sub-task.
+        """
+        if not subtasks:
+            return []
+        if op_type not in self._custom:
+            model = self._lookup(op_type)
+            if model is not None:
+                return model.predict_batch(
+                    [flops for _, flops, _ in subtasks],
+                    [nbytes for _, _, nbytes in subtasks],
+                )
+        return [
+            self.compute_time(op_type, shape, flops, nbytes)
+            for shape, flops, nbytes in subtasks
+        ]
 
     def shift_time(self, nbytes: float) -> float:
         """Predicted time of one inter-core shift of ``nbytes``."""

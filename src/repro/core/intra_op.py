@@ -1,4 +1,4 @@
-"""Intra-operator plan search: enumerate, filter, cost, keep the Pareto set.
+"""Intra-operator plan search: sketch, prune, materialize, keep the Pareto set.
 
 This is the first stage of T10's two-level optimisation (paper §4.3.1).  For
 one operator it:
@@ -6,8 +6,19 @@ one operator it:
 1. enumerates candidate operator partition factors under the parallelism and
    padding constraints (:mod:`repro.core.partition`),
 2. enumerates temporal-factor combinations per tensor,
-3. costs every surviving candidate with the fitted cost model, and
-4. keeps the Pareto-optimal execution-time / memory-footprint frontier.
+3. **sketches** every candidate — exact memory footprint and step structure
+   from divisor arithmetic alone (:func:`repro.core.plan.sketch_plan`),
+4. drops SRAM-infeasible sketches, costs the survivors with one batched
+   cost-model call per bounded batch, and drops every sketch whose
+   compute-time lower bound is already dominated by the incremental Pareto
+   frontier (:class:`repro.core.pareto.ParetoAccumulator`), and
+5. **materializes** a full :class:`~repro.core.plan.OperatorPlan` (rTensors,
+   shift schedule, communication cost) only for the sketches that survive.
+
+The streaming pipeline holds at most one batch of sketches plus the frontier
+in memory and produces a frontier bit-for-bit identical to the eager
+implementation it replaced (kept as :meth:`IntraOpOptimizer.search_reference`,
+the executable specification the determinism tests compare against).
 
 Results are cached per operator signature: identical operators (the repeated
 layers of a transformer, say) are searched once.
@@ -21,25 +32,47 @@ from typing import Iterable, Mapping
 
 from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
 from repro.core.cost_model import CostModel
-from repro.core.pareto import pareto_front
+from repro.core.pareto import ParetoAccumulator, pareto_front
 from repro.core.partition import (
     complete_space_size,
     enumerate_operator_partitions,
     temporal_factor_choices,
 )
-from repro.core.plan import OperatorPlan, build_library_plan, build_plan
+from repro.core.plan import (
+    OperatorPlan,
+    PlanSketch,
+    build_library_plan,
+    build_plan,
+    sketch_plan,
+)
 from repro.hw.spec import ChipSpec
 from repro.ir.operator import Operator
+
+#: Surviving sketches are costed and pruned in bounded batches: one vectorised
+#: cost-model call per batch, and never the whole candidate list in memory.
+SKETCH_BATCH = 128
 
 
 @dataclass(frozen=True)
 class SearchSpaceStats:
-    """Plan-space sizes at each stage of the search (Figure 18)."""
+    """Plan-space sizes at each stage of the search (Figure 18).
+
+    ``sketched`` counts every ``(F_op, temporal)`` combination examined,
+    ``evaluated`` the feasible candidates among them, ``filtered`` the ones
+    that also fit a core's SRAM, ``materialized`` the candidates that were
+    fully built (rTensors + shift schedule) after lower-bound pruning, and
+    ``optimized`` the Pareto frontier.  ``truncated`` is set when the
+    ``max_plans`` constraint capped the enumeration before the space was
+    exhausted.
+    """
 
     complete: float
     filtered: float
     evaluated: int
     optimized: int
+    sketched: int = 0
+    materialized: int = 0
+    truncated: bool = False
 
 
 def infeasible_plan_error(op_name: str, chip_name: str) -> ValueError:
@@ -52,6 +85,14 @@ def infeasible_plan_error(op_name: str, chip_name: str) -> ValueError:
         f"no feasible execution plan for operator {op_name!r} "
         f"on chip {chip_name}"
     )
+
+
+def _plan_memory(plan: OperatorPlan) -> float:
+    return plan.memory_bytes
+
+
+def _plan_time(plan: OperatorPlan) -> float:
+    return plan.time_est
 
 
 class IntraOpOptimizer:
@@ -132,30 +173,135 @@ class IntraOpOptimizer:
         self._cache.clear()
 
     # ------------------------------------------------------------------ #
-    # Search
+    # Streaming search
     # ------------------------------------------------------------------ #
     def _search(
         self, operator: Operator
     ) -> tuple[list[OperatorPlan], SearchSpaceStats]:
         signature = operator.signature()
-        candidates = list(self._candidate_plans(operator))
+        result = self._stream_search(operator)
+        self._cache[signature] = result
+        return result
+
+    def _stream_search(
+        self, operator: Operator
+    ) -> tuple[list[OperatorPlan], SearchSpaceStats]:
+        expr = operator.expr
+        sram = self.chip.sram_per_core
+        accumulator: ParetoAccumulator[OperatorPlan] = ParetoAccumulator(
+            memory=_plan_memory, time=_plan_time
+        )
+        sketched = evaluated = fitting = 0
+        materialized = 0
+        truncated = False
+
+        if expr.library_fallback:
+            plan = build_library_plan(expr, self.chip, self.cost_model)
+            sketched = evaluated = materialized = 1
+            if plan.memory_bytes <= sram:
+                fitting = 1
+                accumulator.insert(plan)
+        else:
+            batch: list[PlanSketch] = []
+
+            def flush() -> None:
+                nonlocal materialized
+                if not batch:
+                    return
+                per_step_times = self.cost_model.compute_time_batch(
+                    expr.op_type,
+                    [(s.subtask_shape, s.flops_per_step, s.bytes_per_step) for s in batch],
+                )
+                for sketch, per_step in zip(batch, per_step_times):
+                    sketch.compute_time = sketch.num_steps * per_step
+                    # A sketch whose execution-time lower bound (exact compute
+                    # plus guaranteed minimum shift time) is matched by a
+                    # no-larger frontier member can never improve the
+                    # frontier: skip building it.
+                    if accumulator.dominates(
+                        sketch.memory_bytes, sketch.time_lower_bound(self.cost_model)
+                    ):
+                        continue
+                    plan = sketch.materialize(expr, self.chip, self.cost_model)
+                    materialized += 1
+                    accumulator.insert(plan)
+                batch.clear()
+
+            for fop, temporal in self._enumerate_candidates(expr):
+                sketched += 1
+                sketch = sketch_plan(expr, self.chip, fop, temporal)
+                if sketch is None:
+                    continue
+                evaluated += 1
+                if sketch.memory_bytes <= sram:
+                    fitting += 1
+                    batch.append(sketch)
+                    if len(batch) >= SKETCH_BATCH:
+                        flush()
+                if evaluated >= self.constraints.max_plans:
+                    truncated = True
+                    break
+            flush()
+
+        frontier = accumulator.items()
+        stats = SearchSpaceStats(
+            complete=complete_space_size(expr, self.chip.num_cores),
+            filtered=float(fitting),
+            evaluated=evaluated,
+            optimized=len(frontier),
+            sketched=sketched,
+            materialized=materialized,
+            truncated=truncated,
+        )
+        return frontier, stats
+
+    # ------------------------------------------------------------------ #
+    # Reference (eager) search — the executable specification
+    # ------------------------------------------------------------------ #
+    def search_reference(
+        self, operator: Operator
+    ) -> tuple[list[OperatorPlan], SearchSpaceStats]:
+        """The eager search the streaming pipeline replaced.
+
+        Materializes every feasible candidate, filters on SRAM and applies one
+        batch :func:`pareto_front` — exactly the seed implementation.  The
+        streaming search must return a bit-identical frontier and identical
+        ``complete``/``filtered``/``evaluated``/``optimized``/``truncated``
+        accounting; only ``materialized`` may (and should) be smaller.  Used
+        by the determinism tests and the ``repro.bench`` before/after
+        search-space accounting; results are deliberately not cached.
+        """
+        expr = operator.expr
+        sketched = 0
+        truncated = False
+        candidates: list[OperatorPlan] = []
+        if expr.library_fallback:
+            sketched = 1
+            candidates.append(build_library_plan(expr, self.chip, self.cost_model))
+        else:
+            for fop, temporal in self._enumerate_candidates(expr):
+                sketched += 1
+                plan = build_plan(expr, self.chip, self.cost_model, fop, temporal)
+                if plan is None:
+                    continue
+                candidates.append(plan)
+                if len(candidates) >= self.constraints.max_plans:
+                    truncated = True
+                    break
         fitting = [
             plan for plan in candidates if plan.memory_bytes <= self.chip.sram_per_core
         ]
-        frontier = pareto_front(
-            fitting,
-            memory=lambda plan: plan.memory_bytes,
-            time=lambda plan: plan.time_est,
-        )
+        frontier = pareto_front(fitting, memory=_plan_memory, time=_plan_time)
         stats = SearchSpaceStats(
-            complete=complete_space_size(operator.expr, self.chip.num_cores),
-            filtered=float(len(candidates)),
+            complete=complete_space_size(expr, self.chip.num_cores),
+            filtered=float(len(fitting)),
             evaluated=len(candidates),
             optimized=len(frontier),
+            sketched=sketched,
+            materialized=len(candidates),
+            truncated=truncated,
         )
-        result = (frontier, stats)
-        self._cache[signature] = result
-        return result
+        return frontier, stats
 
     def _candidate_plans(self, operator: Operator) -> Iterable[OperatorPlan]:
         expr = operator.expr
@@ -164,17 +310,31 @@ class IntraOpOptimizer:
             return
 
         produced = 0
+        for fop, temporal in self._enumerate_candidates(expr):
+            plan = build_plan(expr, self.chip, self.cost_model, fop, temporal)
+            if plan is None:
+                continue
+            produced += 1
+            yield plan
+            if produced >= self.constraints.max_plans:
+                return
+
+    def _enumerate_candidates(
+        self, expr
+    ) -> Iterable[tuple[dict[str, int], dict[str, int]]]:
+        """Yield every ``(F_op, temporal)`` candidate in canonical order.
+
+        The single source of the enumeration order: the streaming search, the
+        eager reference and the plan-space studies all consume this, so the
+        "bit-identical frontiers" invariant cannot be broken by the loops
+        drifting apart.  Feasibility capping (``max_plans``) stays with the
+        callers — it counts *feasible* candidates, which only they know.
+        """
         fops = enumerate_operator_partitions(expr, self.chip.num_cores, self.constraints)
         per_tensor_choices = self._per_tensor_choice_budget(len(expr.all_tensors))
         for fop in fops:
             for temporal in self._temporal_combinations(expr, fop, per_tensor_choices):
-                plan = build_plan(expr, self.chip, self.cost_model, fop, temporal)
-                if plan is None:
-                    continue
-                produced += 1
-                yield plan
-                if produced >= self.constraints.max_plans:
-                    return
+                yield fop, temporal
 
     def _per_tensor_choice_budget(self, num_tensors: int) -> int:
         """How many temporal factors to consider per tensor."""

@@ -176,6 +176,13 @@ class GraphSearchResult:
     unique_operators: int = 0
     dispatched: int = 0
     """Searches actually dispatched (unique signatures not already cached)."""
+    sketched_candidates: int = 0
+    """Candidates sketched across the dispatched (fresh) searches."""
+    evaluated_candidates: int = 0
+    """Feasible candidates across the dispatched searches (what the eager
+    search would have materialized)."""
+    materialized_plans: int = 0
+    """Full ``build_plan`` materializations across the dispatched searches."""
 
     @property
     def ok(self) -> bool:
@@ -316,31 +323,46 @@ class ParallelCompilationEngine:
         result = GraphSearchResult(
             unique_operators=len(unique), dispatched=len(pending)
         )
-        for operator in graph.operators:
-            signature = operator.signature()
-            error = errors.get(signature)
-            if error is not None:
-                result.failed_op = operator.name
-                result.error = error
-                return result
-            cached = intra_op.peek(signature)
-            if cached is None:
-                try:
-                    cached = intra_op.search_results(operator)
-                except (OutOfChipMemoryError, ValueError) as exc:
+        try:
+            for operator in graph.operators:
+                signature = operator.signature()
+                error = errors.get(signature)
+                if error is not None:
                     result.failed_op = operator.name
-                    result.error = str(exc)
+                    result.error = error
                     return result
-            plans, stats = cached
-            if not plans:
-                result.failed_op = operator.name
-                result.error = str(
-                    infeasible_plan_error(operator.name, self.chip.name)
-                )
-                return result
-            result.pareto[operator.name] = plans
-            result.stats[operator.name] = stats
-        return result
+                cached = intra_op.peek(signature)
+                if cached is None:
+                    try:
+                        cached = intra_op.search_results(operator)
+                    except (OutOfChipMemoryError, ValueError) as exc:
+                        result.failed_op = operator.name
+                        result.error = str(exc)
+                        return result
+                plans, stats = cached
+                if not plans:
+                    result.failed_op = operator.name
+                    result.error = str(
+                        infeasible_plan_error(operator.name, self.chip.name)
+                    )
+                    return result
+                result.pareto[operator.name] = plans
+                result.stats[operator.name] = stats
+            return result
+        finally:
+            # Search-effort accounting over the fresh (deduplicated) searches
+            # of this compile — in a ``finally`` so every return path,
+            # including failed compiles, reports the work actually done
+            # (inline merge searches included).  A signature an early error
+            # left unsearched has no cache entry and contributes nothing.
+            for signature in pending:
+                cached = intra_op.peek(signature)
+                if cached is None:
+                    continue
+                _, stats = cached
+                result.sketched_candidates += stats.sketched
+                result.evaluated_candidates += stats.evaluated
+                result.materialized_plans += stats.materialized
 
     # ------------------------------------------------------------------ #
     def _search_inline(

@@ -8,7 +8,8 @@ operators.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence, TypeVar
+from bisect import bisect_right
+from typing import Callable, Generic, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -37,6 +38,87 @@ def pareto_front(
                 frontier.append(item)
             best_time = item_time
     return frontier
+
+
+class ParetoAccumulator(Generic[T]):
+    """Incrementally maintained 2-D Pareto frontier (streaming plan search).
+
+    Items are inserted one at a time; the accumulator keeps exactly the
+    frontier :func:`pareto_front` would return for the set seen so far, in the
+    same order (increasing memory, strictly decreasing time), without ever
+    holding the full candidate list.  When two items tie on both objectives
+    the earliest inserted one is kept, matching the stable sort of
+    :func:`pareto_front`, so feeding a candidate stream through the
+    accumulator reproduces the batch frontier bit for bit.
+
+    The frontier is stored as parallel memory/time arrays sorted by memory, so
+    the dominance query — the streaming search's hot pruning predicate — is a
+    single :func:`bisect.bisect_right`, O(log n).  An insert locates its slot
+    the same way but pays a list-shift (O(frontier)) plus the eviction of
+    newly dominated members (amortised O(1) — each member is evicted at most
+    once); frontiers are tens of plans, so the shifts are trivial next to the
+    plan construction they avoid.
+    """
+
+    def __init__(
+        self,
+        *,
+        memory: Callable[[T], float],
+        time: Callable[[T], float],
+    ) -> None:
+        self._memory = memory
+        self._time = time
+        self._mems: list[float] = []
+        self._times: list[float] = []
+        self._items: list[T] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def items(self) -> list[T]:
+        """The current frontier, sorted by increasing memory."""
+        return list(self._items)
+
+    def dominates(self, memory: float, time: float) -> bool:
+        """Whether some member is at least as good as ``(memory, time)`` on both axes.
+
+        This is the streaming search's pruning predicate: a candidate whose
+        *lower-bound* time is already matched (non-strictly) by a member of no
+        greater memory can never enter the frontier — and on an exact tie the
+        earlier member wins anyway — so the candidate can be dropped without
+        ever being materialized.
+        """
+        index = bisect_right(self._mems, memory)
+        # Times are strictly decreasing, so the last member with mem <= memory
+        # has the best time among all of them.
+        return index > 0 and self._times[index - 1] <= time
+
+    def insert(self, item: T) -> bool:
+        """Add ``item``; returns whether it joined the frontier."""
+        mem = self._memory(item)
+        time = self._time(item)
+        index = bisect_right(self._mems, mem)
+        if index > 0 and self._times[index - 1] <= time:
+            return False  # dominated, or an exact tie the earlier member wins
+        if index > 0 and self._mems[index - 1] == mem:
+            # Equal memory, strictly better time: replace in place.
+            index -= 1
+            self._times[index] = time
+            self._items[index] = item
+        else:
+            self._mems.insert(index, mem)
+            self._times.insert(index, time)
+            self._items.insert(index, item)
+        # Evict members the new item dominates: they sit directly after it
+        # (memory >= mem) with time >= time.
+        cut = index + 1
+        while cut < len(self._times) and self._times[cut] >= time:
+            cut += 1
+        if cut > index + 1:
+            del self._mems[index + 1 : cut]
+            del self._times[index + 1 : cut]
+            del self._items[index + 1 : cut]
+        return True
 
 
 def dominates(

@@ -14,6 +14,7 @@ This module implements §4.2 of the paper:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterable, Mapping, Sequence
 
 from repro.core.constraints import SearchConstraints
@@ -81,6 +82,8 @@ def choose_rotation_dim(
     spec: TensorSpec,
     fop: Mapping[str, int],
     temporal_factor: int,
+    *,
+    sub_shape: tuple[int, ...] | None = None,
 ) -> int | None:
     """Pick the dimension along which a sub-tensor of ``spec`` is split temporally.
 
@@ -89,10 +92,12 @@ def choose_rotation_dim(
     can accommodate the requested split (at least one element per partition);
     a longer dimension keeps the rotating pace flexible and the shift tiles
     contiguous.  Returns ``None`` when no dimension can host the split.
+    ``sub_shape`` may pass a precomputed :func:`tensor_sub_shape` (the plan
+    sketcher computes it once per tensor anyway).
     """
     if temporal_factor <= 1:
         return None
-    shape = tensor_sub_shape(expr, spec, fop)
+    shape = tensor_sub_shape(expr, spec, fop) if sub_shape is None else sub_shape
     best_dim: int | None = None
     best_len = 0
     for index, length in enumerate(shape):
@@ -122,17 +127,31 @@ def temporal_factor_choices(
         return [1]
     shape = tensor_sub_shape(expr, spec, fop)
     longest = max(shape) if shape else 1
+    return list(_thinned_temporal_choices(sharing, longest, max_choices))
+
+
+@lru_cache(maxsize=None)
+def _thinned_temporal_choices(
+    sharing: int, longest: int, max_choices: int
+) -> tuple[int, ...]:
+    """The divisor thinning of :func:`temporal_factor_choices`, memoised.
+
+    The choice list depends only on the sharing degree, the longest sub-tensor
+    dimension and the thinning budget — three small integers that recur
+    constantly across the candidates of one search — so the divisor filtering
+    runs once per distinct combination.
+    """
     feasible = [d for d in divisors(sharing) if d <= longest]
     if not feasible:
         feasible = [1]
     if len(feasible) <= max_choices:
-        return feasible
+        return tuple(feasible)
     # Keep the extremes and an even spread in between.
     picks = {feasible[0], feasible[-1]}
     step = (len(feasible) - 1) / (max_choices - 1)
     for i in range(1, max_choices - 1):
         picks.add(feasible[round(i * step)])
-    return sorted(picks)
+    return tuple(sorted(picks))
 
 
 def derive_rtensor(

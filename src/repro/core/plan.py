@@ -18,6 +18,7 @@ from typing import Mapping
 from repro.core.cost_model import CostModel
 from repro.core.partition import (
     align_rotation_paces,
+    choose_rotation_dim,
     derive_rtensor,
     sub_extents,
     tensor_sharing_degree,
@@ -132,8 +133,236 @@ class OperatorPlan:
 
 
 # --------------------------------------------------------------------------- #
-# Plan construction
+# Plan construction: cheap sketch, lazy materialization
 # --------------------------------------------------------------------------- #
+@dataclass
+class PlanSketch:
+    """Cheap integer-math précis of one plan candidate (streaming search).
+
+    A sketch answers the two questions the search asks about ~every candidate
+    — does it fit SRAM, and can it possibly beat the frontier? — from the
+    operator partition factor and the temporal factors alone: feasibility, the
+    exact per-core memory footprint and the exact step structure all follow
+    from divisor arithmetic, without deriving rTensor configurations or a
+    shift schedule.  Only candidates that survive the SRAM filter and the
+    frontier lower-bound test pay :meth:`materialize`, which builds the full
+    (bit-identical to :func:`build_plan`) :class:`OperatorPlan`.
+
+    ``compute_time`` is filled in by the optimizer's batched cost-model pass;
+    together with the priced ``shift_bound_terms`` it yields
+    :meth:`time_lower_bound`, the execution time the full plan can never beat.
+    """
+
+    fop: dict[str, int]
+    temporal_factors: dict[str, int]
+    cores_used: int
+    memory_bytes: int
+    num_steps: int
+    steps_per_axis: dict[str, int]
+    rotation_paces: dict[str, int]
+    subtask_shape: dict[str, int]
+    flops_per_step: float
+    bytes_per_step: int
+    shift_bound_terms: tuple[tuple[int, int], ...] = ()
+    """``(num_shift_steps, bytes_per_step)`` of every shift operation of the
+    plan — rotation shifts in tensor order, then the reduction merge — with
+    the step counts and sizes the materialized schedule will have.  Pricing
+    them through the communication model reproduces ``comm_time_est``
+    bit-for-bit, so the sketch's time bound is exact (never optimistic *or*
+    pessimistic) and frontier pruning loses no plan the eager search keeps."""
+    compute_time: float | None = None
+
+    def comm_time_lower_bound(self, cost_model: CostModel) -> float:
+        """The materialized plan's communication time (an exact bound)."""
+        return sum(
+            steps * cost_model.shift_time(nbytes)
+            for steps, nbytes in self.shift_bound_terms
+        )
+
+    def time_lower_bound(self, cost_model: CostModel) -> float:
+        """The materialized plan's ``time_est``, priced without materializing.
+
+        Exact compute time (set by the optimizer's batched costing pass) plus
+        the exactly-replicated shift-schedule cost; the terms are summed in
+        schedule order so the float result matches ``time_est`` bit-for-bit.
+        """
+        assert self.compute_time is not None, "sketch has not been costed yet"
+        return self.compute_time + self.comm_time_lower_bound(cost_model)
+
+    def materialize(
+        self,
+        expr: TensorExpression,
+        chip: ChipSpec,
+        cost_model: CostModel,
+    ) -> OperatorPlan:
+        """Build the full :class:`OperatorPlan` this sketch abbreviates.
+
+        Derives the rTensor configurations and the shift schedule the sketch
+        skipped; the result is exactly what :func:`build_plan` returns for the
+        same ``(fop, temporal_factors)``.
+        """
+        configs: dict[str, RTensorConfig] = {}
+        for spec in expr.all_tensors:
+            config = derive_rtensor(
+                expr, spec, self.fop, self.temporal_factors.get(spec.name, 1)
+            )
+            if config is None:
+                raise RuntimeError(
+                    f"sketch accepted an infeasible candidate for {spec.name}"
+                )
+            configs[spec.name] = config
+        configs, paces = align_rotation_paces(expr, configs, self.fop)
+        if paces != self.rotation_paces:
+            raise RuntimeError("sketch paces diverged from the rTensor alignment")
+
+        compute_time = self.compute_time
+        if compute_time is None:
+            compute_time = self.num_steps * cost_model.compute_time(
+                expr.op_type, self.subtask_shape, self.flops_per_step, self.bytes_per_step
+            )
+
+        shift_ops = _build_shift_schedule(expr, configs, self.fop, self.steps_per_axis)
+        comm_time = sum(
+            op.num_steps * cost_model.shift_time(op.bytes_per_step) for op in shift_ops
+        )
+        # The frontier pruning treats the sketch's priced shift terms as this
+        # plan's exact communication time; any drift between sketch_plan and
+        # _build_shift_schedule silently drops frontier plans, so fail loudly
+        # (a real raise, not an assert — it must survive ``python -O``).
+        if comm_time != self.comm_time_lower_bound(cost_model):
+            raise RuntimeError(
+                "sketch shift pricing diverged from the materialized schedule"
+            )
+
+        memory = sum(config.partition_bytes for config in configs.values())
+        memory += chip.shift_buffer_bytes
+        if memory != self.memory_bytes:
+            raise RuntimeError("sketch memory diverged from the rTensor footprint")
+
+        return OperatorPlan(
+            op_type=expr.op_type,
+            fop=dict(self.fop),
+            rtensors=configs,
+            rotation_paces=paces,
+            cores_used=self.cores_used,
+            num_steps=self.num_steps,
+            subtask_shape=self.subtask_shape,
+            flops_per_step=self.flops_per_step,
+            bytes_per_step=self.bytes_per_step,
+            compute_time_est=compute_time,
+            comm_time_est=comm_time,
+            shift_ops=tuple(shift_ops),
+            memory_bytes=memory,
+            dtype_bytes=expr.dtype.bytes,
+        )
+
+
+def sketch_plan(
+    expr: TensorExpression,
+    chip: ChipSpec,
+    fop: Mapping[str, int],
+    temporal_factors: Mapping[str, int],
+) -> PlanSketch | None:
+    """Sketch one plan candidate without deriving rTensors or shift schedules.
+
+    Returns ``None`` exactly when :func:`build_plan` would (a temporal factor
+    that no dimension can host, a factor that does not divide its tensor's
+    sharing degree, or more sub-operators than cores); a non-``None`` sketch
+    carries the candidate's exact memory footprint and step structure.
+    """
+    used = prod(fop.values())
+    if used > chip.num_cores:
+        return None
+
+    dtype_bytes = expr.dtype.bytes
+    memory = chip.shift_buffer_bytes
+    extents = sub_extents(expr, fop)
+    pace_per_axis: dict[str, int] = {}
+    rotating: list[tuple[str, int, int]] = []  # (axis, rotated dim length, sub-tensor bytes)
+    output_sharing = 1
+    output_sub_bytes = 0
+    for spec in expr.all_tensors:
+        factor = temporal_factors.get(spec.name, 1)
+        sharing = tensor_sharing_degree(expr, spec, fop)
+        if factor > sharing or sharing % factor != 0:
+            return None
+        sub_shape = expr.tensor_shape(spec, extents)
+        sub_bytes = prod(sub_shape) * dtype_bytes
+        if spec is expr.output:
+            output_sharing = sharing
+            output_sub_bytes = sub_bytes
+        partition_elems = prod(sub_shape)
+        if factor > 1:
+            dim = choose_rotation_dim(expr, spec, fop, factor, sub_shape=sub_shape)
+            if dim is None:
+                return None
+            partition_len = ceil_div(sub_shape[dim], factor)
+            partition_elems = (partition_elems // sub_shape[dim]) * partition_len
+            # The rotating-pace alignment of §4.2: tensors rotating along one
+            # axis share the minimum partition length as their common pace.
+            axis = spec.dims[dim].primary
+            current = pace_per_axis.get(axis)
+            pace = max(1, partition_len)
+            pace_per_axis[axis] = pace if current is None else min(current, pace)
+            rotating.append((axis, sub_shape[dim], sub_bytes))
+        memory += partition_elems * dtype_bytes
+
+    steps_per_axis = {
+        axis: max(1, ceil_div(extents[axis], max(pace, 1)))
+        for axis, pace in pace_per_axis.items()
+    }
+    subtask_shape = {
+        axis: (pace_per_axis[axis] if axis in pace_per_axis else extents[axis])
+        for axis in expr.axes
+    }
+    # Price the shift schedule the materialized plan will have, without
+    # building it: T10's loop ordering (largest rotating tensor outermost,
+    # §4.4) depends only on per-axis rotated-tensor sizes, and each rotating
+    # tensor shifts ``steps_k - 1`` times per iteration of the loops outside
+    # its axis.  Terms are kept in schedule order (rotation shifts in tensor
+    # order, then the reduction merge) so pricing reproduces the float
+    # summation of the full plan's ``comm_time_est`` bit-for-bit.
+    axis_sizes: dict[str, int] = {}
+    for axis, _, sub_bytes in rotating:
+        axis_sizes[axis] = min(axis_sizes.get(axis, sub_bytes), sub_bytes)
+    ordered_axes = sorted(axis_sizes, key=lambda axis: -axis_sizes[axis])
+    axis_position = {axis: index for index, axis in enumerate(ordered_axes)}
+    shift_bound_terms: list[tuple[int, int]] = []
+    for axis, dim_len, sub_bytes in rotating:
+        steps_k = steps_per_axis[axis]
+        if steps_k <= 1:
+            continue  # the schedule emits no shift op for this tensor
+        outer_iters = prod(
+            steps_per_axis[other]
+            for other in ordered_axes
+            if axis_position[other] < axis_position[axis]
+        )
+        rotation_steps = max(1, ceil_div(dim_len, pace_per_axis[axis]))
+        shift_bound_terms.append(
+            ((steps_k - 1) * outer_iters, ceil_div(sub_bytes, rotation_steps))
+        )
+    if output_sharing > 1 and temporal_factors.get(expr.output.name, 1) <= 1:
+        # Spatially split reduction with a replicated output: each core merges
+        # its partial result over a ring of the sharing cores (§4.2).
+        merge_bytes = ceil_div(output_sub_bytes, output_sharing)
+        shift_bound_terms.append((output_sharing - 1, merge_bytes))
+    return PlanSketch(
+        fop=dict(fop),
+        temporal_factors=dict(temporal_factors),
+        cores_used=used,
+        memory_bytes=memory,
+        num_steps=prod(steps_per_axis.values()),
+        steps_per_axis=steps_per_axis,
+        rotation_paces=pace_per_axis,
+        subtask_shape=subtask_shape,
+        flops_per_step=expr.flops(subtask_shape),
+        bytes_per_step=sum(
+            expr.tensor_bytes(spec, subtask_shape) for spec in expr.all_tensors
+        ),
+        shift_bound_terms=tuple(shift_bound_terms),
+    )
+
+
 def build_plan(
     expr: TensorExpression,
     chip: ChipSpec,
@@ -146,59 +375,13 @@ def build_plan(
     ``temporal_factors`` maps tensor names to the chosen temporal partition
     factor.  Returns ``None`` when the combination is infeasible (a temporal
     factor that no dimension can host, or more sub-operators than cores).
+    Implemented as sketch-then-materialize so the eager and streaming search
+    paths share one construction path.
     """
-    used = prod(fop.values())
-    if used > chip.num_cores:
+    sketch = sketch_plan(expr, chip, fop, temporal_factors)
+    if sketch is None:
         return None
-
-    configs: dict[str, RTensorConfig] = {}
-    for spec in expr.all_tensors:
-        factor = temporal_factors.get(spec.name, 1)
-        config = derive_rtensor(expr, spec, fop, factor)
-        if config is None:
-            return None
-        configs[spec.name] = config
-    configs, paces = align_rotation_paces(expr, configs, fop)
-
-    extents = sub_extents(expr, fop)
-    steps_per_axis = {
-        axis: max(1, ceil_div(extents[axis], max(pace, 1))) for axis, pace in paces.items()
-    }
-    num_steps = prod(steps_per_axis.values())
-
-    subtask_shape = {
-        axis: (paces[axis] if axis in paces else extents[axis]) for axis in expr.axes
-    }
-    flops_per_step = expr.flops(subtask_shape)
-    bytes_per_step = sum(expr.tensor_bytes(spec, subtask_shape) for spec in expr.all_tensors)
-    compute_time = num_steps * cost_model.compute_time(
-        expr.op_type, subtask_shape, flops_per_step, bytes_per_step
-    )
-
-    shift_ops = _build_shift_schedule(expr, configs, fop, steps_per_axis)
-    comm_time = sum(
-        op.num_steps * cost_model.shift_time(op.bytes_per_step) for op in shift_ops
-    )
-
-    memory = sum(config.partition_bytes for config in configs.values())
-    memory += chip.shift_buffer_bytes
-
-    return OperatorPlan(
-        op_type=expr.op_type,
-        fop=dict(fop),
-        rtensors=configs,
-        rotation_paces=paces,
-        cores_used=used,
-        num_steps=num_steps,
-        subtask_shape=subtask_shape,
-        flops_per_step=flops_per_step,
-        bytes_per_step=bytes_per_step,
-        compute_time_est=compute_time,
-        comm_time_est=comm_time,
-        shift_ops=tuple(shift_ops),
-        memory_bytes=memory,
-        dtype_bytes=expr.dtype.bytes,
-    )
+    return sketch.materialize(expr, chip, cost_model)
 
 
 def _build_shift_schedule(

@@ -42,9 +42,9 @@ def build_workload(
     kwargs: dict[str, object] = {}
     if num_layers is not None:
         kwargs["num_layers"] = num_layers
-    elif quick and model_name in ("bert", "vit"):
+    elif quick and model_name.startswith(("bert", "vit")):
         kwargs["num_layers"] = QUICK_NUM_LAYERS
-    elif quick and (model_name.startswith("opt") or model_name.startswith("llama")):
+    elif quick and model_name.startswith(("opt", "llama")):
         kwargs["num_layers"] = 1
     return build_model(model_name, batch_size, **kwargs)
 

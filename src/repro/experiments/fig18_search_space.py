@@ -34,7 +34,9 @@ def run(
             {
                 "operator": label,
                 "complete_space": stats.complete,
+                "evaluated_space": stats.evaluated,
                 "filtered_space": stats.filtered,
+                "materialized_space": stats.materialized,
                 "optimized_space": stats.optimized,
                 "reduction_vs_complete": stats.complete / max(stats.filtered, 1.0),
             }

@@ -14,6 +14,16 @@ BERT_LARGE = TransformerConfig(
     vocab=30522,
 )
 
+#: BERT-base hyper-parameters (~110M params); the compile-time benchmarking
+#: workload of ``repro.bench``.
+BERT_BASE = TransformerConfig(
+    hidden=768,
+    num_heads=12,
+    ffn_hidden=3072,
+    num_layers=12,
+    vocab=30522,
+)
+
 
 def build_bert(
     batch_size: int,

@@ -11,7 +11,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.ir.graph import OperatorGraph
-from repro.models.bert import build_bert
+from repro.models.bert import BERT_BASE, build_bert
 from repro.models.llama import build_llama
 from repro.models.nerf import build_nerf
 from repro.models.opt import build_opt
@@ -39,6 +39,20 @@ MODEL_REGISTRY: dict[str, ModelEntry] = {
         builder=build_bert,
         batch_sizes=(1, 2, 4, 8, 16),
         reference_parameters=340e6,
+    ),
+    "bert-base": ModelEntry(
+        name="bert-base",
+        description="BERT-base encoder (compile-time benchmark)",
+        builder=lambda batch_size, **kw: build_bert(batch_size, config=BERT_BASE, **kw),
+        batch_sizes=(1, 2, 4, 8, 16),
+        reference_parameters=110e6,
+    ),
+    "opt-125m": ModelEntry(
+        name="opt-125m",
+        description="OPT-125M decoder layers (compile-time benchmark)",
+        builder=lambda batch_size, **kw: build_opt(batch_size, size="125m", **kw),
+        batch_sizes=(2, 8, 32, 128),
+        reference_parameters=125e6,
     ),
     "vit": ModelEntry(
         name="vit",

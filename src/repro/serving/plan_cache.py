@@ -70,6 +70,11 @@ class CacheStats:
     """Wall-clock seconds spent compiling on misses."""
     saved_seconds: float = 0.0
     """Compile seconds avoided by hits (each hit saves the original compile time)."""
+    sketched_candidates: int = 0
+    """Plan candidates sketched across the compiles this cache ran."""
+    materialized_plans: int = 0
+    """Plan candidates fully built across those compiles (the streaming
+    search's pruning keeps this far below ``sketched_candidates``)."""
 
     @property
     def lookups(self) -> int:
@@ -94,6 +99,8 @@ class CacheStats:
             misses=self.misses,
             compile_seconds=self.compile_seconds,
             saved_seconds=self.saved_seconds,
+            sketched_candidates=self.sketched_candidates,
+            materialized_plans=self.materialized_plans,
         )
 
     def since(self, before: "CacheStats") -> "CacheStats":
@@ -104,6 +111,8 @@ class CacheStats:
             misses=self.misses - before.misses,
             compile_seconds=self.compile_seconds - before.compile_seconds,
             saved_seconds=self.saved_seconds - before.saved_seconds,
+            sketched_candidates=self.sketched_candidates - before.sketched_candidates,
+            materialized_plans=self.materialized_plans - before.materialized_plans,
         )
 
     def as_dict(self) -> dict[str, float]:
@@ -116,6 +125,8 @@ class CacheStats:
             "hit_rate": self.hit_rate,
             "compile_seconds": self.compile_seconds,
             "saved_seconds": self.saved_seconds,
+            "sketched_candidates": self.sketched_candidates,
+            "materialized_plans": self.materialized_plans,
         }
 
 
@@ -301,6 +312,8 @@ class PlanCache:
                 self._memory[key] = compiled
                 self._stats.misses += 1
                 self._stats.compile_seconds += compiled.compile_time_seconds
+                self._stats.sketched_candidates += compiled.sketched_candidates
+                self._stats.materialized_plans += compiled.materialized_plans
             return CacheLookup(compiled, COMPILE, key, time.perf_counter() - start)
 
         lookup, leader = self._flight.do(key, miss)

@@ -9,7 +9,7 @@ invariants directly.
 
 from __future__ import annotations
 
-from functools import reduce
+from functools import lru_cache, reduce
 from typing import Iterable, Iterator, Sequence
 
 
@@ -48,8 +48,16 @@ def padded_length(length: int, parts: int) -> int:
     return ceil_div(length, parts)
 
 
-def divisors(value: int) -> list[int]:
-    """Return all positive divisors of ``value`` in ascending order."""
+@lru_cache(maxsize=None)
+def divisors(value: int) -> tuple[int, ...]:
+    """Return all positive divisors of ``value`` in ascending order.
+
+    Memoised: the plan search calls this per candidate (every temporal-factor
+    enumeration and every factorization step), almost always with a small set
+    of recurring sharing degrees, so the trial division runs once per distinct
+    value.  The result is a tuple — callers share the cached object, and an
+    immutable one cannot be poisoned by accident.
+    """
     if value <= 0:
         raise ValueError(f"value must be positive, got {value}")
     small: list[int] = []
@@ -61,7 +69,7 @@ def divisors(value: int) -> list[int]:
             if candidate != value // candidate:
                 large.append(value // candidate)
         candidate += 1
-    return small + large[::-1]
+    return tuple(small + large[::-1])
 
 
 def candidate_splits(length: int, max_parts: int, *, dense: bool = False) -> list[int]:

@@ -1,0 +1,136 @@
+"""Tests for the compile-time benchmark harness (``python -m repro.bench``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import BenchConfig, BenchReport, SCHEMA_VERSION, run_bench
+from repro.bench.__main__ import main as bench_main
+
+QUICK_ROW_KEYS = {
+    "model",
+    "batch",
+    "status",
+    "operators",
+    "unique_operators",
+    "dispatched_searches",
+    "compile_seconds",
+    "sketched",
+    "evaluated",
+    "materialized",
+    "materialization_ratio",
+    "pareto_plans",
+    "cache_outcome_cold",
+    "cache_outcome_warm",
+    "cache_hit_seconds",
+    "cache_hits",
+}
+REFERENCE_ROW_KEYS = {
+    "reference_search_seconds",
+    "reference_materialized",
+    "materialized_reduction",
+    "frontier_match",
+}
+
+
+class TestRunBench:
+    @pytest.fixture(scope="class")
+    def quick_report(self, tmp_path_factory) -> tuple[BenchReport, dict]:
+        path = tmp_path_factory.mktemp("bench") / "BENCH_compile.json"
+        report = run_bench(
+            BenchConfig(models=("nerf", "opt-125m"), quick=True, output=path)
+        )
+        return report, json.loads(path.read_text())
+
+    def test_rows_schema(self, quick_report):
+        report, _ = quick_report
+        assert len(report.rows) == 2
+        for row in report.rows:
+            assert QUICK_ROW_KEYS | REFERENCE_ROW_KEYS <= set(row)
+            assert row["status"] == "ok"
+            assert row["compile_seconds"] > 0
+
+    def test_written_json(self, quick_report):
+        _, payload = quick_report
+        assert payload["benchmark"] == "compile"
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["config"] == "quick"
+        assert payload["host"]["cpu_count"] >= 1
+        assert len(payload["rows"]) == 2
+        assert payload["totals"]["models"] == 2
+
+    def test_accounting_consistent(self, quick_report):
+        report, _ = quick_report
+        for row in report.rows:
+            assert row["sketched"] >= row["evaluated"] >= row["materialized"] > 0
+            # The eager reference builds every feasible candidate.
+            assert row["reference_materialized"] == row["evaluated"]
+            assert row["frontier_match"]
+
+    def test_plan_cache_warm_hit(self, quick_report):
+        report, _ = quick_report
+        for row in report.rows:
+            assert row["cache_outcome_cold"] == "compile"
+            assert row["cache_outcome_warm"] == "hit-memory"
+            assert row["cache_hits"] >= 1
+
+    def test_totals_aggregate_cache_counters(self, quick_report):
+        report, _ = quick_report
+        cache = report.totals["cache"]
+        assert cache["misses"] == 2
+        assert cache["sketched_candidates"] == report.totals["sketched"]
+        assert cache["materialized_plans"] == report.totals["materialized"]
+
+    def test_shared_signatures_across_models_stay_consistent(self):
+        """Each model gets a fresh plan cache, so operator signatures shared
+        between models cannot skew a later model's accounting (regression:
+        a run-wide cache made dispatched-search counts cover only the
+        signatures earlier models had not already searched)."""
+        report = run_bench(
+            BenchConfig(models=("nerf", "nerf"), quick=True, output=None)
+        )
+        first, second = report.rows
+        assert second["materialized"] == first["materialized"]
+        assert second["reference_materialized"] == second["evaluated"]
+        totals = report.totals
+        assert totals["cache"]["sketched_candidates"] == totals["sketched"]
+        assert totals["cache"]["materialized_plans"] == totals["materialized"]
+
+    def test_no_output_path_writes_nothing(self):
+        report = run_bench(
+            BenchConfig(models=("nerf",), quick=True, reference=False, output=None)
+        )
+        assert report.rows[0]["status"] == "ok"
+        assert "reference_materialized" not in report.rows[0]
+
+
+class TestMaterializationTarget:
+    """The headline claim of the streaming search: >= 3x fewer full
+    ``build_plan`` materializations at unchanged frontiers on the compile-time
+    benchmark models, in the default (non-quick) configuration."""
+
+    @pytest.mark.parametrize("model", ("opt-125m", "bert-base"))
+    def test_reduction_at_least_3x(self, model):
+        report = run_bench(BenchConfig(models=(model,), output=None))
+        row = report.rows[0]
+        assert row["status"] == "ok"
+        assert row["frontier_match"], "streaming frontier diverged from reference"
+        assert row["materialized_reduction"] >= 3.0
+
+
+class TestCli:
+    def test_quick_cli(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        code = bench_main(
+            ["--quick", "--models", "nerf", "--no-reference", "--output", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        stdout = capsys.readouterr().out
+        assert "nerf" in stdout and "total:" in stdout
+
+    def test_unknown_model_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            bench_main(["--models", "alexnet", "--output", str(tmp_path / "x.json")])

@@ -85,7 +85,9 @@ def invariant_fig18(rows: list[dict]) -> None:
     for row in rows:
         assert (
             row["complete_space"]
+            >= row["evaluated_space"]
             >= row["filtered_space"]
+            >= row["materialized_space"]
             >= row["optimized_space"]
             >= 1
         )

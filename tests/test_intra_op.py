@@ -79,13 +79,79 @@ class TestSearchSpaceStats:
     def test_ordering(self, optimizer):
         op = matmul("mm", m=256, k=256, n=256)
         stats = optimizer.search_space_stats(op)
-        assert stats.complete >= stats.filtered >= stats.optimized
+        assert (
+            stats.complete
+            >= stats.sketched
+            >= stats.evaluated
+            >= stats.filtered
+            >= stats.materialized
+            >= stats.optimized
+        )
         assert stats.optimized >= 1
 
-    def test_filtered_matches_evaluated(self, optimizer):
+    def test_filtered_counts_sram_survivors(self, optimizer, small_chip):
+        """``filtered`` is the post-SRAM-filter count, not the evaluated count."""
         op = matmul("mm", m=256, k=256, n=256)
         stats = optimizer.search_space_stats(op)
-        assert stats.filtered == stats.evaluated
+        candidates = optimizer.enumerate_plans(op)
+        fitting = [p for p in candidates if p.memory_bytes <= small_chip.sram_per_core]
+        assert stats.evaluated == len(candidates)
+        assert stats.filtered == float(len(fitting))
+
+    def test_not_truncated_within_budget(self, optimizer):
+        stats = optimizer.search_space_stats(matmul("mm", m=256, k=256, n=256))
+        assert not stats.truncated
+        assert stats.evaluated < optimizer.constraints.max_plans
+
+    def test_truncated_when_max_plans_caps(self, small_chip, small_cost_model):
+        capped = IntraOpOptimizer(
+            small_chip,
+            small_cost_model,
+            SearchConstraints(
+                core_count_samples=8,
+                max_factorizations_per_target=200,
+                max_temporal_combos=32,
+                max_plans=10,
+            ),
+        )
+        stats = capped.search_space_stats(matmul("mm", m=256, k=256, n=256))
+        assert stats.truncated
+        assert stats.evaluated == 10
+
+
+class TestStreamingMatchesReference:
+    """The streaming sketch/prune/materialize search is bit-identical to the
+    eager implementation it replaced (kept as ``search_reference``)."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: matmul("mm", m=256, k=256, n=256),
+            lambda: matmul("skinny", m=8, k=512, n=8),
+            lambda: conv2d(
+                "c", batch=2, in_channels=8, out_channels=16, height=16, width=16, kernel=3
+            ),
+            lambda: library_op("sort", kind="sort", data_bytes=32 * 1024, flops=32 * 1024),
+        ],
+        ids=["matmul", "skinny-matmul", "conv", "library"],
+    )
+    def test_frontier_bit_identical(self, optimizer, factory):
+        reference_plans, reference_stats = optimizer.search_reference(factory())
+        plans, stats = optimizer.search_results(factory())
+        assert plans == reference_plans
+        assert stats.complete == reference_stats.complete
+        assert stats.sketched == reference_stats.sketched
+        assert stats.evaluated == reference_stats.evaluated
+        assert stats.filtered == reference_stats.filtered
+        assert stats.optimized == reference_stats.optimized
+        assert stats.truncated == reference_stats.truncated
+
+    def test_streaming_materializes_fewer(self, optimizer):
+        op = matmul("mm", m=256, k=256, n=256)
+        _, reference_stats = optimizer.search_reference(op)
+        stats = optimizer.search_space_stats(op)
+        assert reference_stats.materialized == reference_stats.evaluated
+        assert stats.materialized < reference_stats.materialized
 
 
 class TestConstraints:

@@ -95,6 +95,61 @@ class TestDeterminism:
         assert parallel.search_stats == serial.search_stats
 
 
+class TestStreamingMatchesReference:
+    """Acceptance check for the streaming plan search: on every registry model
+    the sketch/prune/materialize pipeline — serial and fanned out over two
+    workers — produces frontiers bit-for-bit identical to the eager reference
+    implementation (``IntraOpOptimizer.search_reference``), while materializing
+    strictly fewer candidates."""
+
+    @pytest.mark.parametrize("model_name", list_models())
+    def test_registry_models_match_reference(
+        self, ipu_chip, ipu_cost_model, model_name
+    ):
+        graph = build_workload(model_name, 1, quick=True)
+        serial = T10Compiler(
+            ipu_chip, cost_model=ipu_cost_model, constraints=FAST_CONSTRAINTS
+        )
+        with T10Compiler(
+            ipu_chip,
+            cost_model=ipu_cost_model,
+            constraints=FAST_CONSTRAINTS,
+            jobs=2,
+            parallel_backend="thread",
+        ) as two_jobs:
+            serial_result = serial.engine.search_graph(graph, serial.intra_op)
+            parallel_result = two_jobs.engine.search_graph(graph, two_jobs.intra_op)
+        assert parallel_result.pareto == serial_result.pareto
+        assert parallel_result.stats == serial_result.stats
+        assert parallel_result.error == serial_result.error
+
+        reference = T10Compiler(
+            ipu_chip, cost_model=ipu_cost_model, constraints=FAST_CONSTRAINTS
+        )
+        total_evaluated = total_materialized = 0
+        seen: set[tuple] = set()
+        for operator in graph.operators:
+            if operator.name not in serial_result.pareto:
+                break  # search stopped at the first infeasible operator
+            signature = operator.signature()
+            if signature in seen:
+                continue
+            seen.add(signature)
+            reference_plans, reference_stats = reference.intra_op.search_reference(
+                operator
+            )
+            assert serial_result.pareto[operator.name] == reference_plans
+            stats = serial_result.stats[operator.name]
+            assert stats.evaluated == reference_stats.evaluated
+            assert stats.filtered == reference_stats.filtered
+            assert stats.optimized == reference_stats.optimized
+            assert stats.materialized <= reference_stats.materialized
+            total_evaluated += stats.evaluated
+            total_materialized += stats.materialized
+        if serial_result.ok:
+            assert total_materialized < total_evaluated
+
+
 class TestEngine:
     def test_dedupes_signatures_before_dispatch(
         self, small_chip, small_cost_model, fast_constraints

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 from hypothesis import given, strategies as st
 
-from repro.core.pareto import dominates, hypervolume, pareto_front
+from repro.core.pareto import ParetoAccumulator, dominates, hypervolume, pareto_front
 
 
 @dataclass(frozen=True)
@@ -125,6 +125,126 @@ class TestParetoFront:
         assert [(p.memory, p.time) for p in permuted] == [
             (p.memory, p.time) for p in reference
         ]
+
+
+class TestParetoAccumulator:
+    def _accumulate(self, points):
+        accumulator = ParetoAccumulator(memory=MEM, time=TIME)
+        for point in points:
+            accumulator.insert(point)
+        return accumulator
+
+    def test_empty(self):
+        accumulator = ParetoAccumulator(memory=MEM, time=TIME)
+        assert accumulator.items() == []
+        assert len(accumulator) == 0
+        assert not accumulator.dominates(0.0, 0.0)
+
+    def test_simple_frontier(self):
+        points = [Point(1, 10), Point(2, 5), Point(3, 7), Point(4, 1)]
+        assert self._accumulate(points).items() == pareto_front(
+            points, memory=MEM, time=TIME
+        )
+
+    def test_insert_reports_acceptance(self):
+        accumulator = ParetoAccumulator(memory=MEM, time=TIME)
+        assert accumulator.insert(Point(2, 2))
+        assert not accumulator.insert(Point(3, 3))  # dominated
+        assert accumulator.insert(Point(1, 5))  # trade-off
+        assert accumulator.insert(Point(2, 1))  # replaces equal memory
+        assert len(accumulator) == 2
+
+    def test_exact_ties_keep_earliest(self):
+        """On an objective tie the first-inserted item survives, matching the
+        stable sort of ``pareto_front`` (the streaming search relies on this
+        for bit-identical frontiers)."""
+        first, second = Point(1, 1), Point(1, 1)
+        accumulator = ParetoAccumulator(memory=MEM, time=TIME)
+        assert accumulator.insert(first)
+        assert not accumulator.insert(second)
+        assert accumulator.items()[0] is first
+
+    def test_dominates_is_non_strict(self):
+        accumulator = self._accumulate([Point(2, 5)])
+        assert accumulator.dominates(2, 5)
+        assert accumulator.dominates(3, 6)
+        assert accumulator.dominates(2, 6)
+        assert not accumulator.dominates(1, 9)
+        assert not accumulator.dominates(9, 4)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=50)
+            ),
+            min_size=0,
+            max_size=40,
+        )
+    )
+    def test_property_stream_equals_batch(self, raw):
+        """Streaming insertion reproduces ``pareto_front`` exactly."""
+        points = [Point(m, t) for m, t in raw]
+        streamed = self._accumulate(points).items()
+        assert [(p.memory, p.time) for p in streamed] == [
+            (p.memory, p.time) for p in pareto_front(points, memory=MEM, time=TIME)
+        ]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=50)
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+        st.randoms(use_true_random=False),
+    )
+    def test_property_permutation_invariant(self, raw, rng):
+        """The accumulated frontier depends only on the point set, not the
+        insertion order (compared as objective pairs; items with identical
+        objectives are interchangeable)."""
+        points = [Point(m, t) for m, t in raw]
+        reference = self._accumulate(points).items()
+        shuffled = list(points)
+        rng.shuffle(shuffled)
+        permuted = self._accumulate(shuffled).items()
+        assert [(p.memory, p.time) for p in permuted] == [
+            (p.memory, p.time) for p in reference
+        ]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=50)
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_property_idempotent(self, raw):
+        """Re-inserting a frontier into a fresh accumulator changes nothing."""
+        points = [Point(m, t) for m, t in raw]
+        frontier = self._accumulate(points).items()
+        assert self._accumulate(frontier).items() == frontier
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=50), st.integers(min_value=1, max_value=50)
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_property_rejected_iff_covered(self, raw):
+        """``insert`` returns False exactly when the accumulator already
+        ``dominates`` the point (the pruning predicate is consistent)."""
+        points = [Point(m, t) for m, t in raw]
+        accumulator = ParetoAccumulator(memory=MEM, time=TIME)
+        for point in points:
+            covered = accumulator.dominates(point.memory, point.time)
+            accepted = accumulator.insert(point)
+            assert accepted == (not covered)
 
 
 class TestDominates:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.plan import build_library_plan, build_plan
+from repro.core.plan import build_library_plan, build_plan, sketch_plan
 from repro.ir import conv2d, library_op, matmul
 from repro.ir.tensor import TensorRole
 
@@ -172,3 +172,96 @@ class TestLibraryPlan:
         assert plan.num_steps == 1
         assert plan.cores_used <= small_chip.num_cores
         assert plan.time_est > 0
+
+
+class TestPlanSketch:
+    """The cheap sketch agrees exactly with full plan construction.
+
+    ``build_plan`` itself is implemented as sketch-then-materialize, so the
+    feasibility/memory/pace comparisons run against an *independent* oracle
+    built straight from the rTensor machinery (``derive_rtensor`` +
+    ``align_rotation_paces`` — the seed implementation's derivation path),
+    not against ``build_plan``.
+    """
+
+    @staticmethod
+    def _rtensor_oracle(expr, chip, fop, temporal):
+        """Feasibility, memory and paces from the rTensor derivation alone."""
+        from repro.core.partition import align_rotation_paces, derive_rtensor
+        from repro.utils import prod
+
+        if prod(fop.values()) > chip.num_cores:
+            return None
+        configs = {}
+        for spec in expr.all_tensors:
+            config = derive_rtensor(expr, spec, fop, temporal.get(spec.name, 1))
+            if config is None:
+                return None
+            configs[spec.name] = config
+        configs, paces = align_rotation_paces(expr, configs, fop)
+        memory = sum(c.partition_bytes for c in configs.values()) + chip.shift_buffer_bytes
+        return memory, paces
+
+    def _all_candidates(self, operator, chip, constraints):
+        from repro.core.partition import enumerate_operator_partitions
+
+        expr = operator.expr
+        names = [spec.name for spec in expr.all_tensors]
+        for fop in enumerate_operator_partitions(expr, chip.num_cores, constraints):
+            for factor in (1, 2, 4, 8):
+                yield fop, dict.fromkeys(names, factor)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: matmul("mm", m=96, k=48, n=64),
+            lambda: conv2d(
+                "c", batch=2, in_channels=8, out_channels=16, height=16, width=16, kernel=3
+            ),
+        ],
+        ids=["matmul", "conv"],
+    )
+    def test_sketch_matches_build_plan(
+        self, factory, small_chip, small_cost_model, fast_constraints
+    ):
+        operator = factory()
+        expr = operator.expr
+        feasible = infeasible = 0
+        for fop, temporal in self._all_candidates(operator, small_chip, fast_constraints):
+            sketch = sketch_plan(expr, small_chip, fop, temporal)
+            oracle = self._rtensor_oracle(expr, small_chip, fop, temporal)
+            if oracle is None:
+                infeasible += 1
+                assert sketch is None  # identical feasibility verdicts
+                continue
+            feasible += 1
+            assert sketch is not None
+            oracle_memory, oracle_paces = oracle
+            assert sketch.memory_bytes == oracle_memory
+            assert sketch.rotation_paces == oracle_paces
+            plan = build_plan(expr, small_chip, small_cost_model, fop, temporal)
+            assert plan is not None
+            # Exact structural agreement, computed without rTensors.
+            assert sketch.memory_bytes == plan.memory_bytes
+            assert sketch.num_steps == plan.num_steps
+            assert sketch.cores_used == plan.cores_used
+            assert sketch.subtask_shape == plan.subtask_shape
+            assert sketch.rotation_paces == plan.rotation_paces
+            # The priced time bound is the plan's exact execution time.
+            sketch.compute_time = plan.compute_time_est
+            assert sketch.comm_time_lower_bound(small_cost_model) == plan.comm_time_est
+            assert sketch.time_lower_bound(small_cost_model) == plan.time_est
+            # Materializing the sketch rebuilds the identical plan.
+            assert sketch.materialize(expr, small_chip, small_cost_model) == plan
+        assert feasible > 0 and infeasible > 0
+
+    def test_materialize_without_costing_computes_time(
+        self, mm_expr, small_chip, small_cost_model
+    ):
+        fop = {"m": 64, "k": 1, "n": 1}
+        temporal = {"A": 1, "B": 8, "C": 1}
+        sketch = sketch_plan(mm_expr, small_chip, fop, temporal)
+        assert sketch is not None
+        assert sketch.compute_time is None
+        plan = sketch.materialize(mm_expr, small_chip, small_cost_model)
+        assert plan == build_plan(mm_expr, small_chip, small_cost_model, fop, temporal)

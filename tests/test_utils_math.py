@@ -79,13 +79,13 @@ class TestPaddedLength:
 
 class TestDivisors:
     def test_small(self):
-        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(12) == (1, 2, 3, 4, 6, 12)
 
     def test_prime(self):
-        assert divisors(13) == [1, 13]
+        assert divisors(13) == (1, 13)
 
     def test_one(self):
-        assert divisors(1) == [1]
+        assert divisors(1) == (1,)
 
     def test_rejects_zero(self):
         with pytest.raises(ValueError):
@@ -96,7 +96,22 @@ class TestDivisors:
         ds = divisors(n)
         assert all(n % d == 0 for d in ds)
         assert ds[0] == 1 and ds[-1] == n
-        assert ds == sorted(set(ds))
+        assert list(ds) == sorted(set(ds))
+
+    def test_memoised_repeated_calls_do_not_recompute(self):
+        """``divisors`` is called per plan candidate (``temporal_factor_choices``
+        and the factorization search), so repeats must be cache hits."""
+        divisors.cache_clear()
+        first = divisors(3600)
+        hits_before = divisors.cache_info().hits
+        second = divisors(3600)
+        assert second is first  # the cached tuple itself, not a recomputation
+        assert divisors.cache_info().hits == hits_before + 1
+
+    def test_memoisation_does_not_cache_errors(self):
+        for _ in range(2):
+            with pytest.raises(ValueError):
+                divisors(-4)
 
 
 class TestCandidateSplits:
