@@ -30,7 +30,8 @@ def test_fig26_multichip(benchmark):
     # Throughput scales monotonically with the chip count at a fixed
     # micro-batch count (the pipeline bottleneck shrinks with more stages).
     for group in groups.values():
-        ordered = [row for row in sorted(group, key=lambda row: row["chips"]) if row["status"] == "ok"]
+        by_chips = sorted(group, key=lambda row: row["chips"])
+        ordered = [row for row in by_chips if row["status"] == "ok"]
         throughputs = [row["throughput_rps"] for row in ordered]
         assert all(
             earlier < later for earlier, later in zip(throughputs, throughputs[1:])

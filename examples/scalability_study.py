@@ -22,7 +22,10 @@ from repro.models import build_resnet
 def main() -> None:
     graph = build_resnet(8)
     print(f"Workload: {graph.summary()}\n")
-    print(f"{'cores':>6} {'chip':<12} {'Roller (ms)':>12} {'T10 (ms)':>10} {'T10 transfer (ms)':>18}")
+    print(
+        f"{'cores':>6} {'chip':<12} {'Roller (ms)':>12} {'T10 (ms)':>10} "
+        f"{'T10 transfer (ms)':>18}"
+    )
     for cores in (368, 736, 1472, 2944, 5888):
         chip = chip_for_cores(cores)
         executor = Executor(chip)

@@ -15,6 +15,10 @@ from repro.bench.runner import (
     run_bench,
 )
 
+# The regression gate lives in repro.bench.compare; it is deliberately not
+# re-exported here so ``python -m repro.bench.compare`` does not trip the
+# runpy double-import warning.
+
 __all__ = [
     "BenchConfig",
     "BenchReport",

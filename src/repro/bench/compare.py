@@ -1,0 +1,230 @@
+"""Bench-regression gate: compare a fresh run against a committed baseline.
+
+``BENCH_compile.json`` records two kinds of numbers: wall-clock timings
+(host-dependent — tracked as a trajectory, never gated) and **deterministic
+search counters** — candidates sketched/evaluated, plans materialized,
+frontier sizes and the frontier-equality check against the eager reference
+search.  Those counters are pure functions of the code and the benchmark
+config, so CI can fail hard when they regress:
+
+* ``frontier_match`` flipping off means the streaming search lost plans the
+  eager search finds — a correctness regression;
+* ``materialized`` growing (or the reduction ratios shrinking) means the
+  sketch-and-prune pipeline started paying for plan constructions it used
+  to avoid — a compile-time regression independent of the host.
+
+``python -m repro.bench.compare BASELINE`` re-runs the benchmark in the
+baseline's own configuration (same models, batch and quick/full setting —
+counters are only comparable at identical configs) and exits non-zero on
+any regression.  Wall-clock fields are reported but never compared.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from repro.bench.runner import BenchConfig, run_bench
+
+#: Counters that are pure functions of (code, config) and must not change at
+#: all between a baseline and a matching-config run.
+EXACT_COUNTERS: tuple[str, ...] = (
+    "operators",
+    "unique_operators",
+    "dispatched_searches",
+    "sketched",
+    "evaluated",
+    "pareto_plans",
+    "reference_materialized",
+)
+
+#: Counters where smaller is better: growth is a regression, shrinkage is an
+#: improvement worth recommitting but never a failure.
+SMALLER_IS_BETTER: tuple[str, ...] = ("materialized",)
+
+#: Derived ratios where larger is better (pruning effectiveness).
+LARGER_IS_BETTER: tuple[str, ...] = ("materialization_ratio", "materialized_reduction")
+
+
+def _check_exact(counter: str, base_value, value) -> str | None:
+    if value != base_value:
+        return (
+            f"{counter} changed {base_value} -> {value} (deterministic "
+            f"counter; regenerate the baseline if intentional)"
+        )
+    return None
+
+
+def _check_no_growth(counter: str, base_value, value) -> str | None:
+    if value > base_value:
+        return f"{counter} grew {base_value} -> {value}"
+    return None
+
+
+def _ratio_check(ratio_slack: float):
+    def check(counter: str, base_value, value) -> str | None:
+        floor = base_value * (1.0 - ratio_slack)
+        if value < floor:
+            return f"{counter} dropped {base_value} -> {value} (floor {floor:.2f})"
+        return None
+
+    return check
+
+
+def compare_reports(
+    baseline: dict, current: dict, *, ratio_slack: float = 0.0
+) -> list[str]:
+    """Regressions of ``current`` against ``baseline`` (empty list = gate passes).
+
+    Both arguments are parsed ``BENCH_compile.json`` documents.  The configs
+    must match — deterministic counters of a quick run say nothing about a
+    full run.  ``ratio_slack`` loosens the ratio comparison (a fraction, e.g.
+    ``0.05`` tolerates a 5% drop); the exact counters are never loosened.
+    """
+    if not 0.0 <= ratio_slack < 1.0:
+        raise ValueError(f"ratio_slack must be in [0, 1), got {ratio_slack}")
+    problems: list[str] = []
+    for doc, label in ((baseline, "baseline"), (current, "current")):
+        if doc.get("benchmark") != "compile":
+            problems.append(f"{label} is not a compile benchmark report")
+    if problems:
+        return problems
+    if baseline.get("config") != current.get("config"):
+        return [
+            f"config mismatch: baseline is {baseline.get('config')!r} but the "
+            f"run is {current.get('config')!r}; deterministic counters are only "
+            f"comparable at identical configs"
+        ]
+
+    base_rows = {row["model"]: row for row in baseline.get("rows", [])}
+    current_rows = {row["model"]: row for row in current.get("rows", [])}
+    for model in sorted(set(base_rows) - set(current_rows)):
+        problems.append(f"{model}: present in baseline but missing from the run")
+
+    for model, base in sorted(base_rows.items()):
+        row = current_rows.get(model)
+        if row is None:
+            continue
+        if base.get("batch") != row.get("batch"):
+            problems.append(
+                f"{model}: batch changed {base.get('batch')} -> {row.get('batch')}"
+            )
+            continue
+        if base.get("status") == "ok" and row.get("status") != "ok":
+            problems.append(
+                f"{model}: compile status regressed ok -> {row.get('status')}"
+            )
+            continue
+        if row.get("frontier_match") is False:
+            problems.append(
+                f"{model}: frontier_match is false — the streaming search "
+                f"diverged from the eager reference"
+            )
+        elif base.get("frontier_match") is not None and row.get("frontier_match") is None:
+            # Covers both a deleted key and an explicit null (reference search
+            # skipped) — either way the headline check would silently vanish.
+            problems.append(
+                f"{model}: frontier_match missing from the run — the gate "
+                f"cannot verify the streaming search against the reference"
+            )
+        # A counter the baseline tracks but the run no longer emits (or nulls
+        # out) is itself a regression: silently skipping it would let a renamed
+        # or dropped field turn the gate into a no-op.  Counters absent from
+        # the *baseline* are skipped (an old baseline predating the counter is
+        # still comparable on the rest).
+        for counters, check in (
+            (EXACT_COUNTERS, _check_exact),
+            (SMALLER_IS_BETTER, _check_no_growth),
+            (LARGER_IS_BETTER, _ratio_check(ratio_slack)),
+        ):
+            for counter in counters:
+                base_value = base.get(counter)
+                if base_value is None:
+                    continue
+                value = row.get(counter)
+                if value is None:
+                    problems.append(
+                        f"{model}: {counter} missing from the run (baseline "
+                        f"tracks it; the gate compares nothing without it)"
+                    )
+                    continue
+                problem = check(counter, base_value, value)
+                if problem is not None:
+                    problems.append(f"{model}: {problem}")
+    return problems
+
+
+def config_from_baseline(baseline: dict, *, jobs: int = 1) -> BenchConfig:
+    """The :class:`BenchConfig` reproducing a baseline report's run.
+
+    Models, batch size, quick/full setting and whether the eager reference
+    search ran are all read back from the report, so the comparison is
+    config-identical by construction.  The report is not written anywhere.
+    """
+    rows = baseline.get("rows", [])
+    if not rows:
+        raise ValueError("baseline report has no rows to reproduce")
+    batches = {row.get("batch") for row in rows}
+    if len(batches) != 1:
+        raise ValueError(f"baseline mixes batch sizes {sorted(batches)}")
+    return BenchConfig(
+        models=[row["model"] for row in rows],
+        batch_size=batches.pop(),
+        quick=baseline.get("config") == "quick",
+        jobs=jobs,
+        reference=any("reference_materialized" in row for row in rows),
+        output=None,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description="Fail when deterministic compile-bench counters regress "
+        "against a committed BENCH_compile.json.",
+    )
+    parser.add_argument("baseline", help="committed baseline report (JSON)")
+    parser.add_argument(
+        "--current",
+        default=None,
+        help="existing report to compare instead of re-running the benchmark",
+    )
+    parser.add_argument(
+        "--ratio-slack",
+        type=float,
+        default=0.0,
+        help="tolerated fractional drop in reduction ratios (default 0)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="parallel-compilation width (default 1)"
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    if args.current is not None:
+        current = json.loads(Path(args.current).read_text())
+    else:
+        config = config_from_baseline(baseline, jobs=args.jobs)
+        print(
+            f"re-running compile bench in baseline config "
+            f"({baseline.get('config')}, models={','.join(config.models)}) ..."
+        )
+        current = run_bench(config).as_dict()
+
+    problems = compare_reports(baseline, current, ratio_slack=args.ratio_slack)
+    if problems:
+        print(f"bench-regression gate FAILED against {args.baseline}:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    models = ", ".join(row["model"] for row in current.get("rows", []))
+    print(
+        f"bench-regression gate passed against {args.baseline}: "
+        f"deterministic counters stable for {models}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

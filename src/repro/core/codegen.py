@@ -10,7 +10,6 @@ bookkeeping the simulator checks against the scratchpad capacity.
 
 from __future__ import annotations
 
-from typing import Mapping
 
 from repro.core.inter_op import ModelSchedule, OperatorSchedule
 from repro.hw.program import (

@@ -18,7 +18,6 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Mapping
 
 from repro.core.codegen import generate_program
 from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints

@@ -15,7 +15,7 @@ This module implements §4.2 of the paper:
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.core.constraints import SearchConstraints
 from repro.core.rtensor import RTensorConfig

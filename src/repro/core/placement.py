@@ -17,12 +17,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Mapping
 
 from repro.core.plan import OperatorPlan
 from repro.core.rtensor import RTensorConfig
 from repro.ir.expr import TensorExpression
-from repro.utils import prod
 
 
 @dataclass
@@ -86,9 +84,10 @@ class PlacementPlan:
             # tensor carries (ascending order keeps dependencies aligned
             # after rotation, as required by §4.4).
             spatial_key = tuple(coord[axis] for axis in present_axes)
-            sub_tensor_id.append(self._linearize(spatial_key, [self.plan.fop[a] for a in present_axes]))
+            spatial_sizes = [self.plan.fop[a] for a in present_axes]
+            sub_tensor_id.append(self._linearize(spatial_key, spatial_sizes))
             # Ring membership: cores differing only in missing-axis
-            # coordinates share the sub-tensor; their linear index modulo the
+            # coordinates share the sub-tensor; their linear index modulo
             # temporal factor is their starting position in the ring.
             missing_key = tuple(coord[axis] for axis in missing_axes)
             linear = self._linearize(missing_key, missing_sizes)

@@ -12,7 +12,7 @@ inter-operator scheduler later picks an (idle, active) pair per operator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.core.cost_model import CostModel

@@ -25,6 +25,7 @@ from repro.experiments import (
     fig24_hbm,
     fig25_serving,
     fig26_multichip,
+    fig27_continuous,
     tab02_models,
     tab03_hardware,
 )
@@ -57,6 +58,7 @@ ALL_EXPERIMENTS = {
     "fig24": fig24_hbm,
     "fig25": fig25_serving,
     "fig26": fig26_multichip,
+    "fig27": fig27_continuous,
     "tab02": tab02_models,
     "tab03": tab03_hardware,
     "ablation": ablation,

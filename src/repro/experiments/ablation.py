@@ -22,7 +22,7 @@ from typing import Sequence
 
 from repro.baselines import RollerCompiler
 from repro.core import T10Compiler, default_cost_model
-from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
+from repro.core.constraints import SearchConstraints
 from repro.core.inter_op import InterOpScheduler
 from repro.experiments.common import build_workload, print_table
 from repro.hw.spec import IPU_MK2, ChipSpec

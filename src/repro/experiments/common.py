@@ -9,7 +9,7 @@ every figure in minutes; the default settings reproduce the full grids.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.baselines import AnsorCompiler, PopARTCompiler, RollerCompiler
 from repro.core import T10Compiler, default_cost_model

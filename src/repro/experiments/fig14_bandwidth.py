@@ -44,7 +44,10 @@ def run(
 
 def main() -> None:
     """Print the Figure 14 bandwidth-utilisation table (quick grid)."""
-    print_table(run(quick=True), title="Figure 14: per-core inter-core bandwidth utilisation (GB/s)")
+    print_table(
+        run(quick=True),
+        title="Figure 14: per-core inter-core bandwidth utilisation (GB/s)",
+    )
 
 
 if __name__ == "__main__":

@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.baselines import RollerCompiler
-from repro.core import T10Compiler, default_cost_model
 from repro.experiments.common import shared_t10_compiler
 from repro.experiments.common import build_workload, print_table
 from repro.hw.spec import IPU_MK2, ChipSpec

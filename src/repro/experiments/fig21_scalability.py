@@ -13,7 +13,6 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.baselines import RollerCompiler
-from repro.core import T10Compiler, default_cost_model
 from repro.experiments.common import shared_t10_compiler
 from repro.experiments.common import build_workload
 from repro.experiments.common import print_table

@@ -11,7 +11,6 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.baselines import GPURooflineModel
-from repro.core import T10Compiler, default_cost_model
 from repro.experiments.common import shared_t10_compiler
 from repro.experiments.common import batch_sizes_for, build_workload, print_table
 from repro.hw.spec import A100, IPU_MK2, ChipSpec, GPUSpec

@@ -11,8 +11,8 @@ from this single structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from dataclasses import dataclass
+from typing import Mapping
 
 from repro.ir.dtype import DType
 from repro.ir.tensor import DimExpr, TensorRole, TensorSpec

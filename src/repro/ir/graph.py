@@ -11,7 +11,7 @@ consecutive operators pick mismatched partitionings).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import networkx as nx
 

@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.ir.dtype import DType
 from repro.ir.expr import TensorExpression
-from repro.ir.tensor import TensorRole, TensorSpec
+from repro.ir.tensor import TensorSpec
 
 
 @dataclass(frozen=True)

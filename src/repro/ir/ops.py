@@ -13,7 +13,7 @@ expression follows the paper's formulation:
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.ir.dtype import DType
 from repro.ir.expr import TensorExpression

@@ -9,7 +9,7 @@ compound dimension simply records which basic axes contribute to it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable
 
@@ -130,6 +130,8 @@ class TensorSpec:
         return f"{self.name}[{dims}]"
 
 
-def tensor(name: str, dims: Iterable[str | DimExpr], role: TensorRole = TensorRole.INPUT) -> TensorSpec:
+def tensor(
+    name: str, dims: Iterable[str | DimExpr], role: TensorRole = TensorRole.INPUT
+) -> TensorSpec:
     """Convenience constructor for :class:`TensorSpec`."""
     return TensorSpec(name=name, dims=tuple(DimExpr.of(d) for d in dims), role=role)

@@ -1,9 +1,9 @@
 """Model zoo: builders for every workload in the paper's evaluation (Table 2)."""
 
 from repro.models.bert import BERT_LARGE, build_bert
-from repro.models.llama import LLAMA_VARIANTS, build_llama
+from repro.models.llama import LLAMA_VARIANTS, build_llama, llama_decode_session
 from repro.models.nerf import build_nerf
-from repro.models.opt import OPT_VARIANTS, build_opt
+from repro.models.opt import OPT_VARIANTS, build_opt, opt_decode_session
 from repro.models.registry import (
     DNN_MODELS,
     LLM_MODELS,
@@ -39,4 +39,6 @@ __all__ = [
     "build_vit",
     "get_entry",
     "list_models",
+    "llama_decode_session",
+    "opt_decode_session",
 ]

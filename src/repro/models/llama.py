@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.ir.graph import OperatorGraph
 from repro.models.transformer import TransformerConfig, add_decoder_layer
@@ -60,3 +61,27 @@ def build_llama(
             gated_ffn=True,
         )
     return graph
+
+
+def llama_decode_session(
+    size: str = "7b",
+    *,
+    num_layers: int | None = None,
+    kv_len: int = 1024,
+) -> Callable[[int], OperatorGraph]:
+    """Per-bucket decode-step builder for a multi-iteration decode session.
+
+    The Llama twin of :func:`repro.models.opt.opt_decode_session`: a
+    ``batch_size -> graph`` builder with model size, layer count and KV
+    length closed over, so a continuous-batching engine compiles one program
+    per batch bucket and replays it every decode iteration.
+    """
+    if size not in LLAMA_VARIANTS:
+        raise ValueError(
+            f"unknown Llama size {size!r}; choose from {sorted(LLAMA_VARIANTS)}"
+        )
+
+    def build(batch_size: int) -> OperatorGraph:
+        return build_llama(batch_size, size=size, num_layers=num_layers, kv_len=kv_len)
+
+    return build

@@ -10,6 +10,7 @@ for the requested model size and batch.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.ir.graph import OperatorGraph
 from repro.models.transformer import TransformerConfig, add_decoder_layer
@@ -72,3 +73,28 @@ def build_opt(
             input_op=last,
         )
     return graph
+
+
+def opt_decode_session(
+    size: str = "1.3b",
+    *,
+    num_layers: int | None = None,
+    kv_len: int = 1024,
+) -> Callable[[int], OperatorGraph]:
+    """Per-bucket decode-step builder for a multi-iteration decode session.
+
+    A continuous-batching engine replays the *same* decode-step graph once
+    per generated token, varying only the batch dimension as requests join
+    and retire; this returns the ``batch_size -> graph`` builder it compiles
+    per bucket (`repro.serving.continuous.DecodeModel` takes it verbatim).
+    The session is hyper-parameter-closed: model size, layer count and KV
+    length are fixed up front so every iteration reuses the same per-bucket
+    plan-cache entries.
+    """
+    if size not in OPT_VARIANTS:
+        raise ValueError(f"unknown OPT size {size!r}; choose from {sorted(OPT_VARIANTS)}")
+
+    def build(batch_size: int) -> OperatorGraph:
+        return build_opt(batch_size, size=size, num_layers=num_layers, kv_len=kv_len)
+
+    return build

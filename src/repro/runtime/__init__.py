@@ -5,10 +5,12 @@ from repro.runtime.metrics import (
     average_speedup,
     bandwidth_utilization_gbps,
     comm_fraction,
+    goodput_rps,
     latency_breakdown,
     latency_percentiles,
     per_operator_speedups,
     percentile,
+    slo_attainment,
     speedup_distribution,
     throughput_rps,
 )
@@ -22,10 +24,12 @@ __all__ = [
     "average_speedup",
     "bandwidth_utilization_gbps",
     "comm_fraction",
+    "goodput_rps",
     "latency_breakdown",
     "latency_percentiles",
     "per_operator_speedups",
     "percentile",
+    "slo_attainment",
     "speedup_distribution",
     "throughput_rps",
 ]

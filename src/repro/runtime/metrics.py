@@ -109,6 +109,20 @@ def latency_percentiles(latencies: Sequence[float]) -> dict[str, float]:
     }
 
 
+def slo_attainment(latencies: Sequence[float], slo_seconds: float) -> float:
+    """Fraction of latencies within the SLO (``nan`` for no data).
+
+    The serving-side complement to :func:`latency_percentiles`: an SLO stated
+    as "p99 under X ms" holds exactly when ``slo_attainment(latencies, X) >=
+    0.99``.
+    """
+    if slo_seconds < 0:
+        raise ValueError(f"slo_seconds must be >= 0, got {slo_seconds}")
+    if not latencies:
+        return float("nan")
+    return sum(1 for value in latencies if value <= slo_seconds) / len(latencies)
+
+
 def throughput_rps(completed: int, span_seconds: float) -> float:
     """Requests per second completed over a (virtual) time span.
 
@@ -122,6 +136,18 @@ def throughput_rps(completed: int, span_seconds: float) -> float:
     if span_seconds <= 0:
         return float("nan")
     return completed / span_seconds
+
+
+def goodput_rps(met_slo: int, span_seconds: float) -> float:
+    """Requests per second completed *within their SLO* over a time span.
+
+    Identical semantics to :func:`throughput_rps` but counting only requests
+    that met their deadline — the number a latency SLO actually pays for.
+    Degenerate windows follow the same ``nan`` convention.
+    """
+    if met_slo < 0:
+        raise ValueError(f"met_slo must be >= 0, got {met_slo}")
+    return throughput_rps(met_slo, span_seconds)
 
 
 def average_speedup(results: Sequence[tuple[EvaluationResult, EvaluationResult]]) -> float:

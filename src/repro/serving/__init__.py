@@ -1,4 +1,4 @@
-"""Model-serving subsystem: plan caching, dynamic batching, multi-chip pool.
+"""Model-serving subsystem: plan caching, batching, multi-chip pool.
 
 This layer sits on top of the compiler and simulator and answers the
 questions a production deployment asks: how many requests per second does a
@@ -19,6 +19,20 @@ Quick start::
         poisson_workload({"bert": 2000.0}, num_requests=200, seed=0)
     )
     print(report.summary())
+
+Autoregressive traffic is served by the continuous-batching engine
+(:mod:`repro.serving.continuous`), where requests join a running batch at
+decode-iteration boundaries under an SLO-aware policy::
+
+    from repro.models import opt_decode_session
+    from repro.serving import ContinuousEngine, DecodeModel, decode_workload
+
+    engine = ContinuousEngine(
+        DecodeModel("opt-125m", opt_decode_session("125m", num_layers=1)),
+        num_chips=2,
+    )
+    report = engine.run(decode_workload("opt-125m", num_requests=100, rate=5000.0))
+    print(report.summary())
 """
 
 from repro.serving.batcher import (
@@ -29,7 +43,19 @@ from repro.serving.batcher import (
     batch_buckets,
     bucket_for,
 )
-from repro.serving.metrics import ModelStats, ServingReport, build_model_stats
+from repro.serving.continuous import (
+    POLICY_CONTINUOUS,
+    POLICY_STATIC,
+    ContinuousEngine,
+    DecodeModel,
+    StaticEngine,
+)
+from repro.serving.metrics import (
+    ContinuousReport,
+    ModelStats,
+    ServingReport,
+    build_model_stats,
+)
 from repro.serving.plan_cache import (
     COMPILE,
     HIT_DISK,
@@ -40,14 +66,21 @@ from repro.serving.plan_cache import (
     plan_key,
 )
 from repro.serving.request import (
+    DECODE_OK,
+    DECODE_SHED,
+    SLO_BEST_EFFORT,
+    SLO_INTERACTIVE,
+    CompletedDecode,
     CompletedRequest,
+    DecodeRequest,
     InferenceRequest,
+    decode_workload,
     merge_workloads,
     poisson_workload,
     uniform_workload,
 )
 from repro.serving.scheduler import ServedModel, ServingScheduler
-from repro.serving.worker import BatchExecution, WorkerPool
+from repro.serving.worker import BatchExecution, IterationCost, WorkerPool
 
 __all__ = [
     "Batch",
@@ -56,21 +89,35 @@ __all__ = [
     "COMPILE",
     "CacheLookup",
     "CacheStats",
+    "CompletedDecode",
     "CompletedRequest",
+    "ContinuousEngine",
+    "ContinuousReport",
+    "DECODE_OK",
+    "DECODE_SHED",
+    "DecodeModel",
+    "DecodeRequest",
     "DynamicBatcher",
     "HIT_DISK",
     "HIT_MEMORY",
     "InferenceRequest",
+    "IterationCost",
     "ModelStats",
+    "POLICY_CONTINUOUS",
+    "POLICY_STATIC",
     "PlanCache",
     "ReplayStats",
+    "SLO_BEST_EFFORT",
+    "SLO_INTERACTIVE",
     "ServedModel",
     "ServingReport",
     "ServingScheduler",
+    "StaticEngine",
     "WorkerPool",
     "batch_buckets",
     "bucket_for",
     "build_model_stats",
+    "decode_workload",
     "merge_workloads",
     "plan_key",
     "poisson_workload",

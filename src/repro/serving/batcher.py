@@ -75,11 +75,24 @@ def batch_buckets(max_batch_size: int) -> tuple[int, ...]:
 
 
 def bucket_for(batch_size: int, max_batch_size: int) -> int:
-    """Smallest bucket that holds ``batch_size`` requests."""
+    """Smallest bucket that holds ``batch_size`` requests.
+
+    Raises :class:`ValueError` for an empty/negative batch (there is no
+    bucket to run it on — previously ``batch_size=0`` silently mapped to
+    bucket 1, compiling a program for a batch that does not exist) and for a
+    batch exceeding ``max_batch_size`` (no compiled bucket can hold it).
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if batch_size > max_batch_size:
+        raise ValueError(
+            f"batch of {batch_size} exceeds max_batch_size={max_batch_size}: "
+            f"no compiled bucket can hold it"
+        )
     for bucket in batch_buckets(max_batch_size):
         if bucket >= batch_size:
             return bucket
-    raise ValueError(f"batch of {batch_size} exceeds max_batch_size={max_batch_size}")
+    raise AssertionError("unreachable: the last bucket equals max_batch_size")
 
 
 @dataclass(frozen=True)

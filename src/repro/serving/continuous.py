@@ -1,0 +1,708 @@
+"""Continuous-batching autoregressive serving with SLO-aware scheduling.
+
+Production LLM engines (vLLM, Orca) do not run requests in fixed batches:
+requests **join a running batch at the next decode-iteration boundary** and
+**retire the moment their last token is generated**, so short generations
+never wait for long ones.  This module builds that execution model on top of
+the existing pieces — per-bucket programs compiled through the
+:class:`~repro.serving.plan_cache.PlanCache`, latencies from the analytical
+simulator via :meth:`~repro.serving.worker.WorkerPool.profile` (pipeline
+sharding included) — entirely in virtual time, so every run is bit-for-bit
+reproducible.
+
+Two engines share the runtime:
+
+* :class:`ContinuousEngine` — iteration-level admission with an SLO-aware
+  policy: earliest-deadline-first admission of interactive requests,
+  priority preemption of best-effort traffic, load shedding of requests
+  whose projected completion already misses their deadline, and replica
+  autoscaling that grows/shrinks the active fleet with queue depth.
+* :class:`StaticEngine` — the classic baseline: FIFO batches that run to
+  the completion of their *longest* member before the replica takes new
+  work.  Same fleet, same compiled programs, no iteration-level admission.
+
+The fig27 experiment runs both on identical workloads and fleets; continuous
+batching wins on goodput-under-SLO because head-of-line blocking is gone.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
+from repro.hw.spec import IPU_MK2, ChipSpec
+from repro.ir.graph import OperatorGraph
+from repro.serving.batcher import batch_buckets, bucket_for
+from repro.serving.metrics import ContinuousReport
+from repro.serving.plan_cache import CacheStats, PlanCache
+from repro.serving.request import (
+    DECODE_OK,
+    DECODE_SHED,
+    CompletedDecode,
+    DecodeRequest,
+)
+from repro.serving.worker import IterationCost, WorkerPool
+
+#: Scheduling policies reported by the two engines.
+POLICY_CONTINUOUS = "continuous"
+POLICY_STATIC = "static"
+
+
+@dataclass(frozen=True)
+class DecodeModel:
+    """An autoregressive model deployed behind a decode engine.
+
+    ``decode_builder`` maps a (bucketed) batch size to the decode-step graph
+    executed once per generated token (see
+    :func:`repro.models.opt.opt_decode_session`).  Prefill is modelled as
+    decode-shaped iterations over the prompt, ``prefill_chunk`` tokens per
+    iteration; the first output token is produced by the last prefill
+    iteration, mirroring engines whose prefill pass emits token one.
+    ``num_stages > 1`` runs every iteration pipeline-sharded over a chip
+    group (:mod:`repro.dist`).
+    """
+
+    name: str
+    decode_builder: Callable[[int], OperatorGraph]
+    max_batch_size: int = 8
+    num_stages: int = 1
+    prefill_chunk: int = 64
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("DecodeModel requires a name")
+        if self.max_batch_size < 1:
+            raise ValueError(f"max_batch_size must be >= 1, got {self.max_batch_size}")
+        if self.num_stages < 1:
+            raise ValueError(f"num_stages must be >= 1, got {self.num_stages}")
+        if self.prefill_chunk < 1:
+            raise ValueError(f"prefill_chunk must be >= 1, got {self.prefill_chunk}")
+
+    def prefill_iterations(self, prompt_tokens: int) -> int:
+        """Iterations spent ingesting the prompt (the last one emits token 1)."""
+        return max(1, math.ceil(prompt_tokens / self.prefill_chunk))
+
+    def total_iterations(self, request: DecodeRequest) -> int:
+        """Iterations from admission to retirement for ``request``."""
+        return self.ideal_iterations(request.prompt_tokens, request.max_new_tokens)
+
+    def ideal_iterations(self, prompt_tokens: int, output_tokens: int) -> int:
+        """Iteration count of an uncontended request — its ideal service time
+        in iteration units.  Deadlines and offered-load calculations (fig27,
+        examples) must price work with this exact formula or their SLOs drift
+        from what the engines actually execute."""
+        return self.prefill_iterations(prompt_tokens) + output_tokens - 1
+
+
+@dataclass
+class _Running:
+    """Per-request progress while resident in a replica's batch."""
+
+    request: DecodeRequest
+    admitted_time: float
+    prefill_remaining: int
+    tokens_done: int = 0
+    first_token_time: float = float("nan")
+    preemptions: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.tokens_done >= self.request.max_new_tokens
+
+    def advance(self, now: float) -> None:
+        """Account one finished iteration this request participated in."""
+        if self.prefill_remaining > 1:
+            self.prefill_remaining -= 1
+            return
+        if self.prefill_remaining == 1:
+            self.prefill_remaining = 0
+            self.tokens_done = 1
+            self.first_token_time = now
+            return
+        self.tokens_done += 1
+
+
+@dataclass
+class _Replica:
+    """One serving replica: a chip (or chip group for sharded models)."""
+
+    index: int
+    active: bool = False
+    busy: bool = False
+    running: list[_Running] = field(default_factory=list)
+    bucket: int = 0
+    """Static engine only: the bucket the current batch was compiled for."""
+
+
+#: Event kinds, ordered so same-timestamp arrivals precede iteration ends —
+#: a request arriving exactly at an iteration boundary is admissible there.
+_EV_ARRIVAL = 0
+_EV_ITER_END = 1
+
+
+class _DecodeEngineBase:
+    """Shared runtime: per-bucket compiled programs and iteration costing."""
+
+    policy = "base"
+
+    def __init__(
+        self,
+        model: DecodeModel,
+        *,
+        chip: ChipSpec = IPU_MK2,
+        num_chips: int = 1,
+        constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+        plan_cache: PlanCache | None = None,
+        cache_dir: str | Path | None = None,
+        jobs: int | None = None,
+    ) -> None:
+        if num_chips < 1:
+            raise ValueError(f"num_chips must be >= 1, got {num_chips}")
+        if model.num_stages > num_chips:
+            raise ValueError(
+                f"model {model.name!r} needs a group of {model.num_stages} "
+                f"chips but the fleet has only {num_chips}"
+            )
+        if plan_cache is not None and cache_dir is not None:
+            raise ValueError("pass either plan_cache or cache_dir, not both")
+        if plan_cache is not None and jobs is not None:
+            raise ValueError(
+                "jobs has no effect on a caller-supplied plan_cache; set jobs "
+                "when building the cache instead"
+            )
+        self.model = model
+        self.num_chips = num_chips
+        self._owns_cache = plan_cache is None
+        cache = plan_cache if plan_cache is not None else PlanCache(cache_dir, jobs=jobs)
+        self.pool = WorkerPool(
+            chip, num_chips=num_chips, plan_cache=cache, constraints=constraints
+        )
+        #: Replicas the fleet can host: chip groups for sharded models.
+        self.num_replicas = num_chips // model.num_stages
+        self._graphs: dict[int, OperatorGraph] = {}
+        self._costs: dict[int, IterationCost] = {}
+        self.warm_compile_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The cache holding this engine's per-bucket programs."""
+        return self.pool.plan_cache
+
+    @property
+    def chip(self) -> ChipSpec:
+        """The fleet's chip specification."""
+        return self.pool.chip
+
+    def close(self) -> None:
+        """Release compiler worker pools held by the engine's own cache."""
+        if self._owns_cache:
+            self.plan_cache.close()
+
+    def _graph(self, bucket: int) -> OperatorGraph:
+        graph = self._graphs.get(bucket)
+        if graph is None:
+            graph = self._graphs[bucket] = self.model.decode_builder(bucket)
+        return graph
+
+    def warm(self) -> list[IterationCost]:
+        """Compile and measure every batch bucket once (idempotent).
+
+        Compile time is wall-clock and therefore kept *out* of virtual time
+        (it is reported as ``warm_compile_seconds``); iteration latencies come
+        from the simulator, which is what keeps runs bit-for-bit
+        reproducible at any compilation parallelism.
+        """
+        costs = []
+        for bucket in batch_buckets(self.model.max_batch_size):
+            if bucket in self._costs:
+                costs.append(self._costs[bucket])
+                continue
+            cost = self.pool.profile(self._graph(bucket), num_stages=self.model.num_stages)
+            if not cost.ok:
+                raise RuntimeError(
+                    f"{self.model.name} does not serve at batch {bucket} on "
+                    f"{self.chip.name}: {cost.status} ({cost.error})"
+                )
+            self.warm_compile_seconds += cost.compile_seconds
+            # Steady state: later lookups of this bucket are pure latency.
+            self._costs[bucket] = IterationCost(
+                cost.status, cost.error, cost.latency, 0.0, cost.cache_outcome
+            )
+            costs.append(self._costs[bucket])
+        return costs
+
+    def iteration_latency(self, batch_size: int = 1) -> float:
+        """Simulated latency of one decode iteration at ``batch_size``.
+
+        The batch-1 value is the natural unit for offered load and SLO
+        scales in experiments.  Compiles the bucket on first use.
+        """
+        return self._cost_for_bucket(bucket_for(batch_size, self.model.max_batch_size)).latency
+
+    @staticmethod
+    def _seed_arrivals(
+        ordered: Sequence[DecodeRequest],
+        seq: "itertools.count[int]",
+        events: list,
+    ) -> None:
+        """Push every request's arrival onto the event heap."""
+        for request in ordered:
+            heapq.heappush(
+                events, (request.arrival_time, _EV_ARRIVAL, next(seq), request)
+            )
+
+    @staticmethod
+    def _retire_finished(
+        replica: "_Replica", now: float, records: list[CompletedDecode]
+    ) -> None:
+        """Advance every resident request one finished iteration and retire
+        the done ones — the accounting both engines must share exactly, or
+        their reports stop being comparable."""
+        for running in list(replica.running):
+            running.advance(now)
+            if running.done:
+                replica.running.remove(running)
+                records.append(
+                    CompletedDecode(
+                        request=running.request,
+                        status=DECODE_OK,
+                        admitted_time=running.admitted_time,
+                        first_token_time=running.first_token_time,
+                        completion_time=now,
+                        tokens_generated=running.tokens_done,
+                        preemptions=running.preemptions,
+                        replica=replica.index,
+                    )
+                )
+
+    def _cost_for_bucket(self, bucket: int) -> IterationCost:
+        cost = self._costs.get(bucket)
+        if cost is None:
+            self.warm()
+            cost = self._costs[bucket]
+        return cost
+
+    def _cost(self, batch_len: int) -> IterationCost:
+        return self._cost_for_bucket(bucket_for(batch_len, self.model.max_batch_size))
+
+    def _check_requests(self, requests: Sequence[DecodeRequest]) -> list[DecodeRequest]:
+        unknown = sorted({req.model for req in requests} - {self.model.name})
+        if unknown:
+            raise ValueError(
+                f"requests for unserved models {unknown}; served: [{self.model.name!r}]"
+            )
+        return sorted(requests, key=lambda req: (req.arrival_time, req.request_id))
+
+    def _report(
+        self,
+        records: list[CompletedDecode],
+        *,
+        counters: dict[str, int],
+        busy_chip_seconds: float,
+        active_chip_seconds: float,
+        active_span: float,
+        peak_active: int,
+        cache: CacheStats,
+    ) -> ContinuousReport:
+        """Assemble the run report shared by both engines.
+
+        ``makespan`` spans the *served* requests (the throughput window);
+        ``active_span`` is the whole event window ``active_chip_seconds``
+        integrates over, which may be longer when leading/trailing requests
+        were shed.
+        """
+        served = [record for record in records if record.ok]
+        makespan = 0.0
+        if served:
+            makespan = max(r.completion_time for r in served) - min(
+                r.request.arrival_time for r in served
+            )
+        return ContinuousReport(
+            policy=self.policy,
+            model=self.model.name,
+            num_chips=self.num_chips,
+            num_stages=self.model.num_stages,
+            max_batch_size=self.model.max_batch_size,
+            completed=tuple(records),
+            makespan=makespan,
+            busy_chip_seconds=busy_chip_seconds,
+            active_chip_seconds=active_chip_seconds,
+            active_span=active_span,
+            iterations=counters["iterations"],
+            cache=cache,
+            warm_compile_seconds=self.warm_compile_seconds,
+            preemptions=counters["preemptions"],
+            shed=counters["shed"],
+            scale_ups=counters["scale_ups"],
+            scale_downs=counters["scale_downs"],
+            peak_active_chips=peak_active * self.model.num_stages,
+        )
+
+
+class ContinuousEngine(_DecodeEngineBase):
+    """Event-driven continuous batching with an SLO-aware scheduling policy.
+
+    At every decode-iteration boundary the engine retires finished requests
+    and admits queued ones: interactive requests earliest-deadline-first,
+    then best-effort FIFO.  When interactive requests would otherwise wait,
+    resident best-effort requests are **preempted** (swapped out with their
+    progress kept, vLLM-style) to make room.  At its admission boundary —
+    the moment it would start running — a request whose *projected*
+    completion (its remaining iterations priced at the full-batch iteration
+    latency) already misses its deadline is **shed** instead of admitted,
+    protecting the goodput of the rest.  Replicas activate when the backlog
+    exceeds ``scale_up_queue`` pending requests per active replica and
+    deactivate when both batch and queue drain.
+    """
+
+    policy = POLICY_CONTINUOUS
+
+    def __init__(
+        self,
+        model: DecodeModel,
+        *,
+        chip: ChipSpec = IPU_MK2,
+        num_chips: int = 1,
+        constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+        plan_cache: PlanCache | None = None,
+        cache_dir: str | Path | None = None,
+        jobs: int | None = None,
+        min_replicas: int = 1,
+        scale_up_queue: int | None = None,
+        shed: bool = True,
+    ) -> None:
+        super().__init__(
+            model,
+            chip=chip,
+            num_chips=num_chips,
+            constraints=constraints,
+            plan_cache=plan_cache,
+            cache_dir=cache_dir,
+            jobs=jobs,
+        )
+        if not 1 <= min_replicas <= self.num_replicas:
+            raise ValueError(
+                f"min_replicas must be in [1, {self.num_replicas}], got {min_replicas}"
+            )
+        if scale_up_queue is not None and scale_up_queue < 1:
+            raise ValueError(f"scale_up_queue must be >= 1, got {scale_up_queue}")
+        self.min_replicas = min_replicas
+        self.scale_up_queue = (
+            scale_up_queue if scale_up_queue is not None else model.max_batch_size
+        )
+        self.shed_enabled = shed
+
+    # ------------------------------------------------------------------ #
+    def run(self, requests: Sequence[DecodeRequest]) -> ContinuousReport:
+        """Replay one decode workload and return the full report."""
+        ordered = self._check_requests(requests)
+        self.warm()
+
+        # EDF queue of interactive requests: (deadline, arrival, id, request).
+        # Deadline-free interactive requests sort after any deadline but
+        # before best-effort traffic.
+        iq: list[tuple[float, float, int, DecodeRequest]] = []
+        bq: deque[DecodeRequest] = deque()
+        preempted: deque[_Running] = deque()
+        replicas = [_Replica(i) for i in range(self.num_replicas)]
+        for replica in replicas[: self.min_replicas]:
+            replica.active = True
+        records: list[CompletedDecode] = []
+        seq = itertools.count()
+        events: list[tuple[float, int, int, object]] = []
+        self._seed_arrivals(ordered, seq, events)
+
+        stats_before = self.plan_cache.stats.snapshot()
+        counters = {
+            "iterations": 0,
+            "preemptions": 0,
+            "shed": 0,
+            "scale_ups": 0,
+            "scale_downs": 0,
+        }
+        busy_chip_seconds = 0.0
+        active_chip_seconds = 0.0
+        peak_active = self.min_replicas
+        last_time = ordered[0].arrival_time if ordered else 0.0
+        # The full-batch iteration latency prices shedding projections: it is
+        # the per-iteration cost a request experiences once the fleet is busy.
+        est_iteration = self._cost(self.model.max_batch_size).latency
+
+        def active_count() -> int:
+            return sum(1 for replica in replicas if replica.active)
+
+        def queued_total() -> int:
+            return len(iq) + len(bq) + len(preempted)
+
+        def integrate(now: float) -> None:
+            nonlocal active_chip_seconds, last_time
+            active_chip_seconds += (
+                (now - last_time) * active_count() * self.model.num_stages
+            )
+            last_time = now
+
+        def shed_check(request: DecodeRequest, now: float) -> bool:
+            """True when the request's projected completion misses its deadline.
+
+            Checked at the admission boundary, where the request would start
+            immediately — the projection is its full remaining iteration
+            count priced at the full-batch iteration latency.  Queue wait it
+            already suffered is baked into ``now``.
+            """
+            if not self.shed_enabled or request.deadline is None:
+                return False
+            projected = now + self.model.total_iterations(request) * est_iteration
+            return projected > request.deadline
+
+        def shed(request: DecodeRequest, now: float, replica: _Replica) -> None:
+            counters["shed"] += 1
+            records.append(
+                CompletedDecode(
+                    request=request,
+                    status=DECODE_SHED,
+                    admitted_time=now,
+                    first_token_time=float("nan"),
+                    completion_time=now,
+                    tokens_generated=0,
+                    replica=replica.index,
+                )
+            )
+
+        def admit(replica: _Replica, now: float) -> None:
+            running = replica.running
+            # Interactive first, earliest deadline first.
+            while iq and len(running) < self.model.max_batch_size:
+                _, _, _, request = heapq.heappop(iq)
+                if shed_check(request, now):
+                    shed(request, now, replica)
+                    continue
+                running.append(
+                    _Running(
+                        request=request,
+                        admitted_time=now,
+                        prefill_remaining=self.model.prefill_iterations(
+                            request.prompt_tokens
+                        ),
+                    )
+                )
+            # Priority preemption: interactive requests still waiting evict
+            # the most recently admitted best-effort resident (its progress
+            # is kept; it resumes from the preempted queue).
+            while iq and len(running) >= self.model.max_batch_size:
+                victim_index = None
+                for position in range(len(running) - 1, -1, -1):
+                    if not running[position].request.interactive:
+                        victim_index = position
+                        break
+                if victim_index is None:
+                    break
+                _, _, _, request = heapq.heappop(iq)
+                if shed_check(request, now):
+                    shed(request, now, replica)
+                    continue
+                victim = running.pop(victim_index)
+                victim.preemptions += 1
+                counters["preemptions"] += 1
+                preempted.appendleft(victim)
+                running.append(
+                    _Running(
+                        request=request,
+                        admitted_time=now,
+                        prefill_remaining=self.model.prefill_iterations(
+                            request.prompt_tokens
+                        ),
+                    )
+                )
+            # Preempted best-effort work resumes before fresh best-effort
+            # admissions (its progress is sunk cost).
+            while preempted and len(running) < self.model.max_batch_size:
+                running.append(preempted.popleft())
+            while bq and len(running) < self.model.max_batch_size:
+                request = bq.popleft()
+                running.append(
+                    _Running(
+                        request=request,
+                        admitted_time=now,
+                        prefill_remaining=self.model.prefill_iterations(
+                            request.prompt_tokens
+                        ),
+                    )
+                )
+
+        def start_iteration(replica: _Replica, now: float) -> None:
+            nonlocal busy_chip_seconds
+            if replica.busy or not replica.active:
+                return
+            admit(replica, now)
+            if not replica.running:
+                # Nothing to do: shrink the fleet if the floor allows it.
+                if active_count() > self.min_replicas:
+                    integrate(now)
+                    replica.active = False
+                    counters["scale_downs"] += 1
+                return
+            cost = self._cost(len(replica.running))
+            replica.busy = True
+            counters["iterations"] += 1
+            busy_chip_seconds += cost.latency * self.model.num_stages
+            heapq.heappush(
+                events, (now + cost.latency, _EV_ITER_END, next(seq), replica.index)
+            )
+
+        def autoscale_up(now: float) -> None:
+            nonlocal peak_active
+            while True:
+                active = active_count()
+                if active >= self.num_replicas:
+                    return
+                if queued_total() <= active * self.scale_up_queue:
+                    return
+                replica = next(r for r in replicas if not r.active)
+                integrate(now)
+                replica.active = True
+                counters["scale_ups"] += 1
+                peak_active = max(peak_active, active_count())
+                start_iteration(replica, now)
+
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            integrate(now)
+            if kind == _EV_ARRIVAL:
+                request = payload
+                if request.interactive:
+                    deadline = (
+                        request.deadline if request.deadline is not None else math.inf
+                    )
+                    heapq.heappush(
+                        iq,
+                        (deadline, request.arrival_time, request.request_id, request),
+                    )
+                else:
+                    bq.append(request)
+                autoscale_up(now)
+                for replica in replicas:
+                    if replica.active and not replica.busy:
+                        start_iteration(replica, now)
+            else:
+                replica = replicas[payload]
+                replica.busy = False
+                self._retire_finished(replica, now, records)
+                start_iteration(replica, now)
+
+        records.sort(key=lambda record: record.request.request_id)
+        first_arrival = ordered[0].arrival_time if ordered else 0.0
+        return self._report(
+            records,
+            counters=counters,
+            busy_chip_seconds=busy_chip_seconds,
+            active_chip_seconds=active_chip_seconds,
+            active_span=last_time - first_arrival,
+            peak_active=peak_active,
+            cache=self.plan_cache.stats.since(stats_before),
+        )
+
+
+class StaticEngine(_DecodeEngineBase):
+    """Static batching baseline: FIFO batches that run until *all* members
+    finish.
+
+    A replica takes up to ``max_batch_size`` queued requests (arrival order,
+    deadline-unaware), compiles/runs the bucket chosen at batch-formation
+    time, and admits nothing until the longest generation in the batch has
+    retired — the head-of-line blocking continuous batching removes.  All
+    chips serve from the start (no autoscaling), no preemption, no shedding.
+    """
+
+    policy = POLICY_STATIC
+
+    def run(self, requests: Sequence[DecodeRequest]) -> ContinuousReport:
+        """Replay one decode workload through static batches."""
+        ordered = self._check_requests(requests)
+        self.warm()
+
+        queue: deque[DecodeRequest] = deque()
+        replicas = [_Replica(i, active=True) for i in range(self.num_replicas)]
+        records: list[CompletedDecode] = []
+        seq = itertools.count()
+        events: list[tuple[float, int, int, object]] = []
+        self._seed_arrivals(ordered, seq, events)
+
+        stats_before = self.plan_cache.stats.snapshot()
+        iterations = 0
+        busy_chip_seconds = 0.0
+        first_arrival = ordered[0].arrival_time if ordered else 0.0
+        last_event = first_arrival
+
+        def start_batch(replica: _Replica, now: float) -> None:
+            if replica.busy or not queue:
+                return
+            batch = [
+                queue.popleft()
+                for _ in range(min(len(queue), self.model.max_batch_size))
+            ]
+            replica.running = [
+                _Running(
+                    request=request,
+                    admitted_time=now,
+                    prefill_remaining=self.model.prefill_iterations(
+                        request.prompt_tokens
+                    ),
+                )
+                for request in batch
+            ]
+            # The program is fixed for the whole batch lifetime: the bucket
+            # holding the batch as formed, padding included as members retire.
+            replica.bucket = bucket_for(len(batch), self.model.max_batch_size)
+            schedule_iteration(replica, now)
+
+        def schedule_iteration(replica: _Replica, now: float) -> None:
+            nonlocal iterations, busy_chip_seconds
+            cost = self._cost_for_bucket(replica.bucket)
+            replica.busy = True
+            iterations += 1
+            busy_chip_seconds += cost.latency * self.model.num_stages
+            heapq.heappush(
+                events, (now + cost.latency, _EV_ITER_END, next(seq), replica.index)
+            )
+
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            last_event = now
+            if kind == _EV_ARRIVAL:
+                queue.append(payload)
+                for replica in replicas:
+                    start_batch(replica, now)
+            else:
+                replica = replicas[payload]
+                replica.busy = False
+                self._retire_finished(replica, now, records)
+                if replica.running:
+                    schedule_iteration(replica, now)
+                else:
+                    start_batch(replica, now)
+
+        records.sort(key=lambda record: record.request.request_id)
+        span = last_event - first_arrival
+        active_replica_chips = self.num_replicas * self.model.num_stages
+        return self._report(
+            records,
+            counters={
+                "iterations": iterations,
+                "preemptions": 0,
+                "shed": 0,
+                "scale_ups": 0,
+                "scale_downs": 0,
+            },
+            busy_chip_seconds=busy_chip_seconds,
+            active_chip_seconds=span * active_replica_chips,
+            active_span=span,
+            peak_active=self.num_replicas,
+            cache=self.plan_cache.stats.since(stats_before),
+        )

@@ -7,12 +7,13 @@ units the rest of the evaluation uses (seconds, requests per second).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.runtime.metrics import latency_percentiles, throughput_rps
+from repro.runtime.metrics import goodput_rps, latency_percentiles, throughput_rps
 from repro.serving.plan_cache import CacheStats
-from repro.serving.request import CompletedRequest
+from repro.serving.request import CompletedDecode, CompletedRequest
 
 
 @dataclass
@@ -116,6 +117,163 @@ class ServingReport:
             f"({self.recompilations} compiles, "
             f"{self.cache.compile_seconds:.2f}s compiling, "
             f"{self.cache.saved_seconds:.2f}s saved)"
+        )
+
+
+@dataclass
+class ContinuousReport:
+    """Everything one continuous-batching (or static-baseline) run measured.
+
+    Latency-style numbers are virtual seconds from the simulator; the only
+    wall-clock field is ``warm_compile_seconds`` (the one-off cost of
+    compiling the batch buckets), which is deliberately kept out of virtual
+    time so runs are bit-for-bit reproducible.
+    """
+
+    policy: str
+    model: str
+    num_chips: int
+    num_stages: int
+    max_batch_size: int
+    completed: tuple[CompletedDecode, ...]
+    makespan: float
+    """Virtual seconds from first served arrival to last completion."""
+    busy_chip_seconds: float
+    """Chip-seconds spent executing decode iterations."""
+    active_chip_seconds: float
+    """Chip-seconds the autoscaler kept replicas active."""
+    active_span: float
+    """Virtual seconds from first arrival to the last engine event — the
+    window ``active_chip_seconds`` integrates over (it can exceed
+    ``makespan``, which spans only *served* requests)."""
+    iterations: int
+    cache: CacheStats
+    warm_compile_seconds: float
+    preemptions: int
+    shed: int
+    scale_ups: int
+    scale_downs: int
+    peak_active_chips: int
+
+    # ------------------------------------------------------------------ #
+    @property
+    def ok_requests(self) -> list[CompletedDecode]:
+        """Requests served to completion."""
+        return [record for record in self.completed if record.ok]
+
+    @property
+    def shed_requests(self) -> list[CompletedDecode]:
+        """Requests rejected by load shedding."""
+        return [record for record in self.completed if not record.ok]
+
+    @property
+    def total_completed(self) -> int:
+        """Served request count."""
+        return len(self.ok_requests)
+
+    @property
+    def total_tokens(self) -> int:
+        """Output tokens generated across all served requests."""
+        return sum(record.tokens_generated for record in self.ok_requests)
+
+    @property
+    def slo_met(self) -> int:
+        """Requests served to completion without violating a deadline.
+
+        Deadline-free (best-effort) requests qualify trivially — no SLO
+        means none can be missed — so this is *not* the numerator of
+        :attr:`slo_attainment`, which conditions on carrying a deadline.
+        """
+        return sum(1 for record in self.ok_requests if record.met_slo)
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of deadline-carrying requests that met their deadline.
+
+        Shed requests count as misses — dropping a request never improves
+        attainment, only goodput.  ``nan`` when no request carried a
+        deadline.
+        """
+        deadlined = [
+            record for record in self.completed if record.request.deadline is not None
+        ]
+        if not deadlined:
+            return float("nan")
+        met = sum(1 for record in deadlined if record.met_slo)
+        return met / len(deadlined)
+
+    @property
+    def goodput(self) -> float:
+        """Requests per virtual second completed without violating their SLO.
+
+        Best-effort requests carry no deadline and therefore count, so as the
+        interactive fraction approaches zero goodput degenerates to plain
+        :attr:`throughput`; read it alongside :attr:`slo_attainment`, the
+        deadline-conditioned view, when the mix is mostly best-effort.
+        """
+        return goodput_rps(self.slo_met, self.makespan)
+
+    @property
+    def throughput(self) -> float:
+        """Served requests per virtual second (deadline-blind)."""
+        return throughput_rps(self.total_completed, self.makespan)
+
+    @property
+    def token_throughput(self) -> float:
+        """Output tokens per virtual second."""
+        return throughput_rps(self.total_tokens, self.makespan)
+
+    @property
+    def ttft_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 time-to-first-token over served requests (seconds)."""
+        return latency_percentiles(
+            [record.time_to_first_token for record in self.ok_requests]
+        )
+
+    @property
+    def tpot_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 time-per-output-token over served multi-token requests."""
+        gaps = [
+            record.time_per_output_token
+            for record in self.ok_requests
+            if not math.isnan(record.time_per_output_token)
+        ]
+        return latency_percentiles(gaps)
+
+    @property
+    def latency_percentiles(self) -> dict[str, float]:
+        """p50/p95/p99 end-to-end latency over served requests (seconds)."""
+        return latency_percentiles([record.latency for record in self.ok_requests])
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of whole-fleet time spent executing iterations."""
+        if self.makespan <= 0:
+            return 0.0
+        return min(1.0, self.busy_chip_seconds / (self.makespan * self.num_chips))
+
+    @property
+    def mean_active_chips(self) -> float:
+        """Average chips the autoscaler kept active over the event window."""
+        if self.active_span <= 0:
+            return 0.0
+        return self.active_chip_seconds / self.active_span
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> str:
+        """One-paragraph description of the run."""
+        ttft = self.ttft_percentiles
+        return (
+            f"[{self.policy}] {self.total_completed} requests "
+            f"({self.total_tokens} tokens) on {self.num_chips} chip(s) in "
+            f"{self.makespan * 1e3:.2f} ms virtual time: "
+            f"goodput {self.goodput:.0f} req/s of {self.throughput:.0f} req/s, "
+            f"{self.token_throughput:.0f} tok/s, "
+            f"TTFT p50 {ttft['p50'] * 1e3:.3f} ms / p99 {ttft['p99'] * 1e3:.3f} ms, "
+            f"{self.shed} shed, {self.preemptions} preemptions, "
+            f"{self.scale_ups} scale-ups, "
+            f"mean {self.mean_active_chips:.2f} chips active, "
+            f"utilization {self.utilization:.0%}"
         )
 
 

@@ -14,7 +14,13 @@ import itertools
 import math
 import random
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
+
+#: SLO classes of autoregressive requests (continuous batching).
+SLO_INTERACTIVE = "interactive"
+"""Latency-sensitive traffic: carries a deadline and is scheduled first."""
+SLO_BEST_EFFORT = "best-effort"
+"""Throughput traffic: no deadline, preemptible by interactive requests."""
 
 
 @dataclass(frozen=True)
@@ -139,3 +145,167 @@ def merge_workloads(*streams: Iterable[InferenceRequest]) -> list[InferenceReque
         InferenceRequest(index, req.model, req.arrival_time)
         for index, req in enumerate(merged)
     ]
+
+
+# --------------------------------------------------------------------------- #
+# Autoregressive (decode) requests — continuous batching
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class DecodeRequest:
+    """One autoregressive generation request (prompt + output-token budget).
+
+    Unlike :class:`InferenceRequest` (a single forward pass), a decode request
+    occupies a batch slot for many iterations: prefill over the prompt, then
+    one decode iteration per generated token.  Interactive requests carry an
+    absolute ``deadline`` (virtual seconds) stating their SLO; best-effort
+    requests have none and may be preempted.
+    """
+
+    request_id: int
+    model: str
+    arrival_time: float
+    prompt_tokens: int
+    max_new_tokens: int
+    """Output-token budget: the request retires after this many tokens."""
+    slo_class: str = SLO_INTERACTIVE
+    deadline: float | None = None
+    """Absolute completion deadline (virtual seconds); ``None`` = no SLO."""
+
+    def __post_init__(self) -> None:
+        if self.arrival_time < 0:
+            raise ValueError(f"arrival_time must be >= 0, got {self.arrival_time}")
+        if self.prompt_tokens < 1:
+            raise ValueError(f"prompt_tokens must be >= 1, got {self.prompt_tokens}")
+        if self.max_new_tokens < 1:
+            raise ValueError(f"max_new_tokens must be >= 1, got {self.max_new_tokens}")
+        if self.slo_class not in (SLO_INTERACTIVE, SLO_BEST_EFFORT):
+            raise ValueError(
+                f"slo_class must be {SLO_INTERACTIVE!r} or {SLO_BEST_EFFORT!r}, "
+                f"got {self.slo_class!r}"
+            )
+        if self.deadline is not None and self.deadline < self.arrival_time:
+            raise ValueError(
+                f"deadline {self.deadline} precedes arrival {self.arrival_time}"
+            )
+
+    @property
+    def interactive(self) -> bool:
+        """Whether the request belongs to the latency-sensitive class."""
+        return self.slo_class == SLO_INTERACTIVE
+
+
+#: Terminal states of a decode request.
+DECODE_OK = "ok"
+DECODE_SHED = "shed"
+
+
+@dataclass(frozen=True)
+class CompletedDecode:
+    """A decode request together with how the engine served (or shed) it."""
+
+    request: DecodeRequest
+    status: str
+    """Either :data:`DECODE_OK` (served to completion) or :data:`DECODE_SHED`
+    (rejected by load shedding before producing any tokens)."""
+    admitted_time: float
+    """When the request first joined a running batch (shed time if shed)."""
+    first_token_time: float
+    """When the first output token completed (``nan`` if shed)."""
+    completion_time: float
+    """When the last output token completed (shed time if shed)."""
+    tokens_generated: int
+    preemptions: int = 0
+    """Times the request was swapped out of a running batch."""
+    replica: int = -1
+    """Replica (chip or chip group) that retired the request."""
+
+    @property
+    def ok(self) -> bool:
+        """Whether the request was served to completion."""
+        return self.status == DECODE_OK
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency: arrival to final token (virtual seconds)."""
+        return self.completion_time - self.request.arrival_time
+
+    @property
+    def time_to_first_token(self) -> float:
+        """Arrival to first output token (virtual seconds; ``nan`` if shed)."""
+        return self.first_token_time - self.request.arrival_time
+
+    @property
+    def time_per_output_token(self) -> float:
+        """Mean inter-token gap after the first token (virtual seconds).
+
+        ``nan`` for shed or single-token requests (no gap to measure).
+        """
+        if not self.ok or self.tokens_generated < 2:
+            return float("nan")
+        span = self.completion_time - self.first_token_time
+        return span / (self.tokens_generated - 1)
+
+    @property
+    def met_slo(self) -> bool:
+        """Served to completion within the deadline (vacuously true without one)."""
+        if not self.ok:
+            return False
+        deadline = self.request.deadline
+        return deadline is None or self.completion_time <= deadline
+
+
+def decode_workload(
+    model: str,
+    *,
+    num_requests: int,
+    rate: float,
+    seed: int = 0,
+    prompt_tokens: tuple[int, int] = (16, 128),
+    output_tokens: tuple[int, int] = (4, 48),
+    interactive_fraction: float = 0.75,
+    slo_seconds: Callable[[int, int], float] | float | None = None,
+) -> list[DecodeRequest]:
+    """A deterministic Poisson stream of autoregressive requests.
+
+    Prompt lengths and output budgets are drawn uniformly from the given
+    inclusive ranges; a coin with ``interactive_fraction`` bias picks the SLO
+    class.  ``slo_seconds`` sets each interactive request's deadline relative
+    to its arrival — a constant, or a callable ``(prompt, output) -> seconds``
+    so deadlines can scale with the work requested (the fig27 experiment
+    passes ``slo_factor × ideal-service-time``).  ``None`` leaves interactive
+    requests deadline-free.
+    """
+    if num_requests <= 0:
+        raise ValueError(f"num_requests must be positive, got {num_requests}")
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if not 0.0 <= interactive_fraction <= 1.0:
+        raise ValueError(
+            f"interactive_fraction must be in [0, 1], got {interactive_fraction}"
+        )
+    rng = random.Random(seed)
+    clock = 0.0
+    requests: list[DecodeRequest] = []
+    for index in range(num_requests):
+        clock += rng.expovariate(rate)
+        prompt = rng.randint(*prompt_tokens)
+        output = rng.randint(*output_tokens)
+        interactive = rng.random() < interactive_fraction
+        deadline: float | None = None
+        if interactive and slo_seconds is not None:
+            relative = (
+                slo_seconds(prompt, output) if callable(slo_seconds) else slo_seconds
+            )
+            deadline = clock + relative
+        requests.append(
+            DecodeRequest(
+                request_id=index,
+                model=model,
+                arrival_time=clock,
+                prompt_tokens=prompt,
+                max_new_tokens=output,
+                slo_class=SLO_INTERACTIVE if interactive else SLO_BEST_EFFORT,
+                deadline=deadline,
+            )
+        )
+    return requests

@@ -43,6 +43,30 @@ from repro.serving.plan_cache import (
 
 
 @dataclass(frozen=True)
+class IterationCost:
+    """Cost of running one compiled program once on this pool's chip (group).
+
+    This is the unit the continuous-batching engine schedules in: the
+    simulated latency of one decode iteration at a given batch bucket, plus
+    whatever compile time *this* lookup incurred (non-zero only the first
+    time a bucket is seen cold).
+    """
+
+    status: str
+    error: str
+    latency: float
+    """Simulated execution latency of one run (seconds; 0 when not ``ok``)."""
+    compile_seconds: float
+    """Wall-clock compile time this lookup paid (0 on a cache hit)."""
+    cache_outcome: str
+
+    @property
+    def ok(self) -> bool:
+        """Whether the program compiled and simulates cleanly."""
+        return self.status == "ok"
+
+
+@dataclass(frozen=True)
 class BatchExecution:
     """Outcome of placing one batch on the pool."""
 
@@ -158,10 +182,36 @@ class WorkerPool:
         """(status, error, latency) of ``graph`` on this pool's chip.
 
         Compiles through the plan cache on first use; useful for sizing
-        offered load relative to a model's single-batch capacity.
+        offered load relative to a model's single-batch capacity.  Failed
+        compilations report ``float("inf")`` latency (zero capacity),
+        matching :func:`measure_compilation`'s contract —
+        :class:`IterationCost` instead zeroes the latency of a failed
+        bucket so virtual-time accounting never adds infinities.
         """
+        cost = self.profile(graph)
+        latency = cost.latency if cost.status == "ok" else float("inf")
+        return cost.status, cost.error, latency
+
+    def profile(self, graph: OperatorGraph, *, num_stages: int = 1) -> IterationCost:
+        """Full cost of running ``graph`` once: latency plus this lookup's
+        compile penalty and cache outcome.
+
+        With ``num_stages > 1`` the graph is pipeline-sharded over a chip
+        group and the latency is the pipelined one.  The compile penalty is
+        non-zero only on the call that actually compiled (a cold bucket);
+        repeated calls are cache hits with zero penalty.
+        """
+        if num_stages > 1:
+            model, penalty, outcome = self._sharded(graph, num_stages)
+            if model.ok:
+                return IterationCost("ok", "", model.latency, penalty, outcome)
+            return IterationCost(model.status, model.error, 0.0, penalty, outcome)
         lookup = self.plan_cache.get_or_compile(graph, self.chip, self.constraints)
-        return self._measure(lookup.key, lookup)
+        status, error, latency = self._measure(lookup.key, lookup)
+        penalty = lookup.seconds if lookup.outcome == COMPILE else 0.0
+        if status != "ok":
+            return IterationCost(status, error, 0.0, penalty, lookup.outcome)
+        return IterationCost(status, error, latency, penalty, lookup.outcome)
 
     # ------------------------------------------------------------------ #
     # Sharded models (repro.dist)
@@ -253,17 +303,13 @@ class WorkerPool:
         """
         if num_stages > 1:
             return self._place_sharded(batch, graph, num_stages)
-        lookup = self.plan_cache.get_or_compile(graph, self.chip, self.constraints)
-        status, error, latency = self._measure(lookup.key, lookup)
-        compile_penalty = lookup.seconds if lookup.outcome == COMPILE else 0.0
+        cost = self.profile(graph)
         free_time, worker = heapq.heappop(self._free)
         start = max(batch.dispatch_time, free_time)
-        if status != "ok":
-            # The batch is rejected (e.g. the padded graph does not fit the
-            # chip); the worker only pays the diagnosis time.
-            completion = start + compile_penalty
-        else:
-            completion = start + compile_penalty + latency
+        # A rejected batch (e.g. the padded graph does not fit the chip) only
+        # charges the worker the diagnosis time; ``cost.latency`` is already
+        # zero in that case.
+        completion = start + cost.compile_seconds + cost.latency
         heapq.heappush(self._free, (completion, worker))
         self.busy_seconds += completion - start
         return BatchExecution(
@@ -271,11 +317,11 @@ class WorkerPool:
             worker=worker,
             start_time=start,
             completion_time=completion,
-            latency=latency if status == "ok" else 0.0,
-            compile_penalty=compile_penalty,
-            cache_outcome=lookup.outcome,
-            status=status,
-            error=error,
+            latency=cost.latency,
+            compile_penalty=cost.compile_seconds,
+            cache_outcome=cost.cache_outcome,
+            status=cost.status,
+            error=cost.error,
             workers=(worker,),
         )
 

@@ -85,7 +85,8 @@ class TestRollerCompiler:
     def test_tile_respects_memory(self, small_chip):
         result = RollerCompiler(small_chip).compile(mlp_graph())
         for tile in result.op_tiles.values():
-            assert tile.working_set_bytes + result.program.reserved_per_core <= small_chip.sram_per_core
+            reserved = result.program.reserved_per_core
+            assert tile.working_set_bytes + reserved <= small_chip.sram_per_core
 
     def test_fan_in_at_least_one(self, small_chip):
         result = RollerCompiler(small_chip).compile(mlp_graph())

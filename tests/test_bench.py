@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
+import copy
 import json
+from pathlib import Path
 
 import pytest
 
 from repro.bench import BenchConfig, BenchReport, SCHEMA_VERSION, run_bench
 from repro.bench.__main__ import main as bench_main
+from repro.bench.compare import compare_reports, config_from_baseline
+from repro.bench.compare import main as compare_main
 
 QUICK_ROW_KEYS = {
     "model",
@@ -118,6 +122,139 @@ class TestMaterializationTarget:
         assert row["status"] == "ok"
         assert row["frontier_match"], "streaming frontier diverged from reference"
         assert row["materialized_reduction"] >= 3.0
+
+
+class TestCompare:
+    """The bench-regression gate (``python -m repro.bench.compare``)."""
+
+    @pytest.fixture(scope="class")
+    def quick_pair(self) -> tuple[dict, dict]:
+        """Two quick runs of the same config: baseline and an identical rerun."""
+        config = BenchConfig(models=("nerf",), quick=True, output=None)
+        baseline = run_bench(config).as_dict()
+        rerun = run_bench(config).as_dict()
+        return baseline, rerun
+
+    def test_identical_configs_pass(self, quick_pair):
+        baseline, rerun = quick_pair
+        assert compare_reports(baseline, rerun) == []
+
+    def test_frontier_regression_fails(self, quick_pair):
+        baseline, rerun = quick_pair
+        broken = copy.deepcopy(rerun)
+        broken["rows"][0]["frontier_match"] = False
+        problems = compare_reports(baseline, broken)
+        assert any("frontier_match" in problem for problem in problems)
+
+    def test_materialization_growth_fails(self, quick_pair):
+        baseline, rerun = quick_pair
+        bloated = copy.deepcopy(rerun)
+        bloated["rows"][0]["materialized"] += 10
+        bloated["rows"][0]["materialization_ratio"] = 1.0
+        bloated["rows"][0]["materialized_reduction"] = 1.0
+        problems = compare_reports(baseline, bloated)
+        assert any("materialized grew" in problem for problem in problems)
+        assert any("materialization_ratio dropped" in problem for problem in problems)
+
+    def test_changed_deterministic_counter_fails(self, quick_pair):
+        baseline, rerun = quick_pair
+        drifted = copy.deepcopy(rerun)
+        drifted["rows"][0]["evaluated"] += 1
+        problems = compare_reports(baseline, drifted)
+        assert any("evaluated changed" in problem for problem in problems)
+
+    def test_ratio_slack_tolerates_small_drops(self, quick_pair):
+        baseline, rerun = quick_pair
+        jittered = copy.deepcopy(rerun)
+        ratio = jittered["rows"][0]["materialization_ratio"]
+        jittered["rows"][0]["materialization_ratio"] = ratio * 0.98
+        assert compare_reports(baseline, jittered, ratio_slack=0.05) == []
+        problems = compare_reports(baseline, jittered, ratio_slack=0.0)
+        assert any("materialization_ratio" in problem for problem in problems)
+
+    def test_missing_model_fails(self, quick_pair):
+        baseline, rerun = quick_pair
+        empty = copy.deepcopy(rerun)
+        empty["rows"] = []
+        problems = compare_reports(baseline, empty)
+        assert any("missing from the run" in problem for problem in problems)
+
+    def test_dropped_counter_fails_instead_of_skipping(self, quick_pair):
+        """A run that stops emitting a gated counter must fail, not go green —
+        otherwise renaming a runner field silently turns the gate into a no-op."""
+        baseline, rerun = quick_pair
+        for field in ("evaluated", "materialized", "materialization_ratio",
+                      "frontier_match"):
+            for drop in (lambda r: r.pop(field), lambda r: r.update({field: None})):
+                stripped = copy.deepcopy(rerun)
+                drop(stripped["rows"][0])
+                problems = compare_reports(baseline, stripped)
+                assert any(
+                    field in problem and "missing from the run" in problem
+                    for problem in problems
+                ), field
+
+    def test_counter_absent_from_baseline_is_skipped(self, quick_pair):
+        """Old baselines predating a counter stay comparable on the rest."""
+        baseline, rerun = quick_pair
+        old = copy.deepcopy(baseline)
+        del old["rows"][0]["evaluated"]
+        assert compare_reports(old, rerun) == []
+
+    def test_config_mismatch_is_rejected_outright(self, quick_pair):
+        baseline, rerun = quick_pair
+        other = copy.deepcopy(rerun)
+        other["config"] = "full"
+        problems = compare_reports(baseline, other)
+        assert problems == [
+            problem for problem in problems if "config mismatch" in problem
+        ]
+        assert problems
+
+    def test_status_regression_fails(self, quick_pair):
+        baseline, rerun = quick_pair
+        broken = copy.deepcopy(rerun)
+        broken["rows"][0]["status"] = "oom"
+        problems = compare_reports(baseline, broken)
+        assert any("status regressed" in problem for problem in problems)
+
+    def test_wall_clock_fields_are_never_compared(self, quick_pair):
+        baseline, rerun = quick_pair
+        slower = copy.deepcopy(rerun)
+        for row in slower["rows"]:
+            row["compile_seconds"] = row["compile_seconds"] * 100
+            row["cache_hit_seconds"] = row["cache_hit_seconds"] * 100
+            row["reference_search_seconds"] = row["reference_search_seconds"] * 100
+        assert compare_reports(baseline, slower) == []
+
+    def test_config_from_baseline_round_trips(self, quick_pair):
+        baseline, _ = quick_pair
+        config = config_from_baseline(baseline)
+        assert list(config.models) == ["nerf"]
+        assert config.quick is True
+        assert config.reference is True
+        assert config.output is None
+
+    def test_cli_gate_passes_against_committed_baseline(self, capsys):
+        """The acceptance check CI runs: a fresh benchmark in the committed
+        baseline's own config must reproduce its deterministic counters."""
+        baseline_path = Path(__file__).parent.parent / "BENCH_compile.json"
+        code = compare_main([str(baseline_path)])
+        stdout = capsys.readouterr().out
+        assert code == 0, stdout
+        assert "gate passed" in stdout
+
+    def test_cli_fails_on_regression(self, quick_pair, tmp_path, capsys):
+        baseline, rerun = quick_pair
+        broken = copy.deepcopy(rerun)
+        broken["rows"][0]["frontier_match"] = False
+        base_path = tmp_path / "base.json"
+        current_path = tmp_path / "current.json"
+        base_path.write_text(json.dumps(baseline))
+        current_path.write_text(json.dumps(broken))
+        code = compare_main([str(base_path), "--current", str(current_path)])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
 
 
 class TestCli:

@@ -34,7 +34,7 @@ from repro.experiments.common import format_table
 
 class TestHarness:
     def test_all_experiments_registered(self):
-        assert len(ALL_EXPERIMENTS) == 21
+        assert len(ALL_EXPERIMENTS) == 22
         for module in ALL_EXPERIMENTS.values():
             assert hasattr(module, "run")
             assert hasattr(module, "main")
@@ -123,7 +123,8 @@ class TestFig13:
     def test_t10_lower_transfer_fraction(self):
         rows = fig13_breakdown.run(models=("nerf",), quick=True)
         by_compiler = {row["compiler"]: row for row in rows}
-        assert by_compiler["T10"]["transfer_fraction_pct"] < by_compiler["Roller"]["transfer_fraction_pct"]
+        t10_transfer = by_compiler["T10"]["transfer_fraction_pct"]
+        assert t10_transfer < by_compiler["Roller"]["transfer_fraction_pct"]
 
 
 class TestFig14:

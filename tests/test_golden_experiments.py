@@ -20,7 +20,7 @@ After an intentional change to an experiment's output, regenerate with::
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -46,6 +46,7 @@ from repro.experiments import (
     fig24_hbm,
     fig25_serving,
     fig26_multichip,
+    fig27_continuous,
     tab02_models,
     tab03_hardware,
 )
@@ -119,6 +120,27 @@ def invariant_fig26(rows: list[dict]) -> None:
         throughputs = [r["throughput_rps"] for r in ordered if r["status"] == "ok"]
         assert all(a < b for a, b in zip(throughputs, throughputs[1:]))
     assert rescued, "no workload exercised the OOM-then-sharded path"
+
+
+def invariant_fig27(rows: list[dict]) -> None:
+    # Steady state never compiles, and every request is accounted for.
+    for row in rows:
+        assert row["recompiles"] == 0
+        assert row["completed"] + row["shed"] == row["requests"]
+    # The headline claim: at every fleet size, continuous batching achieves
+    # strictly higher goodput-under-SLO than static batching on the same
+    # fleet — and needs strictly fewer decode iterations to serve the same
+    # tokens (retired slots stop being padded).
+    by_fleet: dict[int, dict[str, dict]] = {}
+    for row in rows:
+        by_fleet.setdefault(row["chips"], {})[row["policy"]] = row
+    for fleet, policies in by_fleet.items():
+        static, continuous = policies["static"], policies["continuous"]
+        assert continuous["goodput_rps"] > static["goodput_rps"], (
+            f"continuous batching must beat static goodput at {fleet} chip(s)"
+        )
+        assert continuous["slo_met"] >= static["slo_met"]
+        assert continuous["iterations"] < static["iterations"]
 
 
 def invariant_ablation(rows: list[dict]) -> None:
@@ -223,6 +245,24 @@ SPECS: dict[str, GoldenSpec] = {
         lambda: fig26_multichip.run(quick=True),
         ("model", "batch", "operators", "chips", "micro_batches", "status", "stage_ops"),
         invariant_fig26,
+    ),
+    "fig27": GoldenSpec(
+        lambda: fig27_continuous.run(quick=True),
+        (
+            "model",
+            "policy",
+            "chips",
+            "requests",
+            "completed",
+            "shed",
+            "preempted",
+            "slo_met",
+            "tokens",
+            "iterations",
+            "scale_ups",
+            "warm_compiles",
+        ),
+        invariant_fig27,
     ),
     "tab02": GoldenSpec(
         lambda: tab02_models.run(quick=True),

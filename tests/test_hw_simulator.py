@@ -38,7 +38,9 @@ class TestComputeTiming:
         assert large > small
 
     def test_alignment_preference(self, sim, small_chip):
-        aligned = sim.compute_task_time("matmul", {"m": 8, "k": 8, "n": small_chip.vector_width}, 1e5, 1024)
+        aligned = sim.compute_task_time(
+            "matmul", {"m": 8, "k": 8, "n": small_chip.vector_width}, 1e5, 1024
+        )
         misaligned = sim.compute_task_time("matmul", {"m": 8, "k": 8, "n": 1}, 1e5, 1024)
         assert aligned < misaligned
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.hw.spec import A100, IPU_MK2, ChipSpec, KiB, scaled_ipu, virtual_ipu
+from repro.hw.spec import A100, IPU_MK2, KiB, scaled_ipu, virtual_ipu
 
 
 class TestIPUPreset:

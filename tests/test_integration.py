@@ -106,7 +106,9 @@ class TestVirtualIPU:
         chip = virtual_ipu(2)
         from repro.core import CostModel
 
-        compiler = T10Compiler(chip, cost_model=CostModel.fit(chip, samples_per_type=16), constraints=FAST)
+        compiler = T10Compiler(
+            chip, cost_model=CostModel.fit(chip, samples_per_type=16), constraints=FAST
+        )
         executor = Executor(chip)
         result = executor.evaluate(compiler, build_nerf(1))
         assert result.ok

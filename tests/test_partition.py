@@ -56,7 +56,8 @@ class TestDerivedQuantities:
 
     def test_tensor_sub_shape_with_halo(self, conv):
         input_spec = next(s for s in conv.inputs if s.name == "I")
-        shape = tensor_sub_shape(conv, input_spec, {"b": 1, "f": 1, "c": 1, "h": 4, "w": 4, "kh": 1, "kw": 1})
+        factors = {"b": 1, "f": 1, "c": 1, "h": 4, "w": 4, "kh": 1, "kw": 1}
+        shape = tensor_sub_shape(conv, input_spec, factors)
         # Output tile 4x4 plus the 3x3 kernel halo -> 6x6 input footprint.
         assert shape == (4, 8, 6, 6)
 

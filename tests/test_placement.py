@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.placement import PlacementPlan
 from repro.core.plan import build_plan

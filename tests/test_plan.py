@@ -23,7 +23,8 @@ def plan_for(expr, chip, cost_model, fop, temporal):
 class TestBasicInvariants:
     def test_replicated_plan_has_no_shifts(self, mm_expr, small_chip, small_cost_model):
         plan = plan_for(
-            mm_expr, small_chip, small_cost_model, {"m": 64, "k": 1, "n": 1}, {"A": 1, "B": 1, "C": 1}
+            mm_expr, small_chip, small_cost_model,
+            {"m": 64, "k": 1, "n": 1}, {"A": 1, "B": 1, "C": 1},
         )
         assert plan.num_steps == 1
         assert plan.comm_time_est == 0.0
@@ -32,7 +33,8 @@ class TestBasicInvariants:
 
     def test_rotated_plan_has_shifts(self, mm_expr, small_chip, small_cost_model):
         plan = plan_for(
-            mm_expr, small_chip, small_cost_model, {"m": 64, "k": 1, "n": 1}, {"A": 1, "B": 8, "C": 1}
+            mm_expr, small_chip, small_cost_model,
+            {"m": 64, "k": 1, "n": 1}, {"A": 1, "B": 8, "C": 1},
         )
         assert plan.num_steps > 1
         assert plan.comm_time_est > 0
@@ -50,13 +52,15 @@ class TestBasicInvariants:
 
     def test_memory_includes_shift_buffer(self, mm_expr, small_chip, small_cost_model):
         plan = plan_for(
-            mm_expr, small_chip, small_cost_model, {"m": 64, "k": 1, "n": 1}, {"A": 1, "B": 1, "C": 1}
+            mm_expr, small_chip, small_cost_model,
+            {"m": 64, "k": 1, "n": 1}, {"A": 1, "B": 1, "C": 1},
         )
         assert plan.memory_bytes == plan.data_bytes + small_chip.shift_buffer_bytes
 
     def test_idle_bytes_only_counts_weights(self, mm_expr, small_chip, small_cost_model):
         plan = plan_for(
-            mm_expr, small_chip, small_cost_model, {"m": 64, "k": 1, "n": 1}, {"A": 1, "B": 1, "C": 1}
+            mm_expr, small_chip, small_cost_model,
+            {"m": 64, "k": 1, "n": 1}, {"A": 1, "B": 1, "C": 1},
         )
         weight_bytes = sum(
             cfg.partition_bytes
@@ -82,14 +86,16 @@ class TestBasicInvariants:
         expr = matmul("mm", m=64, k=2, n=2).expr
         assert (
             build_plan(
-                expr, small_chip, small_cost_model, {"m": 32, "k": 1, "n": 1}, {"A": 1, "B": 16, "C": 1}
+                expr, small_chip, small_cost_model,
+                {"m": 32, "k": 1, "n": 1}, {"A": 1, "B": 16, "C": 1},
             )
             is None
         )
 
     def test_describe(self, mm_expr, small_chip, small_cost_model):
         plan = plan_for(
-            mm_expr, small_chip, small_cost_model, {"m": 8, "k": 1, "n": 8}, {"A": 1, "B": 1, "C": 1}
+            mm_expr, small_chip, small_cost_model,
+            {"m": 8, "k": 1, "n": 8}, {"A": 1, "B": 1, "C": 1},
         )
         assert "matmul" in plan.describe()
 
@@ -111,10 +117,12 @@ class TestFigure7Example:
 class TestReductionHandling:
     def test_split_reduction_adds_merge_traffic(self, mm_expr, small_chip, small_cost_model):
         no_split = plan_for(
-            mm_expr, small_chip, small_cost_model, {"m": 8, "k": 1, "n": 8}, {"A": 1, "B": 1, "C": 1}
+            mm_expr, small_chip, small_cost_model,
+            {"m": 8, "k": 1, "n": 8}, {"A": 1, "B": 1, "C": 1},
         )
         split = plan_for(
-            mm_expr, small_chip, small_cost_model, {"m": 8, "k": 8, "n": 1}, {"A": 1, "B": 1, "C": 1}
+            mm_expr, small_chip, small_cost_model,
+            {"m": 8, "k": 8, "n": 1}, {"A": 1, "B": 1, "C": 1},
         )
         assert any("partial" in op.tensor_name for op in split.shift_ops)
         assert not any("partial" in op.tensor_name for op in no_split.shift_ops)
@@ -123,7 +131,8 @@ class TestReductionHandling:
 class TestSetupBytes:
     def test_setup_zero_from_same_plan(self, mm_expr, small_chip, small_cost_model):
         plan = plan_for(
-            mm_expr, small_chip, small_cost_model, {"m": 64, "k": 1, "n": 1}, {"A": 1, "B": 1, "C": 1}
+            mm_expr, small_chip, small_cost_model,
+            {"m": 64, "k": 1, "n": 1}, {"A": 1, "B": 1, "C": 1},
         )
         assert plan.setup_bytes_from(plan) == 0
 

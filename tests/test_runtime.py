@@ -11,13 +11,16 @@ from repro.hw.simulator import OpTiming, SimulationResult
 from repro.ir import OperatorGraph, elementwise, matmul
 from repro.runtime import (
     EvaluationResult,
-    Executor,
     SubTaskProfiler,
     average_speedup,
     bandwidth_utilization_gbps,
     comm_fraction,
+    goodput_rps,
     latency_breakdown,
+    latency_percentiles,
     per_operator_speedups,
+    percentile,
+    slo_attainment,
     speedup_distribution,
     throughput_rps,
 )
@@ -134,6 +137,49 @@ class TestMetrics:
         # genuinely idle server.
         assert math.isnan(throughput_rps(5, 0.0))
         assert math.isnan(throughput_rps(5, -1.0))
+
+    def test_percentile_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50.0) == pytest.approx(2.5)
+        assert percentile(values, 25.0) == pytest.approx(1.75)
+
+    def test_percentile_empty_input_is_nan(self):
+        # "No data" renders as nan, not 0 — an SLO dashboard must be able to
+        # distinguish an idle server from a perfectly fast one.
+        assert math.isnan(percentile([], 50.0))
+        tails = latency_percentiles([])
+        assert all(math.isnan(value) for value in tails.values())
+
+    def test_percentile_single_sample_is_that_sample(self):
+        for q in (0.0, 37.5, 50.0, 100.0):
+            assert percentile([4.2], q) == 4.2
+
+    def test_percentile_q0_and_q100_are_the_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 100.0) == 5.0
+
+    def test_percentile_rejects_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.1)
+
+    def test_slo_attainment(self):
+        latencies = [0.5, 1.0, 1.5, 2.0]
+        assert slo_attainment(latencies, 1.0) == pytest.approx(0.5)
+        assert slo_attainment(latencies, 2.0) == 1.0
+        assert slo_attainment(latencies, 0.1) == 0.0
+        assert math.isnan(slo_attainment([], 1.0))
+        with pytest.raises(ValueError):
+            slo_attainment(latencies, -1.0)
+
+    def test_goodput_rps_counts_only_slo_met(self):
+        assert goodput_rps(5, 2.0) == pytest.approx(2.5)
+        assert goodput_rps(0, 2.0) == 0.0
+        assert math.isnan(goodput_rps(3, 0.0))
+        with pytest.raises(ValueError):
+            goodput_rps(-1, 2.0)
 
     def test_average_speedup(self):
         a = EvaluationResult("roller", "m", "c", "ok", latency=2.0)

@@ -153,6 +153,31 @@ class TestDynamicBatcher:
         with pytest.raises(ValueError):
             bucket_for(9, 8)
 
+    def test_bucket_for_edge_cases(self):
+        # A batch of one always fits the smallest bucket.
+        assert bucket_for(1, 1) == 1
+        assert bucket_for(1, 8) == 1
+        # Exact powers of two map onto themselves, not the next bucket up.
+        assert bucket_for(2, 8) == 2
+        assert bucket_for(4, 8) == 4
+        # A non-power-of-two cap is its own (largest) bucket.
+        assert bucket_for(5, 6) == 6
+        # Empty and negative batches have no bucket to run on; regression:
+        # batch_size=0 used to silently map to bucket 1.
+        with pytest.raises(ValueError, match="batch_size"):
+            bucket_for(0, 8)
+        with pytest.raises(ValueError, match="batch_size"):
+            bucket_for(-1, 8)
+        # Overflow states the limit in the error instead of falling through.
+        with pytest.raises(ValueError, match="max_batch_size=4"):
+            bucket_for(5, 4)
+
+    def test_batch_buckets_rejects_non_positive_max(self):
+        with pytest.raises(ValueError):
+            batch_buckets(0)
+        with pytest.raises(ValueError):
+            batch_buckets(-3)
+
     def test_full_batch_closes_immediately(self):
         batcher = DynamicBatcher(max_batch_size=4, batch_window=1.0)
         requests = [InferenceRequest(i, "m", 0.001 * i) for i in range(8)]
@@ -210,6 +235,16 @@ class TestDynamicBatcher:
         list(third)
         assert third.stats.max_queue_depth == 2
         assert first.stats.max_queue_depth == 5
+
+    def test_empty_replay_yields_nothing_and_zero_stats(self):
+        # An empty workload is a legal replay: no batches, and the stats
+        # read as an idle queue rather than raising on empty samples.
+        batcher = DynamicBatcher(max_batch_size=8, batch_window=1.0)
+        replay = batcher.batches([])
+        assert list(replay) == []
+        assert replay.stats.queue_depth_samples == []
+        assert replay.stats.max_queue_depth == 0
+        assert replay.stats.mean_queue_depth == 0.0
 
 
 # --------------------------------------------------------------------------- #
