@@ -3,6 +3,14 @@
 from conftest import run_once
 
 from repro.experiments import fig27_continuous
+from repro.obs import (
+    KIND_ASYNC,
+    KIND_SPAN,
+    Tracer,
+    to_chrome_trace,
+    use_tracer,
+    validate_chrome_trace,
+)
 
 
 def by_policy(rows):
@@ -43,13 +51,44 @@ def test_fig27_continuous(benchmark):
 
 
 def test_fig27_reproducible_across_jobs():
-    """Rows are bit-for-bit identical serial and with jobs=2 compilation.
+    """Rows AND virtual trace streams are bit-identical serial vs jobs=2.
 
     Everything the engine schedules on is virtual time derived from the
     deterministic simulator, and the parallel compilation engine guarantees
     identical programs at any width — so the entire report, floats included,
-    must match exactly.
+    must match exactly.  The same holds for the traced view: the
+    virtual-domain event stream is a pure function of the workload (only
+    wall-domain compile/cache events may differ between widths).
     """
-    serial = fig27_continuous.run(quick=True, jobs=1)
-    parallel = fig27_continuous.run(quick=True, jobs=2)
+    serial_tracer, parallel_tracer = Tracer(), Tracer()
+    with use_tracer(serial_tracer):
+        serial = fig27_continuous.run(quick=True, jobs=1)
+    with use_tracer(parallel_tracer):
+        parallel = fig27_continuous.run(quick=True, jobs=2)
     assert serial == parallel
+    assert serial_tracer.virtual_events() == parallel_tracer.virtual_events()
+    assert len(serial_tracer.virtual_events()) > 0
+
+    # The trace carries exactly one request-lifecycle span per request of
+    # each engine run (completed and shed alike), on that run's request lane.
+    lifecycles: dict[str, int] = {}
+    for event in serial_tracer.virtual_events():
+        if event.kind == KIND_ASYNC and event.name == "request":
+            lifecycles[event.group] = lifecycles.get(event.group, 0) + 1
+    for row in serial:
+        group = f"{row['policy']}@{row['chips']}chips"
+        assert lifecycles[group] == row["completed"] + row["shed"] == row["requests"]
+
+    # One occupancy track per chip of each fleet, named chip0..chipN-1.
+    iteration_tracks: dict[str, set[str]] = {}
+    for event in serial_tracer.virtual_events():
+        if event.kind == KIND_SPAN and event.name == "iteration":
+            iteration_tracks.setdefault(event.group, set()).add(event.track_name)
+    for row in serial:
+        group = f"{row['policy']}@{row['chips']}chips"
+        assert iteration_tracks[group] == {
+            f"chip{index}" for index in range(row["chips"])
+        }
+
+    # The whole traced run exports schema-valid Chrome trace JSON.
+    assert validate_chrome_trace(to_chrome_trace(serial_tracer)) == []

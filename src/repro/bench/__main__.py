@@ -5,6 +5,7 @@ from __future__ import annotations
 import argparse
 
 from repro.bench.runner import DEFAULT_BENCH_MODELS, BenchConfig, run_bench
+from repro.experiments.common import trace_session
 from repro.models import list_models
 
 
@@ -39,6 +40,13 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_compile.json",
         help="report path (default BENCH_compile.json)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT",
+        help="record a compile trace: Chrome-trace JSON for Perfetto, or the "
+        "raw event log if OUT ends in .jsonl (see docs/observability.md)",
+    )
     args = parser.parse_args(argv)
 
     models = [name.strip() for name in args.models.split(",") if name.strip()]
@@ -47,16 +55,17 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown models {unknown}; known: {sorted(known)}")
 
-    report = run_bench(
-        BenchConfig(
-            models=models,
-            batch_size=args.batch,
-            quick=args.quick,
-            jobs=args.jobs,
-            reference=not args.no_reference,
-            output=args.output,
+    with trace_session(args.trace):
+        report = run_bench(
+            BenchConfig(
+                models=models,
+                batch_size=args.batch,
+                quick=args.quick,
+                jobs=args.jobs,
+                reference=not args.no_reference,
+                output=args.output,
+            )
         )
-    )
     for row in report.rows:
         ratio = row.get("materialized_reduction") or row.get("materialization_ratio")
         print(

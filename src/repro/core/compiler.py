@@ -31,6 +31,7 @@ from repro.hw.program import DeviceProgram
 from repro.hw.spec import IPU_MK2, ChipSpec
 from repro.ir.graph import OperatorGraph
 from repro.ir.operator import Operator
+from repro.obs.trace import get_tracer
 
 #: Cost models are expensive enough to fit that sharing them across compiler
 #: instances targeting the same chip is worthwhile (they are deterministic).
@@ -150,8 +151,17 @@ class T10Compiler:
     # ------------------------------------------------------------------ #
     def compile(self, graph: OperatorGraph) -> CompiledModel:
         """Compile ``graph`` into a device program (or an OOM diagnosis)."""
+        tracer = get_tracer()
         start = time.perf_counter()
-        search = self.engine.search_graph(graph, self.intra_op)
+        with tracer.wall_span(
+            "plan-search", track="compiler/graph", cat="compile", graph=graph.name
+        ) as span:
+            search = self.engine.search_graph(graph, self.intra_op)
+            span.set(
+                dispatched=search.dispatched,
+                sketched=search.sketched_candidates,
+                materialized=search.materialized_plans,
+            )
         accounting = dict(
             unique_operators=search.unique_operators,
             dispatched_searches=search.dispatched,
@@ -171,8 +181,14 @@ class T10Compiler:
                 **accounting,
             )
         try:
-            schedule = self.inter_op.reconcile(search.pareto)
-            program = generate_program(graph, schedule, self.chip)
+            with tracer.wall_span(
+                "reconcile", track="compiler/graph", cat="compile", graph=graph.name
+            ):
+                schedule = self.inter_op.reconcile(search.pareto)
+            with tracer.wall_span(
+                "codegen", track="compiler/graph", cat="compile", graph=graph.name
+            ):
+                program = generate_program(graph, schedule, self.chip)
         except (OutOfChipMemoryError, ValueError) as error:
             return CompiledModel(
                 graph=graph,

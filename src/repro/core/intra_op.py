@@ -47,6 +47,7 @@ from repro.core.plan import (
 )
 from repro.hw.spec import ChipSpec
 from repro.ir.operator import Operator
+from repro.obs.trace import get_tracer
 
 #: Surviving sketches are costed and pruned in bounded batches: one vectorised
 #: cost-model call per batch, and never the whole candidate list in memory.
@@ -179,7 +180,28 @@ class IntraOpOptimizer:
         self, operator: Operator
     ) -> tuple[list[OperatorPlan], SearchSpaceStats]:
         signature = operator.signature()
-        result = self._stream_search(operator)
+        # One wall-domain span per fresh search (signature-cache misses only).
+        # Worker *processes* see the disabled ambient tracer, so process-pool
+        # searches are silently un-traced; worker threads inherit it and the
+        # tracer is thread-safe.
+        tracer = get_tracer()
+        with tracer.wall_span(
+            "operator-search",
+            track="compiler/intra-op",
+            cat="compile",
+            op=operator.name,
+            op_type=operator.expr.op_type,
+        ) as span:
+            result = self._stream_search(operator)
+            stats = result[1]
+            span.set(
+                sketched=stats.sketched,
+                evaluated=stats.evaluated,
+                fitting=int(stats.filtered),
+                materialized=stats.materialized,
+                optimized=stats.optimized,
+                truncated=stats.truncated,
+            )
         self._cache[signature] = result
         return result
 
@@ -203,29 +225,43 @@ class IntraOpOptimizer:
                 accumulator.insert(plan)
         else:
             batch: list[PlanSketch] = []
+            tracer = get_tracer()
 
             def flush() -> None:
                 nonlocal materialized
                 if not batch:
                     return
-                per_step_times = self.cost_model.compute_time_batch(
-                    expr.op_type,
-                    [(s.subtask_shape, s.flops_per_step, s.bytes_per_step) for s in batch],
-                )
-                for sketch, per_step in zip(batch, per_step_times):
-                    sketch.compute_time = sketch.num_steps * per_step
-                    # A sketch whose execution-time lower bound (exact compute
-                    # plus guaranteed minimum shift time) is matched by a
-                    # no-larger frontier member can never improve the
-                    # frontier: skip building it.
-                    if accumulator.dominates(
-                        sketch.memory_bytes, sketch.time_lower_bound(self.cost_model)
-                    ):
-                        continue
-                    plan = sketch.materialize(expr, self.chip, self.cost_model)
-                    materialized += 1
-                    accumulator.insert(plan)
-                batch.clear()
+                with tracer.wall_span(
+                    "sketch-flush",
+                    track="compiler/intra-op",
+                    cat="compile",
+                    op=operator.name,
+                    batch=len(batch),
+                ) as span:
+                    per_step_times = self.cost_model.compute_time_batch(
+                        expr.op_type,
+                        [
+                            (s.subtask_shape, s.flops_per_step, s.bytes_per_step)
+                            for s in batch
+                        ],
+                    )
+                    built = 0
+                    for sketch, per_step in zip(batch, per_step_times):
+                        sketch.compute_time = sketch.num_steps * per_step
+                        # A sketch whose execution-time lower bound (exact compute
+                        # plus guaranteed minimum shift time) is matched by a
+                        # no-larger frontier member can never improve the
+                        # frontier: skip building it.
+                        if accumulator.dominates(
+                            sketch.memory_bytes, sketch.time_lower_bound(self.cost_model)
+                        ):
+                            continue
+                        plan = sketch.materialize(expr, self.chip, self.cost_model)
+                        materialized += 1
+                        built += 1
+                        accumulator.insert(plan)
+                    span.set(materialized=built, pruned=len(batch) - built)
+                    batch.clear()
 
             for fop, temporal in self._enumerate_candidates(expr):
                 sketched += 1

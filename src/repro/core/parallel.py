@@ -45,6 +45,7 @@ from repro.hw.memory import OutOfChipMemoryError
 from repro.hw.spec import ChipSpec
 from repro.ir.graph import OperatorGraph
 from repro.ir.operator import Operator
+from repro.obs.trace import get_tracer
 
 #: Executor backends the engine can fan out over.
 BACKENDS = ("auto", "process", "thread", "serial")
@@ -310,10 +311,23 @@ class ParallelCompilationEngine:
         }
 
         errors: dict[tuple, str] = {}
-        if len(pending) > 1 and self.jobs > 1 and self.backend != "serial":
-            self._search_parallel(pending, intra_op, errors)
-        else:
-            self._search_inline(pending, intra_op, errors)
+        # The fan-out span covers dispatch plus the wait for every worker;
+        # per-operator searches emit their own spans (inline and threaded
+        # backends only — process workers run with the disabled tracer, so
+        # their per-operator spans are deliberately absent from traces).
+        with get_tracer().wall_span(
+            "search-fan-out",
+            track="compiler/graph",
+            cat="compile",
+            graph=graph.name,
+            backend=self.backend,
+            jobs=self.jobs,
+            dispatched=len(pending),
+        ):
+            if len(pending) > 1 and self.jobs > 1 and self.backend != "serial":
+                self._search_parallel(pending, intra_op, errors)
+            else:
+                self._search_inline(pending, intra_op, errors)
 
         # Deterministic merge: walk the graph in order, exactly like the
         # serial compiler, stopping at the first infeasible operator.  A

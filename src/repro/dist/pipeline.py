@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.obs.trace import DOMAIN_SIM, get_tracer
+
 
 @dataclass(frozen=True)
 class PipelineResult:
@@ -97,10 +99,20 @@ class PipelineSimulator:
             for i, latency in enumerate(self.stage_latencies)
         )
 
-    def run(self, num_micro_batches: int) -> PipelineResult:
-        """Simulate ``num_micro_batches`` micro-batches streaming through."""
+    def run(self, num_micro_batches: int, *, trace_label: str = "") -> PipelineResult:
+        """Simulate ``num_micro_batches`` micro-batches streaming through.
+
+        With tracing enabled, each (micro-batch, stage) execution emits one
+        span on a per-stage track in the ``sim`` domain — the pipeline's own
+        clock starts at 0 for every ``run`` call, so these spans are not on
+        the serving timeline (``trace_label`` names the pipeline's track
+        group; defaults to ``pipeline``).
+        """
         if num_micro_batches < 1:
             raise ValueError(f"num_micro_batches must be >= 1, got {num_micro_batches}")
+        tracer = get_tracer()
+        traced = tracer.enabled
+        group = trace_label or "pipeline"
         stages = self.num_stages
         finish_prev = [0.0] * stages  # finish[m-1][s]
         first_exit = 0.0
@@ -117,6 +129,16 @@ class PipelineSimulator:
                 finish = start + self.stage_latencies[s]
                 finish_this[s] = finish
                 busy[s] += self.stage_latencies[s]
+                if traced:
+                    tracer.span(
+                        f"mb{micro}",
+                        ts=start,
+                        dur=self.stage_latencies[s],
+                        track=f"{group}/stage{s}",
+                        domain=DOMAIN_SIM,
+                        cat="pipeline",
+                        args={"micro_batch": micro, "stage": s},
+                    )
                 if s < stages - 1:
                     arrival = finish + outgoing
             if micro == 0:

@@ -16,7 +16,7 @@ import sys
 import time
 
 from repro.experiments import ALL_EXPERIMENTS
-from repro.experiments.common import print_table
+from repro.experiments.common import print_table, trace_session
 
 
 def _run_one(name: str, *, quick: bool, jobs: int | None = None) -> None:
@@ -63,6 +63,13 @@ def main(argv: list[str] | None = None) -> int:
         help="parallel-compilation workers for experiments that compile "
         "(identical output to serial; see README 'Parallel compilation')",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT",
+        help="record a trace of the run: Chrome-trace JSON for Perfetto, or "
+        "the raw event log if OUT ends in .jsonl (see docs/observability.md)",
+    )
     args = parser.parse_args(argv)
     if args.jobs is not None and args.jobs < 1:
         parser.error("--jobs must be >= 1")
@@ -73,13 +80,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:8s} {summary}")
         return 0
     if args.experiment == "all":
-        for name in ALL_EXPERIMENTS:
-            _run_one(name, quick=args.quick, jobs=args.jobs)
+        with trace_session(args.trace):
+            for name in ALL_EXPERIMENTS:
+                _run_one(name, quick=args.quick, jobs=args.jobs)
         return 0
     if args.experiment not in ALL_EXPERIMENTS:
         print(f"unknown experiment {args.experiment!r}; try 'list'", file=sys.stderr)
         return 2
-    _run_one(args.experiment, quick=args.quick, jobs=args.jobs)
+    with trace_session(args.trace):
+        _run_one(args.experiment, quick=args.quick, jobs=args.jobs)
     return 0
 
 

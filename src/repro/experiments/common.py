@@ -9,7 +9,9 @@ every figure in minutes; the default settings reproduce the full grids.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.baselines import AnsorCompiler, PopARTCompiler, RollerCompiler
 from repro.core import T10Compiler, default_cost_model
@@ -17,6 +19,13 @@ from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
 from repro.hw.spec import IPU_MK2, ChipSpec
 from repro.ir.graph import OperatorGraph
 from repro.models import build_model, get_entry
+from repro.obs import (
+    NULL_TRACER,
+    Tracer,
+    use_tracer,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.runtime import EvaluationResult, Executor
 
 #: Compiler display names in the order Figure 12 plots them.
@@ -24,6 +33,32 @@ COMPILER_ORDER: tuple[str, ...] = ("PopART", "Ansor", "Roller", "T10")
 
 #: Transformer layer count used by quick-mode experiments.
 QUICK_NUM_LAYERS = 2
+
+
+@contextmanager
+def trace_session(path: str | Path | None = None) -> Iterator[Tracer]:
+    """Install an ambient tracer for the block and export it on exit.
+
+    With ``path=None`` this is a no-op yielding the disabled tracer, so
+    callers can wrap their run unconditionally (``--trace`` off costs
+    nothing).  A ``.jsonl`` path writes the raw event log; any other path
+    writes Chrome-trace JSON loadable in Perfetto.  The export happens even
+    when the block raises, so a failed run still leaves its partial trace.
+    """
+    if path is None:
+        yield NULL_TRACER
+        return
+    tracer = Tracer()
+    try:
+        with use_tracer(tracer):
+            yield tracer
+    finally:
+        out = Path(path)
+        if out.suffix == ".jsonl":
+            write_jsonl(tracer, out)
+        else:
+            write_chrome_trace(tracer, out)
+        print(f"trace: wrote {out} ({len(tracer)} events)")
 
 
 def build_workload(

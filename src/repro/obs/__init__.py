@@ -1,0 +1,69 @@
+"""repro.obs — zero-dependency tracing + metrics for the T10 reproduction.
+
+Dual-clock design: deterministic **virtual time** (the simulator's clock) is
+the primary timeline; **wall clock** spans (compilation, cache lookups) are
+annotation-only and excluded from determinism guarantees.  See
+``docs/observability.md`` for the span taxonomy and a fig27 walkthrough.
+"""
+
+from repro.obs.export import (
+    event_to_record,
+    read_jsonl,
+    summarize,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry, publish_stats
+from repro.obs.trace import (
+    DOMAIN_SIM,
+    DOMAIN_VIRTUAL,
+    DOMAIN_WALL,
+    KIND_ASYNC,
+    KIND_COUNTER,
+    KIND_FLOW_END,
+    KIND_FLOW_START,
+    KIND_FLOW_STEP,
+    KIND_INSTANT,
+    KIND_SPAN,
+    NULL_TRACER,
+    TraceEvent,
+    Tracer,
+    disabled_overhead_ns,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DOMAIN_SIM",
+    "DOMAIN_VIRTUAL",
+    "DOMAIN_WALL",
+    "Gauge",
+    "Histogram",
+    "KIND_ASYNC",
+    "KIND_COUNTER",
+    "KIND_FLOW_END",
+    "KIND_FLOW_START",
+    "KIND_FLOW_STEP",
+    "KIND_INSTANT",
+    "KIND_SPAN",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "TraceEvent",
+    "Tracer",
+    "disabled_overhead_ns",
+    "event_to_record",
+    "get_tracer",
+    "publish_stats",
+    "read_jsonl",
+    "set_tracer",
+    "summarize",
+    "to_chrome_trace",
+    "use_tracer",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,138 @@
+"""CLI: run a traced experiment and export it, or inspect existing traces.
+
+Subcommands::
+
+    python -m repro.obs fig27 --quick --out trace.json     # traced fig27 run
+    python -m repro.obs bench --quick --out trace.json     # traced quick bench
+    python -m repro.obs summary trace.jsonl                # digest a JSONL log
+    python -m repro.obs overhead                           # disabled-tracer cost
+
+``fig27``/``bench`` install an ambient tracer, run the experiment, then
+write the Chrome-trace JSON (``--out``, Perfetto-loadable), optionally the
+raw JSONL event log (``--jsonl``), and print the text summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.export import (
+    read_jsonl,
+    summarize,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.trace import Tracer, disabled_overhead_ns, use_tracer
+
+
+def _export(tracer: Tracer, args: argparse.Namespace) -> None:
+    if args.out:
+        data = to_chrome_trace(tracer)
+        problems = validate_chrome_trace(data)
+        if problems:  # pragma: no cover - defends the CLI against regressions
+            raise SystemExit("invalid chrome trace:\n" + "\n".join(problems[:20]))
+        path = write_chrome_trace(tracer, args.out)
+        print(f"wrote {path} ({len(data['traceEvents'])} trace events)")
+    if args.jsonl:
+        path = write_jsonl(tracer, args.jsonl)
+        print(f"wrote {path} ({len(tracer)} events)")
+    if args.summary:
+        print(summarize(tracer.events(), tracer.metrics.as_dict()))
+
+
+def _cmd_fig27(args: argparse.Namespace) -> int:
+    from repro.experiments import fig27_continuous
+    from repro.experiments.common import print_table
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        rows = fig27_continuous.run(quick=args.quick, jobs=args.jobs)
+    if not args.summary:
+        print_table(rows, title="Figure 27: continuous vs static batching")
+    _export(tracer, args)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.runner import BenchConfig, run_bench
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        report = run_bench(
+            BenchConfig(quick=args.quick, jobs=args.jobs, reference=False, output=None)
+        )
+    print(json.dumps(report.totals, indent=2))
+    _export(tracer, args)
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    events, metrics = read_jsonl(args.path)
+    print(summarize(events, metrics))
+    return 0
+
+
+def _cmd_overhead(args: argparse.Namespace) -> int:
+    result = disabled_overhead_ns(iterations=args.iterations)
+    for key in ("baseline_ns", "instant_ns", "span_ns"):
+        print(f"{key:<12} {result[key]:8.1f}")
+    worst = max(result["instant_ns"], result["span_ns"])
+    if worst > args.budget_ns:
+        print(
+            f"FAIL: disabled-tracer overhead {worst:.1f} ns/call"
+            f" exceeds budget {args.budget_ns:.0f} ns",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: disabled-tracer overhead {worst:.1f} ns/call (budget {args.budget_ns:.0f} ns)")
+    return 0
+
+
+def _add_export_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--out", default=None, help="write Chrome-trace JSON (Perfetto)")
+    parser.add_argument("--jsonl", default=None, help="write the raw JSONL event log")
+    parser.add_argument(
+        "--summary", action="store_true", help="print the per-track text summary"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.obs", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig27 = sub.add_parser("fig27", help="run a traced fig27 continuous-batching sweep")
+    fig27.add_argument("--quick", action="store_true", help="small model / short workload")
+    fig27.add_argument("--jobs", type=int, default=1, help="compilation parallelism")
+    _add_export_flags(fig27)
+    fig27.set_defaults(fn=_cmd_fig27)
+
+    bench = sub.add_parser("bench", help="run a traced compile benchmark")
+    bench.add_argument("--quick", action="store_true", help="truncated models, fast search")
+    bench.add_argument("--jobs", type=int, default=1, help="compilation parallelism")
+    _add_export_flags(bench)
+    bench.set_defaults(fn=_cmd_bench)
+
+    summary = sub.add_parser("summary", help="summarize a JSONL event log")
+    summary.add_argument("path", help="JSONL file written by --jsonl")
+    summary.set_defaults(fn=_cmd_summary)
+
+    overhead = sub.add_parser("overhead", help="measure disabled-tracer per-call cost")
+    overhead.add_argument("--iterations", type=int, default=200_000)
+    overhead.add_argument(
+        "--budget-ns",
+        type=float,
+        default=2000.0,
+        help="fail if a disabled emit call costs more than this (generous: CI noise)",
+    )
+    overhead.set_defaults(fn=_cmd_overhead)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,245 @@
+"""Hierarchical metrics: counters, gauges and histograms under dotted names.
+
+The repo grew several ad-hoc stat dataclasses (``SearchSpaceStats``,
+``CacheStats``, the counter dicts inside the decode engines).  They remain
+the in-band API — cheap, typed, always-on — but the registry subsumes them
+behind one *reporting* surface: anything with public numeric fields can be
+published into a registry under a dotted prefix (:func:`publish_stats`), and
+the whole tree serialises to one flat dict for the JSONL export and the text
+summary.
+
+Zero dependencies, thread-safe, deterministic iteration order (sorted by
+name) so registry dumps are directly comparable across runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import threading
+from typing import Any, Iterator, Mapping
+
+
+class Counter:
+    """A monotonically increasing count (increments may be fractional)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def as_dict(self) -> dict[str, float]:
+        return {"value": self._value}
+
+
+class Gauge:
+    """A value that can move both ways; remembers its max and last update."""
+
+    __slots__ = ("name", "_value", "_max", "_updates", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0.0
+        self._max = -math.inf
+        self._updates = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+            self._updates += 1
+            if value > self._max:
+                self._max = value
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+            self._updates += 1
+            if self._value > self._max:
+                self._max = self._value
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    @property
+    def max(self) -> float:
+        """Largest value ever set (``-inf`` before the first update)."""
+        return self._max
+
+    def as_dict(self) -> dict[str, float]:
+        return {"value": self._value, "max": self._max, "updates": float(self._updates)}
+
+
+class Histogram:
+    """Running distribution: count/sum/min/max plus log2 buckets.
+
+    Buckets are powers of two over the observed magnitude — coarse, but
+    enough to tell a bimodal latency distribution from a uniform one without
+    storing samples, and deterministic (no reservoir sampling).
+    Non-finite observations are counted separately and kept out of the
+    numeric aggregates.
+    """
+
+    __slots__ = ("name", "_count", "_sum", "_min", "_max", "_buckets", "_non_finite", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._buckets: dict[int, int] = {}
+        self._non_finite = 0
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _bucket(value: float) -> int:
+        """log2 bucket index; 0 groups everything at or below 1.0 (and <= 0)."""
+        if value <= 1.0:
+            return 0
+        return int(math.log2(value)) + 1
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            if not math.isfinite(value):
+                self._non_finite += 1
+                return
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            bucket = self._bucket(value)
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of finite observations (``nan`` when empty)."""
+        return self._sum / self._count if self._count else math.nan
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "count": float(self._count),
+            "sum": self._sum,
+            "min": self._min if self._count else math.nan,
+            "max": self._max if self._count else math.nan,
+            "mean": self.mean,
+        }
+        if self._non_finite:
+            out["non_finite"] = float(self._non_finite)
+        for bucket in sorted(self._buckets):
+            out[f"le_2e{bucket}"] = float(self._buckets[bucket])
+        return out
+
+
+class MetricsRegistry:
+    """A tree of metrics addressed by dotted names.
+
+    ``registry.counter("cache.hits").inc()`` creates on first use; repeated
+    lookups return the same instrument.  Requesting an existing name as a
+    different type is an error (it would silently split the series).
+    """
+
+    __slots__ = ("_metrics", "_lock")
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls: type) -> Any:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name)
+                self._metrics[name] = metric
+            elif type(metric) is not cls:
+                raise TypeError(
+                    f"metric {name!r} is a {type(metric).__name__}, requested {cls.__name__}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._metrics
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def walk(self, prefix: str = "") -> Iterator[Counter | Gauge | Histogram]:
+        """Metrics whose dotted name starts with ``prefix``, sorted by name."""
+        dotted = prefix if not prefix or prefix.endswith(".") else prefix + "."
+        for name in self.names():
+            if not prefix or name.startswith(dotted) or name == prefix:
+                with self._lock:
+                    yield self._metrics[name]
+
+    def as_dict(self) -> dict[str, dict[str, Any]]:
+        """``{dotted.name: {field: value}}`` for every metric, sorted."""
+        return {metric.name: metric.as_dict() for metric in self.walk()}
+
+    def rows(self) -> list[tuple[str, str, float]]:
+        """Flat ``(name.field, type, value)`` rows for the text summary."""
+        out: list[tuple[str, str, float]] = []
+        for metric in self.walk():
+            kind = type(metric).__name__.lower()
+            for field, value in metric.as_dict().items():
+                out.append((f"{metric.name}.{field}", kind, value))
+        return out
+
+
+def publish_stats(
+    registry: MetricsRegistry, prefix: str, stats: Mapping[str, Any] | Any
+) -> None:
+    """Publish a stats dataclass or mapping as counters under ``prefix``.
+
+    Numeric fields become counters named ``{prefix}.{field}`` (incremented by
+    the field's value, so repeated publishes accumulate — matching the
+    semantics of the stat dataclasses, which are themselves cumulative).
+    Non-numeric fields are skipped.
+    """
+    if dataclasses.is_dataclass(stats) and not isinstance(stats, type):
+        items: Mapping[str, Any] = dataclasses.asdict(stats)
+    elif isinstance(stats, Mapping):
+        items = stats
+    else:
+        raise TypeError(f"expected dataclass or mapping, got {type(stats).__name__}")
+    for field, value in items.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        if not math.isfinite(value) or value < 0:
+            continue
+        registry.counter(f"{prefix}.{field}").inc(float(value))

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Mapping, Sequence
 
 from repro.hw.simulator import SimulationResult
@@ -84,19 +85,27 @@ def percentile(values: Sequence[float], q: float) -> float:
     """The ``q``-th percentile of ``values`` (linear interpolation).
 
     ``q`` is in [0, 100].  Returns ``nan`` for an empty sequence so callers
-    can render "no data" without special-casing.
+    can render "no data" without special-casing.  ``nan`` entries are
+    treated as missing data and dropped — sorting would otherwise place
+    them arbitrarily and silently corrupt every rank (infinities are kept:
+    an infinite latency is real data, not a gap).
     """
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
-    if not values:
+    ordered = sorted(value for value in values if not math.isnan(value))
+    if not ordered:
         return float("nan")
-    ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]
     rank = (q / 100.0) * (len(ordered) - 1)
     lower = int(rank)
     upper = min(lower + 1, len(ordered) - 1)
     fraction = rank - lower
+    if fraction == 0.0:
+        # Exact rank: no interpolation.  This also keeps infinite values
+        # intact — ``inf * 0.0`` in the blend below would turn an exact hit
+        # on an infinite latency into ``nan``.
+        return ordered[lower]
     return ordered[lower] * (1.0 - fraction) + ordered[upper] * fraction
 
 

@@ -38,6 +38,14 @@ from typing import Callable, Sequence
 from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
 from repro.hw.spec import IPU_MK2, ChipSpec
 from repro.ir.graph import OperatorGraph
+from repro.obs.trace import (
+    KIND_FLOW_END,
+    KIND_FLOW_START,
+    KIND_FLOW_STEP,
+    Tracer,
+    get_tracer,
+)
+from repro.obs.registry import publish_stats
 from repro.serving.batcher import batch_buckets, bucket_for
 from repro.serving.metrics import ContinuousReport
 from repro.serving.plan_cache import CacheStats, PlanCache
@@ -258,9 +266,140 @@ class _DecodeEngineBase:
                 events, (request.arrival_time, _EV_ARRIVAL, next(seq), request)
             )
 
-    @staticmethod
+    # ------------------------------------------------------------------ #
+    # Tracing (see docs/observability.md for the span taxonomy).  All
+    # serving events are virtual-domain and emitted from the single-threaded
+    # event loop, which is what makes traces bit-identical at any ``jobs``.
+    # ------------------------------------------------------------------ #
+    @property
+    def trace_group(self) -> str:
+        """Track-group (Perfetto process) of this engine's trace events."""
+        return f"{self.policy}@{self.num_chips}chips"
+
+    def _chip_tracks(self, replica_index: int) -> tuple[str, ...]:
+        """Occupancy tracks of the chips backing ``replica_index`` (one per
+        chip: pipeline-sharded models occupy a whole chip group)."""
+        stages = self.model.num_stages
+        group = self.trace_group
+        first = replica_index * stages
+        return tuple(f"{group}/chip{chip}" for chip in range(first, first + stages))
+
+    def _flow_id(self, request_id: int) -> str:
+        """Per-trace-unique flow id for one request's lifecycle arrows."""
+        return f"{self.trace_group}/r{request_id}"
+
+    def _trace_enqueue(self, tracer: Tracer, request: DecodeRequest) -> None:
+        track = f"{self.trace_group}/requests"
+        args = {"request": request.request_id, "class": request.slo_class}
+        tracer.instant(
+            "enqueue", ts=request.arrival_time, track=track, cat="lifecycle", args=args
+        )
+        tracer.flow(
+            KIND_FLOW_START,
+            self._flow_id(request.request_id),
+            ts=request.arrival_time,
+            track=track,
+            name="request",
+        )
+
+    def _trace_admit(
+        self, tracer: Tracer, request: DecodeRequest, replica: "_Replica", now: float
+    ) -> None:
+        track = self._chip_tracks(replica.index)[0]
+        tracer.instant(
+            "admit",
+            ts=now,
+            track=track,
+            cat="lifecycle",
+            args={"request": request.request_id},
+        )
+        tracer.flow(
+            KIND_FLOW_STEP,
+            self._flow_id(request.request_id),
+            ts=now,
+            track=track,
+            name="request",
+        )
+
+    def _trace_iteration(
+        self, tracer: Tracer, replica: "_Replica", now: float, latency: float
+    ) -> None:
+        args = {
+            "batch": len(replica.running),
+            "bucket": bucket_for(len(replica.running), self.model.max_batch_size),
+            "requests": ",".join(str(r.request.request_id) for r in replica.running),
+        }
+        for track in self._chip_tracks(replica.index):
+            tracer.span(
+                "iteration", ts=now, dur=latency, track=track, cat="decode", args=args
+            )
+
+    def _trace_done(
+        self, tracer: Tracer, record: CompletedDecode, replica: "_Replica", now: float
+    ) -> None:
+        """Lifecycle close-out shared by retirement and shedding: the flow
+        arrow lands on the serving chip and one async lifecycle span covers
+        arrival → completion on the request lane (exactly one per request —
+        the invariant the determinism tests count)."""
+        group = self.trace_group
+        request = record.request
+        name = "retire" if record.ok else "shed"
+        chip_track = self._chip_tracks(replica.index)[0]
+        tracer.instant(
+            name,
+            ts=now,
+            track=chip_track,
+            cat="lifecycle",
+            args={"request": request.request_id, "tokens": record.tokens_generated},
+        )
+        tracer.flow(
+            KIND_FLOW_END,
+            self._flow_id(request.request_id),
+            ts=now,
+            track=chip_track,
+            name="request",
+        )
+        tracer.async_span(
+            "request",
+            ts=request.arrival_time,
+            dur=now - request.arrival_time,
+            track=f"{group}/requests",
+            flow_id=self._flow_id(request.request_id),
+            cat="lifecycle",
+            args={
+                "request": request.request_id,
+                "status": record.status,
+                "tokens": record.tokens_generated,
+                "preemptions": record.preemptions,
+                "replica": replica.index,
+            },
+        )
+
+    def _publish_run_metrics(
+        self, tracer: Tracer, report: ContinuousReport, counters: dict[str, int]
+    ) -> None:
+        """Fold the run's scalar stats into the tracer's metrics registry."""
+        prefix = f"serving.{self.trace_group}"
+        publish_stats(tracer.metrics, prefix, counters)
+        publish_stats(
+            tracer.metrics,
+            prefix,
+            {"completed": report.total_completed, "tokens": report.total_tokens},
+        )
+        publish_stats(tracer.metrics, f"{prefix}.cache", report.cache.as_dict())
+        latency = tracer.metrics.histogram(f"{prefix}.latency_s")
+        ttft = tracer.metrics.histogram(f"{prefix}.ttft_s")
+        for record in report.completed:
+            if record.ok:
+                latency.observe(record.latency)
+                ttft.observe(record.time_to_first_token)
+
     def _retire_finished(
-        replica: "_Replica", now: float, records: list[CompletedDecode]
+        self,
+        replica: "_Replica",
+        now: float,
+        records: list[CompletedDecode],
+        tracer: Tracer | None = None,
     ) -> None:
         """Advance every resident request one finished iteration and retire
         the done ones — the accounting both engines must share exactly, or
@@ -269,18 +408,19 @@ class _DecodeEngineBase:
             running.advance(now)
             if running.done:
                 replica.running.remove(running)
-                records.append(
-                    CompletedDecode(
-                        request=running.request,
-                        status=DECODE_OK,
-                        admitted_time=running.admitted_time,
-                        first_token_time=running.first_token_time,
-                        completion_time=now,
-                        tokens_generated=running.tokens_done,
-                        preemptions=running.preemptions,
-                        replica=replica.index,
-                    )
+                record = CompletedDecode(
+                    request=running.request,
+                    status=DECODE_OK,
+                    admitted_time=running.admitted_time,
+                    first_token_time=running.first_token_time,
+                    completion_time=now,
+                    tokens_generated=running.tokens_done,
+                    preemptions=running.preemptions,
+                    replica=replica.index,
                 )
+                records.append(record)
+                if tracer is not None:
+                    self._trace_done(tracer, record, replica, now)
 
     def _cost_for_bucket(self, bucket: int) -> IterationCost:
         cost = self._costs.get(bucket)
@@ -404,6 +544,9 @@ class ContinuousEngine(_DecodeEngineBase):
         """Replay one decode workload and return the full report."""
         ordered = self._check_requests(requests)
         self.warm()
+        tracer = get_tracer()
+        traced = tracer.enabled
+        fleet_track = f"{self.trace_group}/fleet"
 
         # EDF queue of interactive requests: (deadline, arrival, id, request).
         # Deadline-free interactive requests sort after any deadline but
@@ -463,16 +606,42 @@ class ContinuousEngine(_DecodeEngineBase):
 
         def shed(request: DecodeRequest, now: float, replica: _Replica) -> None:
             counters["shed"] += 1
-            records.append(
-                CompletedDecode(
-                    request=request,
-                    status=DECODE_SHED,
-                    admitted_time=now,
-                    first_token_time=float("nan"),
-                    completion_time=now,
-                    tokens_generated=0,
-                    replica=replica.index,
-                )
+            record = CompletedDecode(
+                request=request,
+                status=DECODE_SHED,
+                admitted_time=now,
+                first_token_time=float("nan"),
+                completion_time=now,
+                tokens_generated=0,
+                replica=replica.index,
+            )
+            records.append(record)
+            if traced:
+                self._trace_done(tracer, record, replica, now)
+
+        def queue_sample(now: float) -> None:
+            """Fleet-level counter tracks: queue depths and active replicas."""
+            tracer.counter(
+                "queues",
+                ts=now,
+                track=fleet_track,
+                values={
+                    "interactive": len(iq),
+                    "best_effort": len(bq),
+                    "preempted": len(preempted),
+                },
+            )
+            tracer.counter(
+                "active_replicas", ts=now, track=fleet_track, values={"active": active_count()}
+            )
+
+        def admit_one(request: DecodeRequest, replica: _Replica, now: float) -> _Running:
+            if traced:
+                self._trace_admit(tracer, request, replica, now)
+            return _Running(
+                request=request,
+                admitted_time=now,
+                prefill_remaining=self.model.prefill_iterations(request.prompt_tokens),
             )
 
         def admit(replica: _Replica, now: float) -> None:
@@ -483,15 +652,7 @@ class ContinuousEngine(_DecodeEngineBase):
                 if shed_check(request, now):
                     shed(request, now, replica)
                     continue
-                running.append(
-                    _Running(
-                        request=request,
-                        admitted_time=now,
-                        prefill_remaining=self.model.prefill_iterations(
-                            request.prompt_tokens
-                        ),
-                    )
-                )
+                running.append(admit_one(request, replica, now))
             # Priority preemption: interactive requests still waiting evict
             # the most recently admitted best-effort resident (its progress
             # is kept; it resumes from the preempted queue).
@@ -511,30 +672,33 @@ class ContinuousEngine(_DecodeEngineBase):
                 victim.preemptions += 1
                 counters["preemptions"] += 1
                 preempted.appendleft(victim)
-                running.append(
-                    _Running(
-                        request=request,
-                        admitted_time=now,
-                        prefill_remaining=self.model.prefill_iterations(
-                            request.prompt_tokens
-                        ),
+                if traced:
+                    tracer.instant(
+                        "preempt",
+                        ts=now,
+                        track=self._chip_tracks(replica.index)[0],
+                        cat="lifecycle",
+                        args={
+                            "victim": victim.request.request_id,
+                            "for": request.request_id,
+                        },
                     )
-                )
+                running.append(admit_one(request, replica, now))
             # Preempted best-effort work resumes before fresh best-effort
             # admissions (its progress is sunk cost).
             while preempted and len(running) < self.model.max_batch_size:
-                running.append(preempted.popleft())
-            while bq and len(running) < self.model.max_batch_size:
-                request = bq.popleft()
-                running.append(
-                    _Running(
-                        request=request,
-                        admitted_time=now,
-                        prefill_remaining=self.model.prefill_iterations(
-                            request.prompt_tokens
-                        ),
+                resumed = preempted.popleft()
+                if traced:
+                    tracer.instant(
+                        "resume",
+                        ts=now,
+                        track=self._chip_tracks(replica.index)[0],
+                        cat="lifecycle",
+                        args={"request": resumed.request.request_id},
                     )
-                )
+                running.append(resumed)
+            while bq and len(running) < self.model.max_batch_size:
+                running.append(admit_one(bq.popleft(), replica, now))
 
         def start_iteration(replica: _Replica, now: float) -> None:
             nonlocal busy_chip_seconds
@@ -547,11 +711,21 @@ class ContinuousEngine(_DecodeEngineBase):
                     integrate(now)
                     replica.active = False
                     counters["scale_downs"] += 1
+                    if traced:
+                        tracer.instant(
+                            "scale-down",
+                            ts=now,
+                            track=fleet_track,
+                            cat="autoscale",
+                            args={"replica": replica.index},
+                        )
                 return
             cost = self._cost(len(replica.running))
             replica.busy = True
             counters["iterations"] += 1
             busy_chip_seconds += cost.latency * self.model.num_stages
+            if traced:
+                self._trace_iteration(tracer, replica, now, cost.latency)
             heapq.heappush(
                 events, (now + cost.latency, _EV_ITER_END, next(seq), replica.index)
             )
@@ -568,6 +742,14 @@ class ContinuousEngine(_DecodeEngineBase):
                 integrate(now)
                 replica.active = True
                 counters["scale_ups"] += 1
+                if traced:
+                    tracer.instant(
+                        "scale-up",
+                        ts=now,
+                        track=fleet_track,
+                        cat="autoscale",
+                        args={"replica": replica.index},
+                    )
                 peak_active = max(peak_active, active_count())
                 start_iteration(replica, now)
 
@@ -576,6 +758,8 @@ class ContinuousEngine(_DecodeEngineBase):
             integrate(now)
             if kind == _EV_ARRIVAL:
                 request = payload
+                if traced:
+                    self._trace_enqueue(tracer, request)
                 if request.interactive:
                     deadline = (
                         request.deadline if request.deadline is not None else math.inf
@@ -593,12 +777,16 @@ class ContinuousEngine(_DecodeEngineBase):
             else:
                 replica = replicas[payload]
                 replica.busy = False
-                self._retire_finished(replica, now, records)
+                self._retire_finished(
+                    replica, now, records, tracer if traced else None
+                )
                 start_iteration(replica, now)
+            if traced:
+                queue_sample(now)
 
         records.sort(key=lambda record: record.request.request_id)
         first_arrival = ordered[0].arrival_time if ordered else 0.0
-        return self._report(
+        report = self._report(
             records,
             counters=counters,
             busy_chip_seconds=busy_chip_seconds,
@@ -607,6 +795,9 @@ class ContinuousEngine(_DecodeEngineBase):
             peak_active=peak_active,
             cache=self.plan_cache.stats.since(stats_before),
         )
+        if traced:
+            self._publish_run_metrics(tracer, report, counters)
+        return report
 
 
 class StaticEngine(_DecodeEngineBase):
@@ -626,6 +817,8 @@ class StaticEngine(_DecodeEngineBase):
         """Replay one decode workload through static batches."""
         ordered = self._check_requests(requests)
         self.warm()
+        tracer = get_tracer()
+        traced = tracer.enabled
 
         queue: deque[DecodeRequest] = deque()
         replicas = [_Replica(i, active=True) for i in range(self.num_replicas)]
@@ -647,6 +840,9 @@ class StaticEngine(_DecodeEngineBase):
                 queue.popleft()
                 for _ in range(min(len(queue), self.model.max_batch_size))
             ]
+            if traced:
+                for request in batch:
+                    self._trace_admit(tracer, request, replica, now)
             replica.running = [
                 _Running(
                     request=request,
@@ -668,6 +864,8 @@ class StaticEngine(_DecodeEngineBase):
             replica.busy = True
             iterations += 1
             busy_chip_seconds += cost.latency * self.model.num_stages
+            if traced:
+                self._trace_iteration(tracer, replica, now, cost.latency)
             heapq.heappush(
                 events, (now + cost.latency, _EV_ITER_END, next(seq), replica.index)
             )
@@ -676,13 +874,17 @@ class StaticEngine(_DecodeEngineBase):
             now, kind, _, payload = heapq.heappop(events)
             last_event = now
             if kind == _EV_ARRIVAL:
+                if traced:
+                    self._trace_enqueue(tracer, payload)
                 queue.append(payload)
                 for replica in replicas:
                     start_batch(replica, now)
             else:
                 replica = replicas[payload]
                 replica.busy = False
-                self._retire_finished(replica, now, records)
+                self._retire_finished(
+                    replica, now, records, tracer if traced else None
+                )
                 if replica.running:
                     schedule_iteration(replica, now)
                 else:
@@ -691,7 +893,7 @@ class StaticEngine(_DecodeEngineBase):
         records.sort(key=lambda record: record.request.request_id)
         span = last_event - first_arrival
         active_replica_chips = self.num_replicas * self.model.num_stages
-        return self._report(
+        report = self._report(
             records,
             counters={
                 "iterations": iterations,
@@ -706,3 +908,16 @@ class StaticEngine(_DecodeEngineBase):
             peak_active=self.num_replicas,
             cache=self.plan_cache.stats.since(stats_before),
         )
+        if traced:
+            self._publish_run_metrics(
+                tracer,
+                report,
+                {
+                    "iterations": iterations,
+                    "preemptions": 0,
+                    "shed": 0,
+                    "scale_ups": 0,
+                    "scale_downs": 0,
+                },
+            )
+        return report

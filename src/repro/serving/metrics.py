@@ -106,6 +106,14 @@ class ServingReport:
 
     def summary(self) -> str:
         """One-paragraph description of the run."""
+        if not self.ok_requests:
+            # A run that served nothing has no percentiles or throughput to
+            # format — render a defined message instead of "nan req/s".
+            rejected = len(self.completed)
+            return (
+                f"no requests served on {self.num_chips} chip(s) "
+                f"({rejected} rejected, {self.recompilations} compiles)"
+            )
         tails = self.overall_percentiles
         return (
             f"{self.total_completed} requests on {self.num_chips} chip(s) "
@@ -262,6 +270,13 @@ class ContinuousReport:
     # ------------------------------------------------------------------ #
     def summary(self) -> str:
         """One-paragraph description of the run."""
+        if self.total_completed == 0:
+            # Nothing served (empty workload, or everything shed): the rate
+            # and percentile fields are all "no data" — say so directly.
+            return (
+                f"[{self.policy}] no requests served on {self.num_chips} "
+                f"chip(s) ({self.shed} shed, {self.iterations} iterations)"
+            )
         ttft = self.ttft_percentiles
         return (
             f"[{self.policy}] {self.total_completed} requests "

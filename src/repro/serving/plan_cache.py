@@ -34,6 +34,7 @@ from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
 from repro.core.parallel import SingleFlight
 from repro.hw.spec import ChipSpec
 from repro.ir.graph import OperatorGraph
+from repro.obs.trace import DOMAIN_WALL, Tracer, get_tracer
 
 #: How a cache lookup was satisfied.
 HIT_MEMORY = "hit-memory"
@@ -270,6 +271,24 @@ class PlanCache:
             self._stats.saved_seconds += compiled.compile_time_seconds
         return CacheLookup(compiled, HIT_MEMORY, key, time.perf_counter() - start)
 
+    def _trace_lookup(
+        self, tracer: Tracer, lookup: CacheLookup, start: float, *, waited: bool = False
+    ) -> None:
+        """One wall-domain span per lookup, named by outcome; followers that
+        rode on a leader's compile get a ``single-flight-wait`` span whose
+        duration is exactly the time they blocked."""
+        tracer.span(
+            "single-flight-wait" if waited else lookup.outcome,
+            ts=start - tracer.wall_origin,
+            dur=lookup.seconds,
+            track="cache/lookups",
+            domain=DOMAIN_WALL,
+            cat="cache",
+            args={"outcome": lookup.outcome, "key": lookup.key[:16]},
+        )
+        outcome = "single-flight-wait" if waited else lookup.outcome
+        tracer.metrics.counter(f"cache.{outcome}").inc()
+
     def get_or_compile(
         self,
         graph: OperatorGraph,
@@ -287,9 +306,12 @@ class PlanCache:
         ``scope`` extends the key (see :func:`plan_key`).
         """
         key = plan_key(graph, chip, constraints, scope=scope)
+        tracer = get_tracer()
         start = time.perf_counter()
         hit = self._memory_hit(key, start)
         if hit is not None:
+            if tracer.enabled:
+                self._trace_lookup(tracer, hit, start)
             return hit
 
         def miss() -> CacheLookup:
@@ -318,6 +340,8 @@ class PlanCache:
 
         lookup, leader = self._flight.do(key, miss)
         if leader:
+            if tracer.enabled:
+                self._trace_lookup(tracer, lookup, start)
             return lookup
         # A follower rode on the leader's compile: by the time it returns the
         # program is resident, so the lookup counts as a memory hit (with the
@@ -326,7 +350,12 @@ class PlanCache:
         with self._lock:
             self._stats.hits_memory += 1
             self._stats.saved_seconds += lookup.compiled.compile_time_seconds
-        return CacheLookup(lookup.compiled, HIT_MEMORY, key, time.perf_counter() - start)
+        followed = CacheLookup(
+            lookup.compiled, HIT_MEMORY, key, time.perf_counter() - start
+        )
+        if tracer.enabled:
+            self._trace_lookup(tracer, followed, start, waited=True)
+        return followed
 
     def warm(
         self,

@@ -31,6 +31,7 @@ from repro.hw.interconnect import InterconnectModel, default_interconnect
 from repro.hw.simulator import ChipSimulator, measure_compilation
 from repro.hw.spec import ChipSpec
 from repro.ir.graph import OperatorGraph
+from repro.obs.trace import Tracer, get_tracer
 from repro.serving.batcher import Batch
 from repro.serving.plan_cache import (
     COMPILE,
@@ -292,6 +293,25 @@ class WorkerPool:
         return "ok", "", model.latency
 
     # ------------------------------------------------------------------ #
+    def _trace_place(self, tracer: Tracer, execution: BatchExecution) -> None:
+        """One virtual-time occupancy span per chip the batch held."""
+        args = {
+            "batch": execution.batch.batch_id,
+            "requests": len(execution.batch.requests),
+            "padded": execution.batch.padded_size,
+            "outcome": execution.cache_outcome,
+            "status": execution.status,
+        }
+        for worker in execution.workers:
+            tracer.span(
+                "batch",
+                ts=execution.start_time,
+                dur=execution.completion_time - execution.start_time,
+                track=f"pool/chip{worker}",
+                cat="serving",
+                args=args,
+            )
+
     def place(
         self, batch: Batch, graph: OperatorGraph, *, num_stages: int = 1
     ) -> BatchExecution:
@@ -312,7 +332,7 @@ class WorkerPool:
         completion = start + cost.compile_seconds + cost.latency
         heapq.heappush(self._free, (completion, worker))
         self.busy_seconds += completion - start
-        return BatchExecution(
+        execution = BatchExecution(
             batch=batch,
             worker=worker,
             start_time=start,
@@ -324,6 +344,10 @@ class WorkerPool:
             error=cost.error,
             workers=(worker,),
         )
+        tracer = get_tracer()
+        if tracer.enabled:
+            self._trace_place(tracer, execution)
+        return execution
 
     def _place_sharded(
         self, batch: Batch, graph: OperatorGraph, num_stages: int
@@ -340,7 +364,7 @@ class WorkerPool:
         for worker in workers:
             heapq.heappush(self._free, (completion, worker))
         self.busy_seconds += (completion - start) * num_stages
-        return BatchExecution(
+        execution = BatchExecution(
             batch=batch,
             worker=workers[0],
             start_time=start,
@@ -352,6 +376,10 @@ class WorkerPool:
             error=error,
             workers=workers,
         )
+        tracer = get_tracer()
+        if tracer.enabled:
+            self._trace_place(tracer, execution)
+        return execution
 
     # ------------------------------------------------------------------ #
     @property

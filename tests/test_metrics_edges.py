@@ -1,0 +1,254 @@
+"""Degenerate-input metrics edges and cache-stat accounting regressions.
+
+Two audits ride together here:
+
+* the metric helpers in :mod:`repro.runtime.metrics` and the report
+  summaries in :mod:`repro.serving.metrics` must return *defined* values on
+  empty or degenerate inputs (no silent ``nan`` leaking into tables), and
+* :class:`repro.serving.plan_cache.CacheStats` search-accounting fields
+  (``sketched_candidates`` / ``materialized_plans``) must accumulate only on
+  true compiles — never on warm hits, disk hits, or single-flight followers.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.core import T10Compiler
+from repro.runtime.metrics import (
+    goodput_rps,
+    latency_percentiles,
+    percentile,
+    slo_attainment,
+    throughput_rps,
+)
+from repro.serving import PlanCache, StaticEngine
+from repro.serving.plan_cache import COMPILE, HIT_DISK, HIT_MEMORY
+
+from test_continuous import make_engine, make_model, tiny_decode_builder
+
+
+@pytest.fixture()
+def cache(small_cost_model, fast_constraints):
+    """A plan cache compiling with the shared test cost model."""
+    return PlanCache(
+        compiler_factory=lambda chip, constraints: T10Compiler(
+            chip, cost_model=small_cost_model, constraints=constraints
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# percentile / throughput degenerate edges (runtime.metrics)
+# --------------------------------------------------------------------------- #
+class TestPercentileEdges:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50.0))
+        tails = latency_percentiles([])
+        assert all(math.isnan(value) for value in tails.values())
+
+    def test_nan_entries_are_dropped_not_sorted(self):
+        # Regression: nan entries used to flow into sorted() and land at an
+        # arbitrary rank, silently corrupting every percentile.
+        clean = [1.0, 2.0, 3.0, 4.0]
+        dirty = [1.0, float("nan"), 2.0, 3.0, float("nan"), 4.0]
+        for q in (0.0, 50.0, 95.0, 100.0):
+            assert percentile(dirty, q) == percentile(clean, q)
+
+    def test_all_nan_is_nan(self):
+        assert math.isnan(percentile([float("nan")] * 3, 99.0))
+
+    def test_infinities_are_kept(self):
+        # An infinite latency is real data (a stuck request), not a gap.
+        assert percentile([1.0, float("inf")], 100.0) == float("inf")
+        assert percentile([1.0, float("inf")], 0.0) == 1.0
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+
+    def test_single_value(self):
+        assert percentile([7.5], 99.0) == 7.5
+
+
+class TestRateEdges:
+    def test_zero_completions_is_zero_throughput(self):
+        assert throughput_rps(0, 10.0) == 0.0
+        assert throughput_rps(0, 0.0) == 0.0
+
+    def test_degenerate_window_is_nan_not_zero(self):
+        # Completions with no time span have no meaningful rate; returning
+        # 0.0 would claim the system did nothing.
+        assert math.isnan(throughput_rps(5, 0.0))
+        assert math.isnan(throughput_rps(5, -1.0))
+        assert math.isnan(goodput_rps(5, 0.0))
+
+    def test_goodput_rejects_negative_counts(self):
+        with pytest.raises(ValueError):
+            goodput_rps(-1, 1.0)
+
+    def test_slo_attainment_empty_is_nan(self):
+        assert math.isnan(slo_attainment([], 1.0))
+
+    def test_slo_attainment_rejects_negative_slo(self):
+        with pytest.raises(ValueError):
+            slo_attainment([1.0], -0.5)
+
+
+# --------------------------------------------------------------------------- #
+# Report summaries on empty runs (serving.metrics)
+# --------------------------------------------------------------------------- #
+class TestEmptyRunSummaries:
+    def test_continuous_empty_run_summary_is_defined(
+        self, cache, small_chip, fast_constraints
+    ):
+        report = make_engine(cache, small_chip, fast_constraints).run([])
+        text = report.summary()
+        assert "no requests served" in text
+        assert "nan" not in text
+
+    def test_static_empty_run_summary_is_defined(
+        self, cache, small_chip, fast_constraints
+    ):
+        engine = StaticEngine(
+            make_model(), chip=small_chip, constraints=fast_constraints, plan_cache=cache
+        )
+        report = engine.run([])
+        text = report.summary()
+        assert "no requests served" in text
+        assert "nan" not in text
+
+    def test_all_shed_run_summary_is_defined(self, cache, small_chip, fast_constraints):
+        from test_continuous import request
+
+        engine = make_engine(cache, small_chip, fast_constraints)
+        unit = engine.iteration_latency(1)
+        report = engine.run([request(0, 0.0, tokens=50, deadline=unit * 0.5)])
+        assert report.total_completed == 0
+        assert report.shed == 1
+        text = report.summary()
+        assert "no requests served" in text
+        assert "1 shed" in text
+        assert "nan" not in text
+
+    def test_empty_run_rates_follow_conventions(
+        self, cache, small_chip, fast_constraints
+    ):
+        report = make_engine(cache, small_chip, fast_constraints).run([])
+        assert report.throughput == 0.0
+        assert report.goodput == 0.0
+        assert report.token_throughput == 0.0
+        assert math.isnan(report.slo_attainment)
+        assert report.utilization == 0.0
+        assert report.mean_active_chips == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# CacheStats search accounting (serving.plan_cache)
+# --------------------------------------------------------------------------- #
+class TestCacheStatsAccumulation:
+    def test_cold_compile_accumulates_search_counters(
+        self, cache, small_chip, fast_constraints
+    ):
+        graph = tiny_decode_builder(1)
+        lookup = cache.get_or_compile(graph, small_chip, fast_constraints)
+        assert lookup.outcome == COMPILE
+        assert cache.stats.misses == 1
+        # The stats mirror exactly the compiled model's own accounting.
+        assert cache.stats.sketched_candidates == lookup.compiled.sketched_candidates
+        assert cache.stats.materialized_plans == lookup.compiled.materialized_plans
+        assert cache.stats.sketched_candidates > 0
+        assert cache.stats.materialized_plans > 0
+
+    def test_warm_hit_does_not_accumulate(self, cache, small_chip, fast_constraints):
+        cache.get_or_compile(tiny_decode_builder(1), small_chip, fast_constraints)
+        after_compile = cache.stats.snapshot()
+        warm = cache.get_or_compile(
+            tiny_decode_builder(1), small_chip, fast_constraints
+        )
+        assert warm.outcome == HIT_MEMORY
+        delta = cache.stats.since(after_compile)
+        assert delta.hits_memory == 1
+        assert delta.misses == 0
+        assert delta.sketched_candidates == 0
+        assert delta.materialized_plans == 0
+        assert delta.compile_seconds == 0.0
+        assert delta.saved_seconds > 0.0
+
+    def test_disk_hit_does_not_accumulate(
+        self, small_cost_model, small_chip, fast_constraints, tmp_path
+    ):
+        def factory(chip, constraints):
+            return T10Compiler(
+                chip, cost_model=small_cost_model, constraints=constraints
+            )
+
+        first = PlanCache(tmp_path, compiler_factory=factory)
+        first.get_or_compile(tiny_decode_builder(1), small_chip, fast_constraints)
+        first.close()
+        # A fresh process (new cache, same directory) finds the program on
+        # disk: a hit, so the search counters stay zero.
+        second = PlanCache(tmp_path, compiler_factory=factory)
+        lookup = second.get_or_compile(
+            tiny_decode_builder(1), small_chip, fast_constraints
+        )
+        assert lookup.outcome == HIT_DISK
+        assert second.stats.hits_disk == 1
+        assert second.stats.misses == 0
+        assert second.stats.sketched_candidates == 0
+        assert second.stats.materialized_plans == 0
+        second.close()
+
+    def test_concurrent_misses_accumulate_exactly_once(
+        self, cache, small_chip, fast_constraints
+    ):
+        # Many threads race one cold key: single-flight elects one compiler;
+        # followers count as memory hits and must not double the search
+        # accounting.
+        num_threads = 6
+        barrier = threading.Barrier(num_threads)
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def lookup_one():
+            barrier.wait()
+            lookup = cache.get_or_compile(
+                tiny_decode_builder(2), small_chip, fast_constraints
+            )
+            with lock:
+                outcomes.append(lookup.outcome)
+
+        threads = [threading.Thread(target=lookup_one) for _ in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert len(outcomes) == num_threads
+        assert outcomes.count(COMPILE) == 1
+        assert outcomes.count(HIT_MEMORY) == num_threads - 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits_memory == num_threads - 1
+        reference = cache.get_or_compile(
+            tiny_decode_builder(2), small_chip, fast_constraints
+        )
+        assert cache.stats.sketched_candidates == reference.compiled.sketched_candidates
+        assert cache.stats.materialized_plans == reference.compiled.materialized_plans
+
+    def test_engine_run_reports_zero_search_work_when_warm(
+        self, cache, small_chip, fast_constraints
+    ):
+        from test_continuous import request
+
+        engine = make_engine(cache, small_chip, fast_constraints)
+        engine.warm()
+        warm_sketched = cache.stats.sketched_candidates
+        report = engine.run([request(0, 0.0), request(1, 0.0)])
+        # Serving a warm engine does no plan-search work at all.
+        assert report.cache.misses == 0
+        assert cache.stats.sketched_candidates == warm_sketched
