@@ -99,6 +99,21 @@ class PipelineSimulator:
             for i, latency in enumerate(self.stage_latencies)
         )
 
+    def scaled(self, link_factor: float) -> "PipelineSimulator":
+        """This pipeline with every stage-boundary transfer ``link_factor``
+        times slower (compute latencies untouched).
+
+        This is how the fault layer prices link degradation: a congested or
+        flapping interconnect stretches activation transfers, which widens
+        the pipeline bottleneck without changing any stage's compute time.
+        """
+        if link_factor < 1.0:
+            raise ValueError(f"link_factor must be >= 1, got {link_factor}")
+        return PipelineSimulator(
+            self.stage_latencies,
+            tuple(transfer * link_factor for transfer in self.transfer_times),
+        )
+
     def run(self, num_micro_batches: int, *, trace_label: str = "") -> PipelineResult:
         """Simulate ``num_micro_batches`` micro-batches streaming through.
 

@@ -107,6 +107,15 @@ class ShardedModel:
             )
         return PipelineSimulator(self.stage_latencies, self.transfer_times)
 
+    def degraded_simulator(self, link_factor: float) -> PipelineSimulator:
+        """Pipeline simulator with stage-boundary links slowed ``link_factor``x.
+
+        Used by the serving fault layer to price iterations executed during a
+        link-degradation window; single-stage models have no links and so are
+        unaffected (the returned simulator equals :meth:`simulator`).
+        """
+        return self.simulator().scaled(link_factor)
+
     def pipeline(self, num_micro_batches: int = 1) -> PipelineResult:
         """Pipelined execution of ``num_micro_batches`` micro-batches."""
         return self.simulator().run(num_micro_batches)
@@ -212,14 +221,20 @@ class ShardedCompiler:
             )
         return memo
 
-    def compile(self, graph: OperatorGraph, num_stages: int) -> ShardedModel:
+    def compile(
+        self, graph: OperatorGraph, num_stages: int, *, scope: str = ""
+    ) -> ShardedModel:
         """Shard ``graph`` into ``num_stages`` stages and compile each one.
 
         Every stage goes through the plan cache under a scope naming its
         slice, so repeated compiles (and structurally identical stages) are
         cached independently and never conflated with the unsharded graph.
-        A stage that fails to compile (OOM) fails the whole sharding with
-        the stage index in the diagnosis.
+        A caller-supplied ``scope`` prefixes each stage's slice scope
+        (``{scope}:{stage}``) — the serving fault layer namespaces a restarted
+        replica's programs this way so
+        :meth:`~repro.serving.plan_cache.PlanCache.evict_scope` can model the
+        replica's cold program store.  A stage that fails to compile (OOM)
+        fails the whole sharding with the stage index in the diagnosis.
         """
         try:
             partition = self.partition(graph, num_stages)
@@ -234,11 +249,12 @@ class ShardedCompiler:
         stages: list[StagePlan] = []
         for stage_slice in partition.slices:
             sub = stage_subgraph(graph, stage_slice, num_stages)
+            stage_scope = stage_slice.scope(num_stages)
             lookup = self.plan_cache.get_or_compile(
                 sub,
                 self.chip,
                 self.constraints,
-                scope=stage_slice.scope(num_stages),
+                scope=f"{scope}:{stage_scope}" if scope else stage_scope,
             )
             status, error, latency = self._measure(lookup.key, lookup.compiled)
             boundary = stage_slice.index

@@ -26,6 +26,7 @@ from repro.experiments import (
     fig25_serving,
     fig26_multichip,
     fig27_continuous,
+    fig29_chaos,
     tab02_models,
     tab03_hardware,
 )
@@ -59,6 +60,7 @@ ALL_EXPERIMENTS = {
     "fig25": fig25_serving,
     "fig26": fig26_multichip,
     "fig27": fig27_continuous,
+    "fig29": fig29_chaos,
     "tab02": tab02_models,
     "tab03": tab03_hardware,
     "ablation": ablation,

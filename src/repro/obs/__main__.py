@@ -3,11 +3,12 @@
 Subcommands::
 
     python -m repro.obs fig27 --quick --out trace.json     # traced fig27 run
+    python -m repro.obs fig29 --quick --out trace.json     # traced chaos replay
     python -m repro.obs bench --quick --out trace.json     # traced quick bench
     python -m repro.obs summary trace.jsonl                # digest a JSONL log
     python -m repro.obs overhead                           # disabled-tracer cost
 
-``fig27``/``bench`` install an ambient tracer, run the experiment, then
+``fig27``/``fig29``/``bench`` install an ambient tracer, run the experiment, then
 write the Chrome-trace JSON (``--out``, Perfetto-loadable), optionally the
 raw JSONL event log (``--jsonl``), and print the text summary.
 """
@@ -53,6 +54,19 @@ def _cmd_fig27(args: argparse.Namespace) -> int:
         rows = fig27_continuous.run(quick=args.quick, jobs=args.jobs)
     if not args.summary:
         print_table(rows, title="Figure 27: continuous vs static batching")
+    _export(tracer, args)
+    return 0
+
+
+def _cmd_fig29(args: argparse.Namespace) -> int:
+    from repro.experiments import fig29_chaos
+    from repro.experiments.common import print_table
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        rows = fig29_chaos.run(quick=args.quick, jobs=args.jobs)
+    if not args.summary:
+        print_table(rows, title="Figure 29: goodput under chip failure (chaos replay)")
     _export(tracer, args)
     return 0
 
@@ -109,6 +123,14 @@ def main(argv: list[str] | None = None) -> int:
     fig27.add_argument("--jobs", type=int, default=1, help="compilation parallelism")
     _add_export_flags(fig27)
     fig27.set_defaults(fn=_cmd_fig27)
+
+    fig29 = sub.add_parser(
+        "fig29", help="run a traced fig29 chaos replay (fault injection)"
+    )
+    fig29.add_argument("--quick", action="store_true", help="small model / short workload")
+    fig29.add_argument("--jobs", type=int, default=1, help="compilation parallelism")
+    _add_export_flags(fig29)
+    fig29.set_defaults(fn=_cmd_fig29)
 
     bench = sub.add_parser("bench", help="run a traced compile benchmark")
     bench.add_argument("--quick", action="store_true", help="truncated models, fast search")

@@ -50,11 +50,25 @@ from repro.serving.continuous import (
     DecodeModel,
     StaticEngine,
 )
+from repro.serving.faults import (
+    FAULT_CHIP_DEATH,
+    FAULT_LINK_DEGRADATION,
+    FAULT_RESTART,
+    FaultEvent,
+    FaultSchedule,
+    Watchdog,
+    chip_death,
+    link_degradation,
+    restart,
+)
 from repro.serving.metrics import (
     ContinuousReport,
+    FaultStats,
     ModelStats,
     ServingReport,
     build_model_stats,
+    dip_and_recovery,
+    goodput_timeline,
 )
 from repro.serving.plan_cache import (
     COMPILE,
@@ -98,6 +112,12 @@ __all__ = [
     "DecodeModel",
     "DecodeRequest",
     "DynamicBatcher",
+    "FAULT_CHIP_DEATH",
+    "FAULT_LINK_DEGRADATION",
+    "FAULT_RESTART",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultStats",
     "HIT_DISK",
     "HIT_MEMORY",
     "InferenceRequest",
@@ -113,13 +133,19 @@ __all__ = [
     "ServingReport",
     "ServingScheduler",
     "StaticEngine",
+    "Watchdog",
     "WorkerPool",
     "batch_buckets",
     "bucket_for",
     "build_model_stats",
+    "chip_death",
     "decode_workload",
+    "dip_and_recovery",
+    "goodput_timeline",
+    "link_degradation",
     "merge_workloads",
     "plan_key",
     "poisson_workload",
+    "restart",
     "uniform_workload",
 ]

@@ -47,7 +47,18 @@ from repro.obs.trace import (
 )
 from repro.obs.registry import publish_stats
 from repro.serving.batcher import batch_buckets, bucket_for
-from repro.serving.metrics import ContinuousReport
+from repro.serving.faults import (
+    FAULT_CHIP_DEATH,
+    FAULT_LINK_DEGRADATION,
+    FAULT_RESTART,
+    FaultEvent,
+    FaultSchedule,
+    Watchdog,
+    _ChipOnline,
+    _Detect,
+    _LinkRestored,
+)
+from repro.serving.metrics import ContinuousReport, FaultStats
 from repro.serving.plan_cache import CacheStats, PlanCache
 from repro.serving.request import (
     DECODE_OK,
@@ -118,6 +129,12 @@ class _Running:
     tokens_done: int = 0
     first_token_time: float = float("nan")
     preemptions: int = 0
+    origin: int = -1
+    """Replica whose chips hold this request's KV state.  Progress only
+    survives preemption on *this* replica; resuming anywhere else must
+    re-prefill from scratch (the KV cache never left the original chips)."""
+    requeues: int = 0
+    """Times progress was discarded (dead replica, or cross-replica resume)."""
 
     @property
     def done(self) -> bool:
@@ -146,12 +163,29 @@ class _Replica:
     running: list[_Running] = field(default_factory=list)
     bucket: int = 0
     """Static engine only: the bucket the current batch was compiled for."""
+    chips: tuple[int, ...] = ()
+    """The physical chips currently backing this replica (``num_stages`` of
+    them; empty while the replica is dead and awaiting re-placement)."""
+    dead: bool = False
+    epoch: int = 0
+    """Bumped on every death and re-placement; in-flight iteration-end events
+    carry the epoch they were scheduled under and are dropped when stale."""
+    iter_start: float = 0.0
+    iter_latency: float = 0.0
+    cache_scope: str = ""
+    """Plan-cache namespace of this replica's program store (empty = the
+    shared warm namespace; set after a cold restart)."""
+    generation: int = 0
+    """Cold restarts this replica has been through (names the cache scope)."""
 
 
-#: Event kinds, ordered so same-timestamp arrivals precede iteration ends —
-#: a request arriving exactly at an iteration boundary is admissible there.
-_EV_ARRIVAL = 0
-_EV_ITER_END = 1
+#: Event kinds, ordered so same-timestamp faults strike before arrivals and
+#: arrivals precede iteration ends — a chip death at an iteration boundary
+#: kills the in-flight iteration, and a request arriving exactly at a
+#: boundary is admissible there.
+_EV_FAULT = 0
+_EV_ARRIVAL = 1
+_EV_ITER_END = 2
 
 
 class _DecodeEngineBase:
@@ -195,6 +229,11 @@ class _DecodeEngineBase:
         self.num_replicas = num_chips // model.num_stages
         self._graphs: dict[int, OperatorGraph] = {}
         self._costs: dict[int, IterationCost] = {}
+        #: Per-bucket sharded models (num_stages > 1 only): the fault layer
+        #: re-prices iterations through their pipeline simulator when the
+        #: inter-chip links run degraded.
+        self._sharded_models: dict[int, object] = {}
+        self._degraded_costs: dict[tuple[int, float], float] = {}
         self.warm_compile_seconds = 0.0
 
     # ------------------------------------------------------------------ #
@@ -243,8 +282,39 @@ class _DecodeEngineBase:
             self._costs[bucket] = IterationCost(
                 cost.status, cost.error, cost.latency, 0.0, cost.cache_outcome
             )
+            if self.model.num_stages > 1:
+                # Memoised by the pool: no extra compile, just the handle the
+                # link-degradation pricing needs.
+                self._sharded_models[bucket] = self.pool.sharded_model(
+                    self._graph(bucket), self.model.num_stages
+                )
             costs.append(self._costs[bucket])
         return costs
+
+    def _degraded_latency(self, bucket: int, link_factor: float) -> float:
+        """Iteration latency of ``bucket`` with stage links ``link_factor``x
+        slower (memoised; only meaningful for sharded models)."""
+        key = (bucket, link_factor)
+        latency = self._degraded_costs.get(key)
+        if latency is None:
+            model = self._sharded_models[bucket]
+            result = model.degraded_simulator(link_factor).run(1)
+            latency = self._degraded_costs[key] = result.total_latency
+        return latency
+
+    def _make_replicas(self, *, active: bool) -> list["_Replica"]:
+        """The fleet's replicas with their static chip-group assignment:
+        replica ``i`` owns chips ``[i * num_stages, (i + 1) * num_stages)``.
+        Chips beyond ``num_replicas * num_stages`` start as spares."""
+        stages = self.model.num_stages
+        return [
+            _Replica(
+                index=i,
+                active=active,
+                chips=tuple(range(i * stages, (i + 1) * stages)),
+            )
+            for i in range(self.num_replicas)
+        ]
 
     def iteration_latency(self, batch_size: int = 1) -> float:
         """Simulated latency of one decode iteration at ``batch_size``.
@@ -276,13 +346,12 @@ class _DecodeEngineBase:
         """Track-group (Perfetto process) of this engine's trace events."""
         return f"{self.policy}@{self.num_chips}chips"
 
-    def _chip_tracks(self, replica_index: int) -> tuple[str, ...]:
-        """Occupancy tracks of the chips backing ``replica_index`` (one per
-        chip: pipeline-sharded models occupy a whole chip group)."""
-        stages = self.model.num_stages
+    def _chip_tracks(self, replica: "_Replica") -> tuple[str, ...]:
+        """Occupancy tracks of the chips currently backing ``replica`` (one
+        per chip: pipeline-sharded models occupy a whole chip group).  After
+        a failover the replica's spans land on its *new* chips' tracks."""
         group = self.trace_group
-        first = replica_index * stages
-        return tuple(f"{group}/chip{chip}" for chip in range(first, first + stages))
+        return tuple(f"{group}/chip{chip}" for chip in replica.chips)
 
     def _flow_id(self, request_id: int) -> str:
         """Per-trace-unique flow id for one request's lifecycle arrows."""
@@ -305,7 +374,7 @@ class _DecodeEngineBase:
     def _trace_admit(
         self, tracer: Tracer, request: DecodeRequest, replica: "_Replica", now: float
     ) -> None:
-        track = self._chip_tracks(replica.index)[0]
+        track = self._chip_tracks(replica)[0]
         tracer.instant(
             "admit",
             ts=now,
@@ -329,26 +398,35 @@ class _DecodeEngineBase:
             "bucket": bucket_for(len(replica.running), self.model.max_batch_size),
             "requests": ",".join(str(r.request.request_id) for r in replica.running),
         }
-        for track in self._chip_tracks(replica.index):
+        for track in self._chip_tracks(replica):
             tracer.span(
                 "iteration", ts=now, dur=latency, track=track, cat="decode", args=args
             )
 
     def _trace_done(
-        self, tracer: Tracer, record: CompletedDecode, replica: "_Replica", now: float
+        self,
+        tracer: Tracer,
+        record: CompletedDecode,
+        replica: "_Replica | None",
+        now: float,
     ) -> None:
         """Lifecycle close-out shared by retirement and shedding: the flow
-        arrow lands on the serving chip and one async lifecycle span covers
-        arrival → completion on the request lane (exactly one per request —
-        the invariant the determinism tests count)."""
+        arrow lands on the serving chip (or the request lane for shed
+        requests, which never held a chip) and one async lifecycle span
+        covers arrival → completion on the request lane (exactly one per
+        request — the invariant the determinism tests count)."""
         group = self.trace_group
         request = record.request
         name = "retire" if record.ok else "shed"
-        chip_track = self._chip_tracks(replica.index)[0]
+        end_track = (
+            self._chip_tracks(replica)[0]
+            if replica is not None
+            else f"{group}/requests"
+        )
         tracer.instant(
             name,
             ts=now,
-            track=chip_track,
+            track=end_track,
             cat="lifecycle",
             args={"request": request.request_id, "tokens": record.tokens_generated},
         )
@@ -356,7 +434,7 @@ class _DecodeEngineBase:
             KIND_FLOW_END,
             self._flow_id(request.request_id),
             ts=now,
-            track=chip_track,
+            track=end_track,
             name="request",
         )
         tracer.async_span(
@@ -371,7 +449,7 @@ class _DecodeEngineBase:
                 "status": record.status,
                 "tokens": record.tokens_generated,
                 "preemptions": record.preemptions,
-                "replica": replica.index,
+                "replica": record.replica,
             },
         )
 
@@ -387,6 +465,8 @@ class _DecodeEngineBase:
             {"completed": report.total_completed, "tokens": report.total_tokens},
         )
         publish_stats(tracer.metrics, f"{prefix}.cache", report.cache.as_dict())
+        if report.faults.any:
+            publish_stats(tracer.metrics, f"{prefix}.faults", report.faults)
         latency = tracer.metrics.histogram(f"{prefix}.latency_s")
         ttft = tracer.metrics.histogram(f"{prefix}.ttft_s")
         for record in report.completed:
@@ -417,6 +497,7 @@ class _DecodeEngineBase:
                     tokens_generated=running.tokens_done,
                     preemptions=running.preemptions,
                     replica=replica.index,
+                    requeues=running.requeues,
                 )
                 records.append(record)
                 if tracer is not None:
@@ -450,6 +531,7 @@ class _DecodeEngineBase:
         active_span: float,
         peak_active: int,
         cache: CacheStats,
+        faults: FaultStats | None = None,
     ) -> ContinuousReport:
         """Assemble the run report shared by both engines.
 
@@ -483,6 +565,8 @@ class _DecodeEngineBase:
             scale_ups=counters["scale_ups"],
             scale_downs=counters["scale_downs"],
             peak_active_chips=peak_active * self.model.num_stages,
+            migrations=counters.get("migrations", 0),
+            faults=faults if faults is not None else FaultStats(),
         )
 
 
@@ -540,13 +624,34 @@ class ContinuousEngine(_DecodeEngineBase):
         self.shed_enabled = shed
 
     # ------------------------------------------------------------------ #
-    def run(self, requests: Sequence[DecodeRequest]) -> ContinuousReport:
-        """Replay one decode workload and return the full report."""
+    def run(
+        self,
+        requests: Sequence[DecodeRequest],
+        *,
+        faults: FaultSchedule | None = None,
+        watchdog: Watchdog | None = None,
+    ) -> ContinuousReport:
+        """Replay one decode workload and return the full report.
+
+        ``faults`` injects chip deaths, restarts and link-degradation
+        windows into the event loop as first-class virtual-time events (see
+        :mod:`repro.serving.faults`); ``watchdog`` sets the
+        failure-detection delay and the degraded-mode shedding policy.
+        Both default to a fault-free run, which behaves exactly as before.
+        Like everything else in the engine, faults live entirely in virtual
+        time, so a chaos run is just as bit-for-bit reproducible as a clean
+        one.
+        """
         ordered = self._check_requests(requests)
+        schedule = (faults if faults is not None else FaultSchedule()).for_fleet(
+            self.num_chips
+        )
+        wd = watchdog if watchdog is not None else Watchdog()
         self.warm()
         tracer = get_tracer()
         traced = tracer.enabled
         fleet_track = f"{self.trace_group}/fleet"
+        stages = self.model.num_stages
 
         # EDF queue of interactive requests: (deadline, arrival, id, request).
         # Deadline-free interactive requests sort after any deadline but
@@ -554,13 +659,32 @@ class ContinuousEngine(_DecodeEngineBase):
         iq: list[tuple[float, float, int, DecodeRequest]] = []
         bq: deque[DecodeRequest] = deque()
         preempted: deque[_Running] = deque()
-        replicas = [_Replica(i) for i in range(self.num_replicas)]
+        replicas = self._make_replicas(active=False)
         for replica in replicas[: self.min_replicas]:
             replica.active = True
+        # Chips not backing any replica (the fleet remainder when num_chips
+        # is not a multiple of num_stages) are failover capacity.
+        spares: list[int] = list(range(self.num_replicas * stages, self.num_chips))
+        dead_chips: set[int] = set()
+        # Chips that came back cold: the next replica formed over one of
+        # them re-warms its buckets under a fresh plan-cache namespace.
+        cold_chips: set[int] = set()
+        fault_stats = FaultStats()
+        # Requeue counts and original admission times of requests pulled off
+        # dead replicas, restored when they are re-admitted (or shed).
+        requeue_counts: dict[int, int] = {}
+        first_admits: dict[int, float] = {}
         records: list[CompletedDecode] = []
         seq = itertools.count()
         events: list[tuple[float, int, int, object]] = []
         self._seed_arrivals(ordered, seq, events)
+        for fault in schedule:
+            heapq.heappush(events, (fault.time, _EV_FAULT, next(seq), fault))
+            if fault.kind == FAULT_LINK_DEGRADATION and math.isfinite(fault.until):
+                heapq.heappush(
+                    events,
+                    (fault.until, _EV_FAULT, next(seq), _LinkRestored(fault.factor)),
+                )
 
         stats_before = self.plan_cache.stats.snapshot()
         counters = {
@@ -569,6 +693,7 @@ class ContinuousEngine(_DecodeEngineBase):
             "shed": 0,
             "scale_ups": 0,
             "scale_downs": 0,
+            "migrations": 0,
         }
         busy_chip_seconds = 0.0
         active_chip_seconds = 0.0
@@ -584,12 +709,19 @@ class ContinuousEngine(_DecodeEngineBase):
         def queued_total() -> int:
             return len(iq) + len(bq) + len(preempted)
 
+        def degraded() -> bool:
+            return any(replica.dead for replica in replicas)
+
         def integrate(now: float) -> None:
             nonlocal active_chip_seconds, last_time
-            active_chip_seconds += (
-                (now - last_time) * active_count() * self.model.num_stages
-            )
+            active_chip_seconds += (now - last_time) * active_count() * stages
             last_time = now
+
+        def enqueue_interactive(request: DecodeRequest) -> None:
+            deadline = request.deadline if request.deadline is not None else math.inf
+            heapq.heappush(
+                iq, (deadline, request.arrival_time, request.request_id, request)
+            )
 
         def shed_check(request: DecodeRequest, now: float) -> bool:
             """True when the request's projected completion misses its deadline.
@@ -604,20 +736,26 @@ class ContinuousEngine(_DecodeEngineBase):
             projected = now + self.model.total_iterations(request) * est_iteration
             return projected > request.deadline
 
-        def shed(request: DecodeRequest, now: float, replica: _Replica) -> None:
+        def shed(request: DecodeRequest, now: float) -> None:
+            # A shed request never joined a batch or held a replica: record
+            # NaN / the -1 sentinel (not fabricated values) so TTFT/goodput
+            # accounting can never mistake it for a served request.  A
+            # request requeued off a dead replica and shed afterwards keeps
+            # its real first admission time.
             counters["shed"] += 1
             record = CompletedDecode(
                 request=request,
                 status=DECODE_SHED,
-                admitted_time=now,
+                admitted_time=first_admits.pop(request.request_id, float("nan")),
                 first_token_time=float("nan"),
                 completion_time=now,
                 tokens_generated=0,
-                replica=replica.index,
+                replica=-1,
+                requeues=requeue_counts.pop(request.request_id, 0),
             )
             records.append(record)
             if traced:
-                self._trace_done(tracer, record, replica, now)
+                self._trace_done(tracer, record, None, now)
 
         def queue_sample(now: float) -> None:
             """Fleet-level counter tracks: queue depths and active replicas."""
@@ -640,8 +778,10 @@ class ContinuousEngine(_DecodeEngineBase):
                 self._trace_admit(tracer, request, replica, now)
             return _Running(
                 request=request,
-                admitted_time=now,
+                admitted_time=first_admits.pop(request.request_id, now),
                 prefill_remaining=self.model.prefill_iterations(request.prompt_tokens),
+                origin=replica.index,
+                requeues=requeue_counts.pop(request.request_id, 0),
             )
 
         def admit(replica: _Replica, now: float) -> None:
@@ -650,7 +790,7 @@ class ContinuousEngine(_DecodeEngineBase):
             while iq and len(running) < self.model.max_batch_size:
                 _, _, _, request = heapq.heappop(iq)
                 if shed_check(request, now):
-                    shed(request, now, replica)
+                    shed(request, now)
                     continue
                 running.append(admit_one(request, replica, now))
             # Priority preemption: interactive requests still waiting evict
@@ -666,7 +806,7 @@ class ContinuousEngine(_DecodeEngineBase):
                     break
                 _, _, _, request = heapq.heappop(iq)
                 if shed_check(request, now):
-                    shed(request, now, replica)
+                    shed(request, now)
                     continue
                 victim = running.pop(victim_index)
                 victim.preemptions += 1
@@ -676,7 +816,7 @@ class ContinuousEngine(_DecodeEngineBase):
                     tracer.instant(
                         "preempt",
                         ts=now,
-                        track=self._chip_tracks(replica.index)[0],
+                        track=self._chip_tracks(replica)[0],
                         cat="lifecycle",
                         args={
                             "victim": victim.request.request_id,
@@ -685,14 +825,28 @@ class ContinuousEngine(_DecodeEngineBase):
                     )
                 running.append(admit_one(request, replica, now))
             # Preempted best-effort work resumes before fresh best-effort
-            # admissions (its progress is sunk cost).
+            # admissions (its progress is sunk cost) — but progress only
+            # survives on the replica whose chips still hold its KV state;
+            # resuming anywhere else must re-prefill from scratch (the KV
+            # cache never crossed chips, so a free migration would be
+            # physically impossible).
             while preempted and len(running) < self.model.max_batch_size:
                 resumed = preempted.popleft()
+                migrated = resumed.origin != replica.index
+                if migrated:
+                    counters["migrations"] += 1
+                    resumed.requeues += 1
+                    resumed.prefill_remaining = self.model.prefill_iterations(
+                        resumed.request.prompt_tokens
+                    )
+                    resumed.tokens_done = 0
+                    resumed.first_token_time = float("nan")
+                    resumed.origin = replica.index
                 if traced:
                     tracer.instant(
-                        "resume",
+                        "migrate" if migrated else "resume",
                         ts=now,
-                        track=self._chip_tracks(replica.index)[0],
+                        track=self._chip_tracks(replica)[0],
                         cat="lifecycle",
                         args={"request": resumed.request.request_id},
                     )
@@ -700,9 +854,273 @@ class ContinuousEngine(_DecodeEngineBase):
             while bq and len(running) < self.model.max_batch_size:
                 running.append(admit_one(bq.popleft(), replica, now))
 
+        # ----------------------------- faults ------------------------- #
+        def fault_sample(now: float) -> None:
+            """Degraded-mode counter track: fleet health at a glance."""
+            tracer.counter(
+                "faults",
+                ts=now,
+                track=fleet_track,
+                values={
+                    "dead_replicas": sum(1 for r in replicas if r.dead),
+                    "spares": len(spares),
+                    "requeued": fault_stats.requeued,
+                    "degraded_sheds": fault_stats.degraded_sheds,
+                },
+            )
+
+        def degraded_shed(now: float) -> None:
+            """Degraded-mode admission: while any replica is dead, cap the
+            best-effort backlog at ``degraded_shed_queue`` per surviving
+            active replica, shedding newest-first (oldest backlog keeps its
+            slot; interactive traffic is governed by its own deadline
+            check)."""
+            if wd.degraded_shed_queue is None or not degraded():
+                return
+            cap = wd.degraded_shed_queue * max(1, active_count())
+            dropped = False
+            while len(bq) > cap:
+                fault_stats.degraded_sheds += 1
+                shed(bq.pop(), now)
+                dropped = True
+            if dropped and traced:
+                fault_sample(now)
+
+        def rewarm(replica: _Replica) -> None:
+            """Re-fetch every bucket program under a fresh per-replica
+            namespace: a revived chip's program store is cold, so the
+            compiles are real (and visible in the cache counters) but —
+            being wall-clock — never touch virtual time."""
+            replica.generation += 1
+            replica.cache_scope = f"replica{replica.index}-gen{replica.generation}"
+            for bucket in batch_buckets(self.model.max_batch_size):
+                cost = self.pool.profile(
+                    self._graph(bucket), num_stages=stages, scope=replica.cache_scope
+                )
+                fault_stats.restart_compile_seconds += cost.compile_seconds
+
+        def try_place(now: float) -> None:
+            """Re-place dead, drained replicas onto surviving spare chips
+            (pipeline-stage failover for sharded models)."""
+            nonlocal peak_active
+            for replica in replicas:
+                if not replica.dead or replica.running or len(spares) < stages:
+                    continue
+                spares.sort()
+                replica.chips = tuple(spares[:stages])
+                del spares[:stages]
+                replica.dead = False
+                replica.epoch += 1
+                replica.active = True
+                fault_stats.failovers += 1
+                if any(chip in cold_chips for chip in replica.chips):
+                    cold_chips.difference_update(replica.chips)
+                    rewarm(replica)
+                peak_active = max(peak_active, active_count())
+                if traced:
+                    tracer.instant(
+                        "failover",
+                        ts=now,
+                        track=fleet_track,
+                        cat="fault",
+                        args={
+                            "replica": replica.index,
+                            "chips": ",".join(str(c) for c in replica.chips),
+                        },
+                    )
+                start_iteration(replica, now)
+
+        def on_chip_death(fault: FaultEvent, now: float) -> None:
+            nonlocal busy_chip_seconds
+            if fault.chip in dead_chips:
+                return
+            dead_chips.add(fault.chip)
+            fault_stats.chip_deaths += 1
+            if traced:
+                tracer.instant(
+                    "chip-death",
+                    ts=now,
+                    track=fleet_track,
+                    cat="fault",
+                    args={"chip": fault.chip},
+                )
+            if fault.chip in spares:
+                spares.remove(fault.chip)
+                if traced:
+                    fault_sample(now)
+                return
+            owner = next(
+                (r for r in replicas if fault.chip in r.chips and not r.dead), None
+            )
+            if owner is None:
+                return
+            if owner.busy:
+                # The in-flight iteration dies with the chip: refund the
+                # part of its busy time that never executed; its
+                # iteration-end event is dropped by the epoch bump below.
+                end = owner.iter_start + owner.iter_latency
+                busy_chip_seconds -= max(0.0, end - now) * stages
+                fault_stats.lost_iterations += 1
+                owner.busy = False
+            integrate(now)
+            owner.epoch += 1
+            owner.dead = True
+            owner.active = False
+            # Surviving chips of the group become spares immediately; the
+            # in-flight requests stay in limbo until the watchdog notices.
+            for chip in owner.chips:
+                if chip != fault.chip and chip not in dead_chips:
+                    spares.append(chip)
+            owner.chips = ()
+            if owner.cache_scope:
+                # The replica's private program store dies with it.
+                self.plan_cache.evict_scope(owner.cache_scope)
+                owner.cache_scope = ""
+            heapq.heappush(
+                events,
+                (
+                    now + wd.detection_delay,
+                    _EV_FAULT,
+                    next(seq),
+                    _Detect(owner.index, owner.epoch),
+                ),
+            )
+            if traced:
+                fault_sample(now)
+
+        def on_detect(detect: _Detect, now: float) -> None:
+            replica = replicas[detect.replica]
+            if not replica.dead or replica.epoch != detect.epoch:
+                return
+            if traced:
+                tracer.instant(
+                    "detect",
+                    ts=now,
+                    track=fleet_track,
+                    cat="fault",
+                    args={"replica": replica.index, "requeued": len(replica.running)},
+                )
+            # In-flight requests lose all progress — their KV state died
+            # with the chips — and go back to their queues for re-admission
+            # (full re-prefill).
+            for running in replica.running:
+                fault_stats.requeued += 1
+                fault_stats.lost_tokens += running.tokens_done
+                requeue_counts[running.request.request_id] = running.requeues + 1
+                first_admits[running.request.request_id] = running.admitted_time
+                if traced:
+                    tracer.instant(
+                        "requeue",
+                        ts=now,
+                        track=f"{self.trace_group}/requests",
+                        cat="fault",
+                        args={
+                            "request": running.request.request_id,
+                            "lost_tokens": running.tokens_done,
+                        },
+                    )
+            for running in replica.running:
+                if running.request.interactive:
+                    enqueue_interactive(running.request)
+            for running in reversed(replica.running):
+                if not running.request.interactive:
+                    bq.appendleft(running.request)
+            replica.running = []
+            # Preempted requests whose KV state lived on the dead replica
+            # lose their progress too — they resume as fresh admissions.
+            for entry in preempted:
+                if entry.origin != replica.index:
+                    continue
+                fault_stats.requeued += 1
+                fault_stats.lost_tokens += entry.tokens_done
+                entry.requeues += 1
+                entry.prefill_remaining = self.model.prefill_iterations(
+                    entry.request.prompt_tokens
+                )
+                entry.tokens_done = 0
+                entry.first_token_time = float("nan")
+                entry.origin = -1
+            try_place(now)
+            degraded_shed(now)
+            autoscale_up(now)
+            for survivor in replicas:
+                if survivor.active and not survivor.busy:
+                    start_iteration(survivor, now)
+            if traced:
+                fault_sample(now)
+
+        def on_restart(fault: FaultEvent, now: float) -> None:
+            fault_stats.restarts += 1
+            if traced:
+                tracer.instant(
+                    "restart",
+                    ts=now,
+                    track=fleet_track,
+                    cat="fault",
+                    args={"chip": fault.chip, "warmup": fault.warmup_delay},
+                )
+            heapq.heappush(
+                events,
+                (
+                    now + fault.warmup_delay,
+                    _EV_FAULT,
+                    next(seq),
+                    _ChipOnline(fault.chip, fault.cold_cache),
+                ),
+            )
+
+        def on_chip_online(online: _ChipOnline, now: float) -> None:
+            if online.chip not in dead_chips:
+                return  # restart of a chip that never died: nothing to do
+            dead_chips.discard(online.chip)
+            if online.cold_cache:
+                cold_chips.add(online.chip)
+            spares.append(online.chip)
+            if traced:
+                tracer.instant(
+                    "chip-online",
+                    ts=now,
+                    track=fleet_track,
+                    cat="fault",
+                    args={"chip": online.chip, "cold": online.cold_cache},
+                )
+            try_place(now)
+            if traced:
+                fault_sample(now)
+
+        def handle_fault(payload: object, now: float) -> None:
+            if isinstance(payload, FaultEvent):
+                if payload.kind == FAULT_CHIP_DEATH:
+                    on_chip_death(payload, now)
+                elif payload.kind == FAULT_RESTART:
+                    on_restart(payload, now)
+                elif traced:
+                    # Link degradation needs no state: iterations started
+                    # inside the window are priced through the degraded
+                    # pipeline lazily (see start_iteration).
+                    tracer.instant(
+                        "link-degraded",
+                        ts=now,
+                        track=fleet_track,
+                        cat="fault",
+                        args={"factor": payload.factor, "until": payload.until},
+                    )
+            elif isinstance(payload, _Detect):
+                on_detect(payload, now)
+            elif isinstance(payload, _ChipOnline):
+                on_chip_online(payload, now)
+            elif isinstance(payload, _LinkRestored) and traced:
+                tracer.instant(
+                    "link-restored",
+                    ts=now,
+                    track=fleet_track,
+                    cat="fault",
+                    args={"factor": payload.factor},
+                )
+
         def start_iteration(replica: _Replica, now: float) -> None:
             nonlocal busy_chip_seconds
-            if replica.busy or not replica.active:
+            if replica.busy or not replica.active or replica.dead:
                 return
             admit(replica, now)
             if not replica.running:
@@ -721,13 +1139,32 @@ class ContinuousEngine(_DecodeEngineBase):
                         )
                 return
             cost = self._cost(len(replica.running))
+            latency = cost.latency
+            if stages > 1:
+                # Iterations started inside a link-degradation window pay
+                # the stretched stage-boundary transfers (wider pipeline
+                # bottleneck); single-chip replicas have no links.
+                factor = schedule.link_factor(now)
+                if factor > 1.0:
+                    latency = self._degraded_latency(
+                        bucket_for(len(replica.running), self.model.max_batch_size),
+                        factor,
+                    )
             replica.busy = True
+            replica.iter_start = now
+            replica.iter_latency = latency
             counters["iterations"] += 1
-            busy_chip_seconds += cost.latency * self.model.num_stages
+            busy_chip_seconds += latency * stages
             if traced:
-                self._trace_iteration(tracer, replica, now, cost.latency)
+                self._trace_iteration(tracer, replica, now, latency)
             heapq.heappush(
-                events, (now + cost.latency, _EV_ITER_END, next(seq), replica.index)
+                events,
+                (
+                    now + latency,
+                    _EV_ITER_END,
+                    next(seq),
+                    (replica.index, replica.epoch),
+                ),
             )
 
         def autoscale_up(now: float) -> None:
@@ -738,7 +1175,13 @@ class ContinuousEngine(_DecodeEngineBase):
                     return
                 if queued_total() <= active * self.scale_up_queue:
                     return
-                replica = next(r for r in replicas if not r.active)
+                # Dead (or chipless, awaiting failover) replicas can't serve.
+                replica = next(
+                    (r for r in replicas if not r.active and not r.dead and r.chips),
+                    None,
+                )
+                if replica is None:
+                    return
                 integrate(now)
                 replica.active = True
                 counters["scale_ups"] += 1
@@ -761,28 +1204,39 @@ class ContinuousEngine(_DecodeEngineBase):
                 if traced:
                     self._trace_enqueue(tracer, request)
                 if request.interactive:
-                    deadline = (
-                        request.deadline if request.deadline is not None else math.inf
-                    )
-                    heapq.heappush(
-                        iq,
-                        (deadline, request.arrival_time, request.request_id, request),
-                    )
+                    enqueue_interactive(request)
                 else:
                     bq.append(request)
+                degraded_shed(now)
                 autoscale_up(now)
                 for replica in replicas:
                     if replica.active and not replica.busy:
                         start_iteration(replica, now)
-            else:
-                replica = replicas[payload]
+            elif kind == _EV_ITER_END:
+                index, epoch = payload
+                replica = replicas[index]
+                if replica.epoch != epoch:
+                    continue  # the iteration was aborted by a chip death
                 replica.busy = False
                 self._retire_finished(
                     replica, now, records, tracer if traced else None
                 )
                 start_iteration(replica, now)
+            else:
+                handle_fault(payload, now)
             if traced:
                 queue_sample(now)
+
+        # A run can end with the whole fleet dead and never restarted:
+        # strand nothing — whatever is still queued is reported as shed so
+        # the books always balance (completed + shed == requests).
+        while iq:
+            _, _, _, request = heapq.heappop(iq)
+            shed(request, last_time)
+        while bq:
+            shed(bq.popleft(), last_time)
+        while preempted:
+            shed(preempted.popleft().request, last_time)
 
         records.sort(key=lambda record: record.request.request_id)
         first_arrival = ordered[0].arrival_time if ordered else 0.0
@@ -794,6 +1248,7 @@ class ContinuousEngine(_DecodeEngineBase):
             active_span=last_time - first_arrival,
             peak_active=peak_active,
             cache=self.plan_cache.stats.since(stats_before),
+            faults=fault_stats,
         )
         if traced:
             self._publish_run_metrics(tracer, report, counters)
@@ -821,7 +1276,7 @@ class StaticEngine(_DecodeEngineBase):
         traced = tracer.enabled
 
         queue: deque[DecodeRequest] = deque()
-        replicas = [_Replica(i, active=True) for i in range(self.num_replicas)]
+        replicas = self._make_replicas(active=True)
         records: list[CompletedDecode] = []
         seq = itertools.count()
         events: list[tuple[float, int, int, object]] = []

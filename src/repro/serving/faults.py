@@ -1,0 +1,247 @@
+"""Fault injection and graceful degradation over virtual time.
+
+Production fleets lose chips.  Because the serving engines schedule entirely
+in virtual time, chaos testing is cheap *and deterministic*: a
+:class:`FaultSchedule` injects chip deaths, replica restarts (with a cold
+per-replica plan-cache namespace) and link degradation windows as
+first-class events into :meth:`ContinuousEngine.run
+<repro.serving.continuous.ContinuousEngine.run>`'s event loop, and the same
+workload plus the same schedule replays to bit-identical reports at any
+compilation parallelism.
+
+The :class:`Watchdog` is the *policy* half (the engine is the mechanism):
+how long a dead replica goes undetected, and how aggressively best-effort
+traffic is shed while the fleet runs degraded.  On detection the engine
+
+1. **requeues** the dead replica's in-flight requests, charging full
+   re-prefill — decode progress lived in the dead chip's memory and is lost;
+2. **re-places** the replica's chip group onto surviving spare chips when
+   enough are alive (pipeline-stage failover for sharded models); and
+3. enters **degraded-mode admission**: best-effort backlog beyond
+   ``degraded_shed_queue`` per surviving replica is shed (newest first),
+   protecting interactive goodput until capacity returns.
+
+A restart brings the chip back ``warmup_delay`` virtual seconds later; with
+``cold_cache=True`` the revived replica re-fetches every bucket program
+under a fresh plan-cache namespace (see
+:meth:`~repro.serving.plan_cache.PlanCache.evict_scope`), so the wall-clock
+cost of a cold restart shows up in the cache counters without ever touching
+virtual time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+#: Fault kinds injectable into the serving event loop.
+FAULT_CHIP_DEATH = "chip-death"
+FAULT_RESTART = "restart"
+FAULT_LINK_DEGRADATION = "link-degradation"
+
+_KINDS = (FAULT_CHIP_DEATH, FAULT_RESTART, FAULT_LINK_DEGRADATION)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault in virtual time.
+
+    ``chip`` targets chip-death/restart events; link degradation is
+    fleet-wide and instead carries ``factor`` (every stage-boundary transfer
+    of pipeline-sharded models is slowed by it) over ``[time, until)``.
+    Unsharded replicas have no inter-chip links, so link degradation leaves
+    them untouched.
+    """
+
+    time: float
+    kind: str
+    chip: int = -1
+    factor: float = 1.0
+    """Link slowdown multiplier (>= 1) for :data:`FAULT_LINK_DEGRADATION`."""
+    until: float = math.inf
+    """End of a link-degradation window (exclusive)."""
+    cold_cache: bool = True
+    """Restart only: revive with a cold per-replica plan-cache namespace."""
+    warmup_delay: float = 0.0
+    """Restart only: virtual seconds between the restart and the chip
+    serving again (boot + program-load stall, deterministic by design)."""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.time < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.time}")
+        if self.kind in (FAULT_CHIP_DEATH, FAULT_RESTART) and self.chip < 0:
+            raise ValueError(f"{self.kind} needs a chip index >= 0, got {self.chip}")
+        if self.kind == FAULT_LINK_DEGRADATION:
+            if self.factor < 1.0:
+                raise ValueError(f"link factor must be >= 1, got {self.factor}")
+            if self.until <= self.time:
+                raise ValueError(
+                    f"degradation window must end after it starts: "
+                    f"[{self.time}, {self.until})"
+                )
+        if self.warmup_delay < 0:
+            raise ValueError(f"warmup_delay must be >= 0, got {self.warmup_delay}")
+
+
+def chip_death(time: float, chip: int) -> FaultEvent:
+    """Chip ``chip`` dies at ``time``: in-flight work on it is lost."""
+    return FaultEvent(time=time, kind=FAULT_CHIP_DEATH, chip=chip)
+
+
+def restart(
+    time: float, chip: int, *, cold_cache: bool = True, warmup_delay: float = 0.0
+) -> FaultEvent:
+    """Chip ``chip`` rejoins the fleet at ``time`` (+ ``warmup_delay``)."""
+    return FaultEvent(
+        time=time,
+        kind=FAULT_RESTART,
+        chip=chip,
+        cold_cache=cold_cache,
+        warmup_delay=warmup_delay,
+    )
+
+
+def link_degradation(time: float, until: float, factor: float) -> FaultEvent:
+    """Inter-chip transfers run ``factor`` times slower over ``[time, until)``."""
+    return FaultEvent(
+        time=time, kind=FAULT_LINK_DEGRADATION, factor=factor, until=until
+    )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A validated, time-ordered set of fault events for one serving run."""
+
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        ordered = tuple(
+            sorted(self.events, key=lambda ev: (ev.time, _KINDS.index(ev.kind), ev.chip))
+        )
+        object.__setattr__(self, "events", ordered)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @classmethod
+    def of(cls, events: Iterable[FaultEvent]) -> "FaultSchedule":
+        """A schedule from any iterable of events (sorted automatically)."""
+        return cls(tuple(events))
+
+    @classmethod
+    def kill_and_restart(
+        cls,
+        chip: int,
+        *,
+        at: float,
+        downtime: float,
+        cold_cache: bool = True,
+        warmup_delay: float = 0.0,
+    ) -> "FaultSchedule":
+        """The canonical chaos shape: one chip dies and later comes back."""
+        if downtime <= 0:
+            raise ValueError(f"downtime must be > 0, got {downtime}")
+        return cls(
+            (
+                chip_death(at, chip),
+                restart(at + downtime, chip, cold_cache=cold_cache, warmup_delay=warmup_delay),
+            )
+        )
+
+    def for_fleet(self, num_chips: int) -> "FaultSchedule":
+        """Validate every targeted chip exists in a ``num_chips`` fleet."""
+        bad = [ev.chip for ev in self.events if ev.chip >= num_chips]
+        if bad:
+            raise ValueError(
+                f"fault schedule targets chips {sorted(set(bad))} but the "
+                f"fleet has only {num_chips} chips"
+            )
+        return self
+
+    def merged(self, other: "FaultSchedule | Sequence[FaultEvent]") -> "FaultSchedule":
+        """This schedule plus ``other``'s events, re-sorted."""
+        extra = tuple(other.events if isinstance(other, FaultSchedule) else other)
+        return FaultSchedule(self.events + extra)
+
+    def link_factor(self, now: float) -> float:
+        """The link slowdown in effect at virtual time ``now`` (>= 1).
+
+        Overlapping degradation windows do not stack; the worst one wins —
+        a single saturated/flapping link is the bottleneck either way.
+        """
+        return max(
+            (
+                ev.factor
+                for ev in self.events
+                if ev.kind == FAULT_LINK_DEGRADATION and ev.time <= now < ev.until
+            ),
+            default=1.0,
+        )
+
+    @property
+    def deaths(self) -> tuple[FaultEvent, ...]:
+        """The chip-death events, time-ordered."""
+        return tuple(ev for ev in self.events if ev.kind == FAULT_CHIP_DEATH)
+
+    @property
+    def first_death_time(self) -> float:
+        """Virtual time of the first chip death (``inf`` without one)."""
+        deaths = self.deaths
+        return deaths[0].time if deaths else math.inf
+
+
+@dataclass(frozen=True)
+class Watchdog:
+    """Failure-detection and degraded-mode policy for the continuous engine.
+
+    ``detection_delay`` models the gap between a chip dying and the control
+    plane noticing (heartbeat interval): until detection the dead replica's
+    in-flight requests sit in limbo — exactly the window a production
+    watchdog races to shrink.  ``degraded_shed_queue``, when set, caps the
+    best-effort backlog at that many requests per *surviving* active replica
+    while any replica is dead; excess is shed newest-first (interactive
+    traffic is never shed by this policy — its own deadline check governs).
+    """
+
+    detection_delay: float = 0.0
+    degraded_shed_queue: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.detection_delay < 0:
+            raise ValueError(
+                f"detection_delay must be >= 0, got {self.detection_delay}"
+            )
+        if self.degraded_shed_queue is not None and self.degraded_shed_queue < 1:
+            raise ValueError(
+                f"degraded_shed_queue must be >= 1, got {self.degraded_shed_queue}"
+            )
+
+
+#: Engine-internal fault-loop payloads (scheduled alongside FaultEvents).
+@dataclass(frozen=True)
+class _Detect:
+    """Watchdog detection of one dead replica (scheduled at death + delay)."""
+
+    replica: int
+    epoch: int
+
+
+@dataclass(frozen=True)
+class _ChipOnline:
+    """A restarted chip finishing warmup and rejoining the spare pool."""
+
+    chip: int
+    cold_cache: bool
+
+
+@dataclass(frozen=True)
+class _LinkRestored:
+    """End of a link-degradation window (trace bookkeeping only)."""
+
+    factor: float

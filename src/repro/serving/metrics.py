@@ -8,7 +8,7 @@ units the rest of the evaluation uses (seconds, requests per second).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.runtime.metrics import goodput_rps, latency_percentiles, throughput_rps
@@ -129,6 +129,122 @@ class ServingReport:
 
 
 @dataclass
+class FaultStats:
+    """What the fault schedule did to one continuous-batching run.
+
+    All counts are exact event counts; ``lost_tokens`` is decode progress
+    (tokens already generated) thrown away because the chip holding the KV
+    state died or the request migrated replicas, and so had to be re-prefilled
+    from scratch.  ``restart_compile_seconds`` is the *wall-clock* cost of
+    re-warming cold plan-cache namespaces after restarts — like
+    ``warm_compile_seconds`` it never enters virtual time.
+    """
+
+    chip_deaths: int = 0
+    restarts: int = 0
+    failovers: int = 0
+    """Dead replicas successfully re-placed onto surviving spare chips."""
+    requeued: int = 0
+    """In-flight requests pulled off dead replicas and re-admitted."""
+    lost_tokens: int = 0
+    """Output tokens discarded because the chips holding their KV state died
+    (in-flight requeues, plus preempted requests whose origin replica died)."""
+    lost_iterations: int = 0
+    """In-flight iterations aborted mid-execution by a chip death."""
+    degraded_sheds: int = 0
+    """Best-effort requests shed by the watchdog's degraded-mode policy."""
+    restart_compile_seconds: float = 0.0
+
+    @property
+    def any(self) -> bool:
+        """Whether any fault actually struck this run."""
+        return self.chip_deaths > 0 or self.restarts > 0
+
+    def summary(self) -> str:
+        """One-line description of the fault impact."""
+        if not self.any:
+            return "no faults"
+        return (
+            f"{self.chip_deaths} chip death(s), {self.restarts} restart(s), "
+            f"{self.failovers} failover(s), {self.requeued} requeued "
+            f"({self.lost_tokens} tokens lost), "
+            f"{self.degraded_sheds} degraded-mode shed(s)"
+        )
+
+
+def goodput_timeline(
+    records: Sequence[CompletedDecode],
+    *,
+    start: float,
+    end: float,
+    window: float,
+) -> list[tuple[float, float]]:
+    """SLO-met completions per second, bucketed into fixed windows.
+
+    Returns ``(window_start, rate)`` pairs covering ``[start, end)``; shed
+    requests never count (their completion time is a shed time, not a
+    service time).  This is the time-resolved view behind
+    :func:`dip_and_recovery` — a chip death shows up as a dip, the watchdog
+    re-placing the replica as the climb back out.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be > 0, got {window}")
+    if end <= start:
+        return []
+    num_windows = max(1, math.ceil((end - start) / window))
+    counts = [0] * num_windows
+    for record in records:
+        if not record.ok or not record.met_slo:
+            continue
+        index = int((record.completion_time - start) // window)
+        if 0 <= index < num_windows:
+            counts[index] += 1
+    return [(start + i * window, counts[i] / window) for i in range(num_windows)]
+
+
+def dip_and_recovery(
+    records: Sequence[CompletedDecode],
+    *,
+    fault_time: float,
+    window: float,
+    recovery_fraction: float = 0.7,
+) -> tuple[float, float, float]:
+    """Quantify a fault's goodput dip: ``(baseline, dip_depth, recovery_s)``.
+
+    ``baseline`` is the mean pre-fault goodput rate (SLO-met completions per
+    second, ``nan`` if nothing completed before the fault), ``dip_depth`` is
+    the worst post-fault shortfall as a fraction of baseline (0 = no dip,
+    1 = goodput went to zero), and ``recovery_s`` is virtual seconds from
+    the fault until the first window whose rate climbs back to
+    ``recovery_fraction * baseline`` (``inf`` if goodput never recovers,
+    0 if it never dipped below that threshold).
+    """
+    served = [r for r in records if r.ok]
+    if not served:
+        return float("nan"), float("nan"), float("inf")
+    start = min(r.request.arrival_time for r in served)
+    end = max(r.completion_time for r in served)
+    if not (start < fault_time < end):
+        # Fault outside the served span: nothing to measure a dip against.
+        return float("nan"), 0.0, 0.0
+    pre = goodput_timeline(records, start=start, end=fault_time, window=window)
+    post = goodput_timeline(records, start=fault_time, end=end, window=window)
+    if not pre or not post:
+        return float("nan"), float("nan"), float("inf")
+    baseline = sum(rate for _, rate in pre) / len(pre)
+    if baseline <= 0:
+        return baseline, float("nan"), float("inf")
+    dip_depth = max(0.0, 1.0 - min(rate for _, rate in post) / baseline)
+    threshold = recovery_fraction * baseline
+    recovery = float("inf")
+    for window_start, rate in post:
+        if rate >= threshold:
+            recovery = window_start - fault_time
+            break
+    return baseline, dip_depth, recovery
+
+
+@dataclass
 class ContinuousReport:
     """Everything one continuous-batching (or static-baseline) run measured.
 
@@ -162,6 +278,9 @@ class ContinuousReport:
     scale_ups: int
     scale_downs: int
     peak_active_chips: int
+    migrations: int = 0
+    """Preempted requests resumed on a different replica (charged re-prefill)."""
+    faults: FaultStats = field(default_factory=FaultStats)
 
     # ------------------------------------------------------------------ #
     @property
@@ -278,7 +397,7 @@ class ContinuousReport:
                 f"chip(s) ({self.shed} shed, {self.iterations} iterations)"
             )
         ttft = self.ttft_percentiles
-        return (
+        text = (
             f"[{self.policy}] {self.total_completed} requests "
             f"({self.total_tokens} tokens) on {self.num_chips} chip(s) in "
             f"{self.makespan * 1e3:.2f} ms virtual time: "
@@ -290,6 +409,9 @@ class ContinuousReport:
             f"mean {self.mean_active_chips:.2f} chips active, "
             f"utilization {self.utilization:.0%}"
         )
+        if self.faults.any:
+            text += f"; faults: {self.faults.summary()}"
+        return text
 
 
 def build_model_stats(

@@ -170,6 +170,7 @@ class PlanCache:
         self._compiler_factory = compiler_factory or self._default_factory
         self._compilers: dict[tuple[str, str], T10Compiler] = {}
         self._memory: dict[str, CompiledModel] = {}
+        self._scopes: dict[str, set[str]] = {}
         self._stats = CacheStats()
         self._lock = threading.Lock()
         self._flight = SingleFlight()
@@ -228,6 +229,32 @@ class PlanCache:
             compilers, self._compilers = list(self._compilers.values()), {}
         for compiler in compilers:
             compiler.close()
+
+    def evict_scope(self, prefix: str) -> int:
+        """Drop every entry cached under scope ``prefix`` (both tiers).
+
+        Matches the scope exactly or any ``prefix:...`` sub-scope — the
+        sharding layer nests stage slices under the caller's scope, so
+        evicting ``replica1-gen0`` also drops ``replica1-gen0:stage1of2``.
+        Models a replica restart losing its local program store: the next
+        lookup under that scope recompiles (a cache miss), which is exactly
+        the cold-cache cost the fault layer wants to surface.  Returns the
+        number of entries dropped.
+        """
+        if not prefix:
+            raise ValueError("evict_scope needs a non-empty scope prefix")
+        with self._lock:
+            doomed: set[str] = set()
+            for scope in list(self._scopes):
+                if scope == prefix or scope.startswith(prefix + ":"):
+                    doomed |= self._scopes.pop(scope)
+            dropped = {key for key in doomed if self._memory.pop(key, None) is not None}
+        for key in doomed:
+            path = self._disk_path(key)
+            if path is not None and path.exists():
+                path.unlink()
+                dropped.add(key)
+        return len(dropped)
 
     # ------------------------------------------------------------------ #
     # Tiers
@@ -306,6 +333,9 @@ class PlanCache:
         ``scope`` extends the key (see :func:`plan_key`).
         """
         key = plan_key(graph, chip, constraints, scope=scope)
+        if scope:
+            with self._lock:
+                self._scopes.setdefault(scope, set()).add(key)
         tracer = get_tracer()
         start = time.perf_counter()
         hit = self._memory_hit(key, start)

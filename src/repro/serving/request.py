@@ -208,7 +208,9 @@ class CompletedDecode:
     """Either :data:`DECODE_OK` (served to completion) or :data:`DECODE_SHED`
     (rejected by load shedding before producing any tokens)."""
     admitted_time: float
-    """When the request first joined a running batch (shed time if shed)."""
+    """When the request first joined a running batch (``nan`` if it never
+    was admitted — shed requests were rejected from the queue, so they have
+    no admission to timestamp)."""
     first_token_time: float
     """When the first output token completed (``nan`` if shed)."""
     completion_time: float
@@ -217,7 +219,11 @@ class CompletedDecode:
     preemptions: int = 0
     """Times the request was swapped out of a running batch."""
     replica: int = -1
-    """Replica (chip or chip group) that retired the request."""
+    """Replica (chip or chip group) that retired the request; ``-1`` for shed
+    requests, which were never placed on any replica."""
+    requeues: int = 0
+    """Times the request was pulled off a dead replica (or migrated across
+    replicas after preemption) and re-admitted with its progress discarded."""
 
     @property
     def ok(self) -> bool:

@@ -193,21 +193,29 @@ class WorkerPool:
         latency = cost.latency if cost.status == "ok" else float("inf")
         return cost.status, cost.error, latency
 
-    def profile(self, graph: OperatorGraph, *, num_stages: int = 1) -> IterationCost:
+    def profile(
+        self, graph: OperatorGraph, *, num_stages: int = 1, scope: str = ""
+    ) -> IterationCost:
         """Full cost of running ``graph`` once: latency plus this lookup's
         compile penalty and cache outcome.
 
         With ``num_stages > 1`` the graph is pipeline-sharded over a chip
         group and the latency is the pipelined one.  The compile penalty is
         non-zero only on the call that actually compiled (a cold bucket);
-        repeated calls are cache hits with zero penalty.
+        repeated calls are cache hits with zero penalty.  ``scope``
+        namespaces the plan-cache entries (see
+        :func:`~repro.serving.plan_cache.plan_key`) — the fault layer passes
+        a per-replica scope after a cold restart, so the re-warm recompiles
+        even though an identical unscoped program is resident.
         """
         if num_stages > 1:
-            model, penalty, outcome = self._sharded(graph, num_stages)
+            model, penalty, outcome = self._sharded(graph, num_stages, scope=scope)
             if model.ok:
                 return IterationCost("ok", "", model.latency, penalty, outcome)
             return IterationCost(model.status, model.error, 0.0, penalty, outcome)
-        lookup = self.plan_cache.get_or_compile(graph, self.chip, self.constraints)
+        lookup = self.plan_cache.get_or_compile(
+            graph, self.chip, self.constraints, scope=scope
+        )
         status, error, latency = self._measure(lookup.key, lookup)
         penalty = lookup.seconds if lookup.outcome == COMPILE else 0.0
         if status != "ok":
@@ -218,21 +226,22 @@ class WorkerPool:
     # Sharded models (repro.dist)
     # ------------------------------------------------------------------ #
     def _sharded(
-        self, graph: OperatorGraph, num_stages: int
+        self, graph: OperatorGraph, num_stages: int, *, scope: str = ""
     ) -> tuple[ShardedModel, float, str]:
         """(sharded model, compile seconds this call incurred, cache outcome).
 
         Stage programs live in the shared plan cache (stage-slice scoped
-        keys); the memo only avoids re-running the partitioner and the
-        per-stage pipeline simulation per batch.  Thread-safe: concurrent
-        callers of one (graph, num_stages) are single-flighted, mirroring
-        the plan cache — only the builder reports the stage compiles.
+        keys, prefixed by ``scope`` when given); the memo only avoids
+        re-running the partitioner and the per-stage pipeline simulation per
+        batch.  Thread-safe: concurrent callers of one
+        (graph, num_stages, scope) are single-flighted, mirroring the plan
+        cache — only the builder reports the stage compiles.
         """
         if not 1 < num_stages <= self.num_chips:
             raise ValueError(
                 f"num_stages must be in [2, num_chips={self.num_chips}], got {num_stages}"
             )
-        key = (plan_key(graph, self.chip, self.constraints), num_stages)
+        key = (plan_key(graph, self.chip, self.constraints, scope=scope), num_stages)
         with self._sharded_lock:
             cached = self._sharded_memo.get(key)
         if cached is not None:
@@ -254,7 +263,7 @@ class WorkerPool:
                         plan_cache=self.plan_cache,
                     )
                 compiler = self._sharded_compiler
-            model = compiler.compile(graph, num_stages)
+            model = compiler.compile(graph, num_stages, scope=scope)
             with self._sharded_lock:
                 self._sharded_memo[key] = model
             built_fresh = True
@@ -388,8 +397,14 @@ class WorkerPool:
         return max(free for free, _ in self._free) if self._free else 0.0
 
     def utilization(self, span: float | None = None) -> float:
-        """Fraction of fleet time spent executing batches."""
+        """Fraction of fleet time spent executing batches.
+
+        Deliberately *not* clamped to 1.0: a ratio above ``1 + eps`` means
+        busy-seconds double-accounting (e.g. a sharded group charged per
+        stage *and* per group), and clamping would silently mask exactly
+        that bug.  Tests assert the raw ratio instead.
+        """
         span = self.makespan if span is None else span
         if span <= 0:
             return 0.0
-        return min(1.0, self.busy_seconds / (span * self.num_chips))
+        return self.busy_seconds / (span * self.num_chips)

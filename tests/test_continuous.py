@@ -16,10 +16,12 @@ from repro.serving import (
     ContinuousEngine,
     DecodeModel,
     DecodeRequest,
+    DynamicBatcher,
     PlanCache,
     StaticEngine,
     WorkerPool,
     decode_workload,
+    uniform_workload,
 )
 
 
@@ -494,3 +496,123 @@ class TestShardedDecode:
                 constraints=fast_constraints,
                 plan_cache=cache,
             )
+
+
+# --------------------------------------------------------------------------- #
+# Accounting bugfixes (shed sentinels, migration re-prefill, raw utilization,
+# autoscale hysteresis) — regression tests for repro.serving PR 7
+# --------------------------------------------------------------------------- #
+class TestAccountingFixes:
+    def test_shed_records_use_sentinels_not_fabricated_values(
+        self, cache, small_chip, fast_constraints
+    ):
+        """A shed request was never admitted and never placed: its record
+        must say so (NaN admission, replica -1) instead of fabricating an
+        admitted_time=now and whatever replica index was at hand."""
+        engine = make_engine(cache, small_chip, fast_constraints)
+        unit = engine.iteration_latency(1)
+        report = engine.run([request(0, 0.0, tokens=50, deadline=unit * 0.5)])
+        assert report.shed == 1
+        record = report.completed[0]
+        assert math.isnan(record.admitted_time)
+        assert record.replica == -1
+        assert record.requeues == 0
+        # Served requests still carry real values.
+        served = make_engine(cache, small_chip, fast_constraints).run(
+            [request(1, 0.0, tokens=2)]
+        )
+        record = served.completed[0]
+        assert record.admitted_time == 0.0
+        assert record.replica == 0
+
+    def test_preemption_resume_on_other_replica_charges_reprefill(
+        self, cache, small_chip, fast_constraints
+    ):
+        """KV state lives on the replica that ran the prefill: a preempted
+        request resuming on a *different* replica must redo its prefill and
+        all generated tokens (counted as a migration), never silently carry
+        its progress across chips."""
+        model = make_model(max_batch_size=1)
+        be0 = request(0, 0.0, tokens=30, slo_class=SLO_BEST_EFFORT)
+        unit_engine = make_engine(
+            cache, small_chip, fast_constraints, model=model, num_chips=2,
+            min_replicas=2,
+        )
+        unit = unit_engine.iteration_latency(1)
+        # int1 occupies replica 1; the long int2 preempts be0 off replica 0;
+        # replica 1 frees first, so be0 resumes there — a migration.
+        int1 = request(1, arrival=0.5 * unit, tokens=2)
+        int2 = request(2, arrival=1.5 * unit, tokens=20)
+        workload = [be0, int1, int2]
+        migrated = unit_engine.run(workload)
+        assert migrated.preemptions >= 1
+        assert migrated.migrations >= 1
+        be_record = next(
+            r for r in migrated.completed if r.request.request_id == 0
+        )
+        assert be_record.requeues >= 1
+        assert be_record.tokens_generated == 30  # all tokens still delivered
+        # Same workload on one replica: resume happens on the origin, keeps
+        # progress, and therefore takes strictly fewer decode iterations.
+        control = make_engine(
+            cache, small_chip, fast_constraints, model=make_model(max_batch_size=1)
+        ).run(workload)
+        assert control.migrations == 0
+        assert migrated.iterations > sum(
+            model.ideal_iterations(r.prompt_tokens, r.max_new_tokens)
+            for r in workload
+        )
+        assert control.iterations == sum(
+            model.ideal_iterations(r.prompt_tokens, r.max_new_tokens)
+            for r in workload
+        )
+
+    def test_pool_utilization_is_raw_and_bounded(
+        self, cache, small_chip, fast_constraints
+    ):
+        """utilization() reports the raw busy/span ratio: legitimately <= 1
+        (+ float eps) after any run, and deliberately unclamped so that
+        busy-seconds double-accounting would surface as > 1 instead of being
+        silently masked."""
+        pool = WorkerPool(
+            small_chip, num_chips=2, plan_cache=cache, constraints=fast_constraints
+        )
+        batcher = DynamicBatcher(max_batch_size=1, batch_window=0.0)
+        graph = tiny_decode_builder(1)
+        for batch in batcher.batches(
+            uniform_workload(["tiny"], num_requests=6, interval=0.0)
+        ):
+            pool.place(batch, graph)
+        assert 0.0 < pool.utilization() <= 1.0 + 1e-9
+        # The clamp is really gone: inject double-accounted busy seconds and
+        # the ratio must read above 1 rather than saturating at it.
+        pool.busy_seconds += pool.makespan * pool.num_chips
+        assert pool.utilization() > 1.0
+
+    def test_autoscale_hysteresis_at_scale_up_queue_boundary(
+        self, cache, small_chip, fast_constraints
+    ):
+        """The second replica activates only when the backlog strictly
+        exceeds scale_up_queue per active replica, deactivates once it
+        drains, and peak_active never exceeds the fleet."""
+        def burst(n):
+            return [request(i, 0.0, tokens=2) for i in range(n)]
+
+        def engine():
+            return make_engine(
+                cache, small_chip, fast_constraints,
+                model=make_model(max_batch_size=1), num_chips=2, scale_up_queue=3,
+            )
+
+        # 1 running + 3 queued == the boundary: no scale-up.
+        at_boundary = engine().run(burst(4))
+        assert at_boundary.scale_ups == 0
+        assert at_boundary.scale_downs == 0
+        assert at_boundary.peak_active_chips == 1
+        # One more request crosses it: scale up, then back down on drain.
+        over_boundary = engine().run(burst(5))
+        assert over_boundary.scale_ups == 1
+        assert over_boundary.scale_downs == 1
+        assert over_boundary.peak_active_chips == 2
+        for report in (at_boundary, over_boundary):
+            assert report.peak_active_chips <= report.num_chips

@@ -47,6 +47,7 @@ from repro.experiments import (
     fig25_serving,
     fig26_multichip,
     fig27_continuous,
+    fig29_chaos,
     tab02_models,
     tab03_hardware,
 )
@@ -141,6 +142,39 @@ def invariant_fig27(rows: list[dict]) -> None:
         )
         assert continuous["slo_met"] >= static["slo_met"]
         assert continuous["iterations"] < static["iterations"]
+
+
+def invariant_fig29(rows: list[dict]) -> None:
+    by_scenario = {row["scenario"]: row for row in rows}
+    baseline = by_scenario["flat/baseline"]
+    chaos_rows = [by_scenario["flat/chaos"], by_scenario["sharded/chaos"]]
+    # The books always balance, faults or not, and the healthy row is clean.
+    for row in rows:
+        assert row["completed"] + row["shed"] == row["requests"]
+    assert baseline["chip_deaths"] == baseline["requeued"] == 0
+    assert baseline["shed"] == 0 and baseline["slo_met"] == baseline["requests"]
+    for row in chaos_rows:
+        # The schedule fired and the watchdog recovered the fleet: the dead
+        # replica's in-flight requests were requeued with their decode
+        # progress accounted token-for-token, and the replica was re-placed.
+        assert row["chip_deaths"] == 1 and row["restarts"] == 1
+        assert row["failovers"] >= 1
+        assert row["requeued"] > 0 and row["lost_tokens"] > 0
+        # Bounded SLO loss: goodput stays within 25% of the healthy fleet's
+        # (sharded/chaos is measured against its own pre-fault rate — its
+        # fleet shape differs from the flat baseline).
+        assert row["slo_met"] >= 0.75 * baseline["slo_met"]
+        # The dip is transient: goodput climbs back over the recovery
+        # threshold in finite virtual time.
+        assert row["recovery_ms"] != float("inf")
+        assert 0.0 <= row["dip_depth"] <= 1.0
+    # The flat kill requeues onto the surviving replica and the cold restart
+    # re-warms its buckets through the scoped plan-cache namespace.
+    assert by_scenario["flat/chaos"]["recompiles"] > 0
+    assert by_scenario["flat/chaos"]["degraded_sheds"] > 0
+    # The sharded kill exercises stage failover onto the spare chip: the
+    # replacement group is warm, so recovery costs no recompilation.
+    assert by_scenario["sharded/chaos"]["recompiles"] == 0
 
 
 def invariant_ablation(rows: list[dict]) -> None:
@@ -263,6 +297,33 @@ SPECS: dict[str, GoldenSpec] = {
             "warm_compiles",
         ),
         invariant_fig27,
+    ),
+    "fig29": GoldenSpec(
+        lambda: fig29_chaos.run(quick=True),
+        (
+            "scenario",
+            "model",
+            "chips",
+            "stages",
+            "requests",
+            "completed",
+            "shed",
+            "slo_met",
+            "tokens",
+            "iterations",
+            "preempted",
+            "migrations",
+            "chip_deaths",
+            "restarts",
+            "failovers",
+            "requeued",
+            "lost_tokens",
+            "lost_iterations",
+            "degraded_sheds",
+            "warm_compiles",
+            "recompiles",
+        ),
+        invariant_fig29,
     ),
     "tab02": GoldenSpec(
         lambda: tab02_models.run(quick=True),
