@@ -27,6 +27,7 @@ from repro.experiments import (
     fig26_multichip,
     fig27_continuous,
     fig29_chaos,
+    fig30_multitenant,
     tab02_models,
     tab03_hardware,
 )
@@ -61,6 +62,7 @@ ALL_EXPERIMENTS = {
     "fig26": fig26_multichip,
     "fig27": fig27_continuous,
     "fig29": fig29_chaos,
+    "fig30": fig30_multitenant,
     "tab02": tab02_models,
     "tab03": tab03_hardware,
     "ablation": ablation,

@@ -157,6 +157,47 @@ A100 = GPUSpec(
 )
 
 
+def gpu_chip(gpu: GPUSpec = A100) -> ChipSpec:
+    """The fig22 GPU baseline recast as a :class:`ChipSpec` hardware class.
+
+    The serving fleet routes over one heterogeneous :class:`WorkerPool`, so
+    the GPU must be expressible in the same per-core vocabulary the compiler
+    and simulator target.  The mapping treats each SM as a core and HBM as
+    the fabric every core shares:
+
+    * ``core_flops`` — sustained FLOPS split evenly across SMs;
+    * ``sram_per_core`` — an HBM-sized slice per SM.  A GPU stages weights
+      through HBM rather than pinning them in scratchpad, so on-chip
+      capacity never binds at these model sizes; a large per-core budget
+      models exactly that (feasibility non-binding), while the bandwidth
+      numbers below carry the real cost;
+    * ``link_bandwidth`` / ``local_mem_bandwidth`` — each SM's share of
+      sustained HBM bandwidth: inter-core traffic and local streaming both
+      round-trip through the same global memory;
+    * launch/sync overheads — kernel-launch-scale (microseconds), an order
+      above the IPU's BSP sync, which is what makes small decode iterations
+      comparatively expensive on the GPU and routing genuinely non-trivial.
+    """
+    per_sm_bandwidth = gpu.effective_bandwidth / gpu.num_sms
+    return ChipSpec(
+        name=f"{gpu.name}-chip",
+        num_cores=gpu.num_sms,
+        sram_per_core=256 * MiB,
+        core_flops=gpu.effective_flops / gpu.num_sms,
+        link_bandwidth=per_sm_bandwidth,
+        link_latency=1.5e-6,
+        offchip_bandwidth=25e9,
+        vector_width=32,
+        compute_launch_overhead=gpu.kernel_launch_overhead,
+        sync_overhead=gpu.kernel_launch_overhead / 2,
+        local_mem_bandwidth=per_sm_bandwidth,
+    )
+
+
+#: Default second hardware class of the heterogeneous serving pool (fig30).
+A100_CHIP = gpu_chip(A100)
+
+
 def scaled_ipu(num_cores: int) -> ChipSpec:
     """An IPU-like chip with a different number of cores (same per-core specs).
 

@@ -201,6 +201,11 @@ class Tracer:
         with self._lock:
             self._events.append(event)
 
+    def record(self, event: TraceEvent) -> None:
+        """Append a prebuilt event — for filtering or replaying traces."""
+        if self._enabled:
+            self._emit(event)
+
     # ------------------------------------------------------------------ #
     # Virtual-time emitters (explicit timestamps)
     # ------------------------------------------------------------------ #

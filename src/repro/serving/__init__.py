@@ -61,6 +61,7 @@ from repro.serving.faults import (
     link_degradation,
     restart,
 )
+from repro.serving.fleet import POLICY_FLEET, FleetEngine
 from repro.serving.metrics import (
     ContinuousReport,
     FaultStats,
@@ -69,6 +70,7 @@ from repro.serving.metrics import (
     build_model_stats,
     dip_and_recovery,
     goodput_timeline,
+    jain_fairness,
 )
 from repro.serving.plan_cache import (
     COMPILE,
@@ -88,10 +90,20 @@ from repro.serving.request import (
     CompletedRequest,
     DecodeRequest,
     InferenceRequest,
+    TenantSpec,
     decode_workload,
+    merge_decode_workloads,
     merge_workloads,
     poisson_workload,
     uniform_workload,
+)
+from repro.serving.router import (
+    CostAwareRouter,
+    FleetView,
+    LeastLoadedRouter,
+    ReplicaView,
+    Router,
+    StaticPartitionRouter,
 )
 from repro.serving.scheduler import ServedModel, ServingScheduler
 from repro.serving.worker import BatchExecution, IterationCost, WorkerPool
@@ -107,6 +119,7 @@ __all__ = [
     "CompletedRequest",
     "ContinuousEngine",
     "ContinuousReport",
+    "CostAwareRouter",
     "DECODE_OK",
     "DECODE_SHED",
     "DecodeModel",
@@ -118,21 +131,29 @@ __all__ = [
     "FaultEvent",
     "FaultSchedule",
     "FaultStats",
+    "FleetEngine",
+    "FleetView",
     "HIT_DISK",
     "HIT_MEMORY",
     "InferenceRequest",
     "IterationCost",
+    "LeastLoadedRouter",
     "ModelStats",
     "POLICY_CONTINUOUS",
+    "POLICY_FLEET",
     "POLICY_STATIC",
     "PlanCache",
     "ReplayStats",
+    "ReplicaView",
+    "Router",
     "SLO_BEST_EFFORT",
     "SLO_INTERACTIVE",
     "ServedModel",
     "ServingReport",
     "ServingScheduler",
     "StaticEngine",
+    "StaticPartitionRouter",
+    "TenantSpec",
     "Watchdog",
     "WorkerPool",
     "batch_buckets",
@@ -142,7 +163,9 @@ __all__ = [
     "decode_workload",
     "dip_and_recovery",
     "goodput_timeline",
+    "jain_fairness",
     "link_degradation",
+    "merge_decode_workloads",
     "merge_workloads",
     "plan_key",
     "poisson_workload",

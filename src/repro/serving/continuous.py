@@ -155,9 +155,18 @@ class _Running:
 
 @dataclass
 class _Replica:
-    """One serving replica: a chip (or chip group for sharded models)."""
+    """One serving replica: a *(model, chip-group, generation)* binding.
+
+    A replica is not "a chip" — it is the association of a model's compiled
+    programs with a group of physical chips at a point in its lifetime.  The
+    single-model engines bind every replica to their one model; the fleet
+    engine (:mod:`repro.serving.fleet`) re-binds idle replicas across models
+    as traffic shifts, bumping ``generation`` each time.
+    """
 
     index: int
+    model: str = ""
+    """Model this replica currently serves (the binding; empty = unbound)."""
     active: bool = False
     busy: bool = False
     running: list[_Running] = field(default_factory=list)
@@ -176,7 +185,8 @@ class _Replica:
     """Plan-cache namespace of this replica's program store (empty = the
     shared warm namespace; set after a cold restart)."""
     generation: int = 0
-    """Cold restarts this replica has been through (names the cache scope)."""
+    """Generation of the binding: bumped on cold restarts (names the cache
+    scope) and on fleet re-binds to a different model."""
 
 
 #: Event kinds, ordered so same-timestamp faults strike before arrivals and
@@ -310,6 +320,7 @@ class _DecodeEngineBase:
         return [
             _Replica(
                 index=i,
+                model=self.model.name,
                 active=active,
                 chips=tuple(range(i * stages, (i + 1) * stages)),
             )

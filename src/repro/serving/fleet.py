@@ -1,0 +1,945 @@
+"""Multi-model, multi-tenant serving fleet over one shared worker pool.
+
+:class:`FleetEngine` generalises :class:`~repro.serving.continuous.
+ContinuousEngine` from "one model owns the fleet" to "N model deployments
+share it": every replica is a *(model, chip-group, generation)* binding
+(:class:`~repro.serving.continuous._Replica`), a pluggable
+:class:`~repro.serving.router.Router` picks the replica each request queues
+on, and idle replicas **re-bind** across models as traffic shifts — cheap
+precisely because the compiler's per-bucket programs live in the shared
+:class:`~repro.serving.plan_cache.PlanCache` and are shared across tenants
+by fingerprint.
+
+Per-request policy order (see :mod:`repro.serving.router`)::
+
+    route → admit → preempt → shed → autoscale
+
+* **route** — at arrival, the router picks a compatible (or idle,
+  re-bindable) replica from an immutable fleet snapshot; the request then
+  stays on that replica's queues.
+* **admit** — at each of that replica's iteration boundaries: interactive
+  requests earliest-deadline-first across *all* tenants, then resumed
+  preemptions, then best-effort FIFO — SLO class, not tenant, is the
+  scheduling currency.
+* **preempt** — waiting interactive requests (any tenant) evict resident
+  best-effort requests (any tenant), progress kept on the replica.
+* **shed** — at its admission boundary a request whose projected completion
+  (remaining iterations × the replica class's full-batch iteration latency)
+  already misses its deadline is rejected.
+* **autoscale** — replicas activate on demand when routed work arrives and
+  deactivate when they drain, so an idle deployment consumes no chips.
+
+The pool may be heterogeneous (``chip_classes``: e.g. the fig22 GPU baseline
+joining an IPU fleet); programs are compiled and priced per hardware class,
+and routers see the class through their cost callbacks.  Faults are not
+supported in this engine yet — chaos stays with
+:class:`~repro.serving.continuous.ContinuousEngine`.
+
+Everything runs in virtual time: compile cost is wall-clock-only
+(``warm_compile_seconds``), so fleet runs are bit-identical at any compile
+parallelism and under permutation of tenant workload streams (compose them
+with :func:`~repro.serving.request.merge_decode_workloads`).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
+from repro.hw.spec import IPU_MK2, ChipSpec
+from repro.obs.trace import (
+    KIND_FLOW_END,
+    KIND_FLOW_START,
+    KIND_FLOW_STEP,
+    Tracer,
+    get_tracer,
+)
+from repro.obs.registry import publish_stats
+from repro.serving.batcher import batch_buckets, bucket_for
+from repro.serving.continuous import (
+    _EV_ARRIVAL,
+    _EV_ITER_END,
+    DecodeModel,
+    _Replica,
+    _Running,
+)
+from repro.serving.metrics import ContinuousReport
+from repro.serving.plan_cache import PlanCache
+from repro.serving.request import (
+    DECODE_OK,
+    DECODE_SHED,
+    CompletedDecode,
+    DecodeRequest,
+    TenantSpec,
+)
+from repro.serving.router import CostAwareRouter, FleetView, ReplicaView, Router
+from repro.serving.worker import IterationCost, WorkerPool
+
+#: Policy prefix of fleet reports; the router name is appended.
+POLICY_FLEET = "fleet"
+
+
+@dataclass
+class _FleetReplica(_Replica):
+    """A fleet replica: the shared binding plus its own routed queues.
+
+    Unlike the single-model engines, whose replicas admit from engine-wide
+    queues, a fleet replica owns the queues of the requests routed to it —
+    which is what makes a request's placement well-defined the moment the
+    router decides, and keeps admission replica-local (no cross-replica
+    migration, so KV locality is trivially preserved).
+    """
+
+    chip_class: ChipSpec | None = None
+    iq: list = field(default_factory=list)
+    """EDF heap of routed interactive requests: (deadline, arrival, id, req)."""
+    bq: deque = field(default_factory=deque)
+    """FIFO of routed best-effort requests."""
+    preempted: deque = field(default_factory=deque)
+    """Preempted residents awaiting resumption on this replica."""
+
+    @property
+    def queued(self) -> int:
+        return len(self.iq) + len(self.bq) + len(self.preempted)
+
+
+class FleetEngine:
+    """Continuous batching for a heterogeneous mix of models and tenants.
+
+    ``deployments`` are the models the fleet serves (unique names, uniform
+    ``num_stages`` so chip groups are interchangeable across re-binds).
+    ``tenants`` declares the traffic sources and their fairness floors —
+    unknown tenants in the workload are served too (with no floor), so the
+    list is a promise registry, not an ACL.  ``chip_classes`` maps chip
+    index → :class:`ChipSpec` for non-default hardware (single-stage fleets
+    only).  ``router`` defaults to :class:`~repro.serving.router.
+    CostAwareRouter`.
+    """
+
+    def __init__(
+        self,
+        deployments: Sequence[DecodeModel],
+        *,
+        tenants: Sequence[TenantSpec] | None = None,
+        chip: ChipSpec = IPU_MK2,
+        num_chips: int = 2,
+        chip_classes: dict[int, ChipSpec] | None = None,
+        router: Router | None = None,
+        constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
+        plan_cache: PlanCache | None = None,
+        cache_dir: str | Path | None = None,
+        jobs: int | None = None,
+        shed: bool = True,
+    ) -> None:
+        if not deployments:
+            raise ValueError("FleetEngine needs at least one deployment")
+        names = [deployment.name for deployment in deployments]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate deployment names: {sorted(names)}")
+        stages = {deployment.num_stages for deployment in deployments}
+        if len(stages) != 1:
+            raise ValueError(
+                "fleet deployments must share one num_stages (chip groups are "
+                f"re-bound across models), got {sorted(stages)}"
+            )
+        self.num_stages = stages.pop()
+        if chip_classes and self.num_stages > 1:
+            raise ValueError(
+                "heterogeneous chip_classes require num_stages == 1 "
+                "(sharded groups stay on the default class)"
+            )
+        if num_chips < self.num_stages:
+            raise ValueError(
+                f"fleet of {num_chips} chips cannot host {self.num_stages}-stage groups"
+            )
+        if plan_cache is not None and cache_dir is not None:
+            raise ValueError("pass either plan_cache or cache_dir, not both")
+        if plan_cache is not None and jobs is not None:
+            raise ValueError(
+                "jobs has no effect on a caller-supplied plan_cache; set jobs "
+                "when building the cache instead"
+            )
+        self._deployments = {deployment.name: deployment for deployment in deployments}
+        tenants = tenants or ()
+        tenant_names = [tenant.name for tenant in tenants]
+        if len(set(tenant_names)) != len(tenant_names):
+            raise ValueError(f"duplicate tenant names: {sorted(tenant_names)}")
+        self.tenants = {tenant.name: tenant for tenant in tenants}
+        self.num_chips = num_chips
+        self._owns_cache = plan_cache is None
+        cache = plan_cache if plan_cache is not None else PlanCache(cache_dir, jobs=jobs)
+        self.pool = WorkerPool(
+            chip,
+            num_chips=num_chips,
+            plan_cache=cache,
+            constraints=constraints,
+            chip_classes=chip_classes,
+        )
+        self.router = router if router is not None else CostAwareRouter()
+        self.shed_enabled = shed
+        self.num_replicas = num_chips // self.num_stages
+        self.warm_compile_seconds = 0.0
+        self._graphs: dict[tuple[str, int], object] = {}
+        #: IterationCost per (model, chip-class fingerprint, bucket) — the
+        #: steady-state pricing every scheduling decision reads.
+        self._costs: dict[tuple[str, str, int], IterationCost] = {}
+        self._ready: set[tuple[str, str]] = set()
+        self._tenant_touched: set[tuple[str, str, str]] = set()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The cache holding every deployment's per-bucket programs."""
+        return self.pool.plan_cache
+
+    @property
+    def policy(self) -> str:
+        """Reported policy string: ``fleet-<router name>``."""
+        return f"{POLICY_FLEET}-{self.router.name}"
+
+    @property
+    def deployments(self) -> tuple[DecodeModel, ...]:
+        """The served models, in declaration order."""
+        return tuple(self._deployments.values())
+
+    def close(self) -> None:
+        """Release compiler worker pools held by the engine's own cache."""
+        if self._owns_cache:
+            self.plan_cache.close()
+
+    def _graph(self, model: str, bucket: int):
+        key = (model, bucket)
+        graph = self._graphs.get(key)
+        if graph is None:
+            graph = self._graphs[key] = self._deployments[model].decode_builder(bucket)
+        return graph
+
+    def _ensure_programs(self, model: str, chip_class: ChipSpec, tenant: str) -> None:
+        """Compile (or warm-touch) every bucket of ``model`` on ``chip_class``.
+
+        The first call compiles for real — wall-clock only, accumulated into
+        ``warm_compile_seconds`` — with the plan-cache misses *attributed* to
+        the tenant whose traffic triggered them.  Each later tenant's first
+        touch re-looks the buckets up (pure memory hits, attributed to that
+        tenant), which is how "compile once, second tenant gets the warm
+        hit" stays visible per tenant without ever forking the plans.
+        """
+        deployment = self._deployments[model]
+        fingerprint = chip_class.fingerprint()
+        ready_key = (model, fingerprint)
+        touch_key = (tenant, model, fingerprint)
+        if ready_key in self._ready and (not tenant or touch_key in self._tenant_touched):
+            return
+        default_class = fingerprint == self.pool.chip.fingerprint()
+        for bucket in batch_buckets(deployment.max_batch_size):
+            cost = self.pool.profile(
+                self._graph(model, bucket),
+                num_stages=deployment.num_stages,
+                chip=None if default_class else chip_class,
+                tenant=tenant,
+            )
+            if not cost.ok:
+                raise RuntimeError(
+                    f"{model} does not serve at batch {bucket} on "
+                    f"{chip_class.name}: {cost.status} ({cost.error})"
+                )
+            if ready_key not in self._ready:
+                self.warm_compile_seconds += cost.compile_seconds
+                # Steady state: later iterations of this bucket are pure latency.
+                self._costs[(model, fingerprint, bucket)] = IterationCost(
+                    cost.status, cost.error, cost.latency, 0.0, cost.cache_outcome
+                )
+        self._ready.add(ready_key)
+        if tenant:
+            self._tenant_touched.add(touch_key)
+
+    def warm(self) -> None:
+        """Precompile every deployment on every hardware class (idempotent).
+
+        Optional — the engine also warms lazily as traffic first touches a
+        (model, class) pair — but experiments call it to pay all compile
+        cost up front, so ``recompiles`` during the run is exactly zero.
+        """
+        for model in self._deployments:
+            for chip_class in self.pool.hardware_classes():
+                self._ensure_programs(model, chip_class, "")
+
+    def _cost(
+        self, model: str, chip_class: ChipSpec, batch_len: int, tenant: str = ""
+    ) -> IterationCost:
+        deployment = self._deployments[model]
+        bucket = bucket_for(batch_len, deployment.max_batch_size)
+        key = (model, chip_class.fingerprint(), bucket)
+        cost = self._costs.get(key)
+        if cost is None:
+            self._ensure_programs(model, chip_class, tenant)
+            cost = self._costs[key]
+        return cost
+
+    def iteration_latency(
+        self, model: str, batch_size: int = 1, *, chip_class: ChipSpec | None = None
+    ) -> float:
+        """Simulated decode-iteration latency of ``model`` at ``batch_size``
+        on ``chip_class`` (default: the pool's default class).  The batch-1
+        value on the default class is the natural offered-load unit."""
+        target = chip_class if chip_class is not None else self.pool.chip
+        return self._cost(model, target, batch_size).latency
+
+    # ------------------------------------------------------------------ #
+    def _make_replicas(self) -> list[_FleetReplica]:
+        """Carve the fleet into replicas: groups of ``num_stages`` chips of
+        one hardware class each.  Chips are grouped in index order; a run of
+        same-class chips shorter than a group is left idle (only possible
+        with heterogeneous multi-stage fleets, which are rejected above)."""
+        replicas: list[_FleetReplica] = []
+        chips = list(range(self.num_chips))
+        index = 0
+        while len(chips) >= self.num_stages:
+            group, chips = chips[: self.num_stages], chips[self.num_stages :]
+            replicas.append(
+                _FleetReplica(
+                    index=index,
+                    chips=tuple(group),
+                    chip_class=self.pool.chip_for(group[0]),
+                )
+            )
+            index += 1
+        return replicas
+
+    def _check_requests(self, requests: Sequence[DecodeRequest]) -> list[DecodeRequest]:
+        unknown = sorted({req.model for req in requests} - set(self._deployments))
+        if unknown:
+            raise ValueError(
+                f"requests for unserved models {unknown}; served: "
+                f"{sorted(self._deployments)}"
+            )
+        ids = [req.request_id for req in requests]
+        if len(set(ids)) != len(ids):
+            raise ValueError(
+                "duplicate request ids in fleet workload; compose per-tenant "
+                "streams with merge_decode_workloads, which renumbers them"
+            )
+        return sorted(requests, key=lambda req: (req.arrival_time, req.request_id))
+
+    def _view(
+        self, now: float, replicas: list[_FleetReplica], tenant: str = ""
+    ) -> FleetView:
+        return FleetView(
+            now=now,
+            replicas=tuple(
+                ReplicaView(
+                    index=replica.index,
+                    model=replica.model,
+                    chip_class=replica.chip_class.name,
+                    queued=replica.queued,
+                    resident=len(replica.running),
+                    busy=replica.busy,
+                )
+                for replica in replicas
+            ),
+            iteration_latency=lambda model, index: self._cost(
+                model,
+                replicas[index].chip_class,
+                self._deployments[model].max_batch_size,
+                tenant,
+            ).latency,
+            ideal_iterations=lambda model, prompt, output: self._deployments[
+                model
+            ].ideal_iterations(prompt, output),
+            max_batch=lambda model: self._deployments[model].max_batch_size,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Tracing: same span taxonomy as the single-model engines, with one
+    # request lane *per tenant* so Perfetto shows per-tenant activity side
+    # by side (docs/observability.md).
+    # ------------------------------------------------------------------ #
+    @property
+    def trace_group(self) -> str:
+        """Track-group (Perfetto process) of this engine's trace events."""
+        return f"{self.policy}@{self.num_chips}chips"
+
+    def _tenant_track(self, tenant: str) -> str:
+        return f"{self.trace_group}/tenant/{tenant or 'default'}"
+
+    def _flow_id(self, request_id: int) -> str:
+        return f"{self.trace_group}/r{request_id}"
+
+    def _trace_enqueue(self, tracer: Tracer, request: DecodeRequest) -> None:
+        track = self._tenant_track(request.tenant)
+        tracer.instant(
+            "enqueue",
+            ts=request.arrival_time,
+            track=track,
+            cat="lifecycle",
+            args={
+                "request": request.request_id,
+                "class": request.slo_class,
+                "model": request.model,
+            },
+        )
+        tracer.flow(
+            KIND_FLOW_START,
+            self._flow_id(request.request_id),
+            ts=request.arrival_time,
+            track=track,
+            name="request",
+        )
+
+    def _chip_tracks(self, replica: _FleetReplica) -> tuple[str, ...]:
+        group = self.trace_group
+        return tuple(f"{group}/chip{chip}" for chip in replica.chips)
+
+    def _trace_admit(
+        self, tracer: Tracer, request: DecodeRequest, replica: _FleetReplica, now: float
+    ) -> None:
+        track = self._chip_tracks(replica)[0]
+        tracer.instant(
+            "admit",
+            ts=now,
+            track=track,
+            cat="lifecycle",
+            args={"request": request.request_id, "tenant": request.tenant},
+        )
+        tracer.flow(
+            KIND_FLOW_STEP,
+            self._flow_id(request.request_id),
+            ts=now,
+            track=track,
+            name="request",
+        )
+
+    def _trace_iteration(
+        self, tracer: Tracer, replica: _FleetReplica, now: float, latency: float
+    ) -> None:
+        args = {
+            "model": replica.model,
+            "batch": len(replica.running),
+            "bucket": bucket_for(
+                len(replica.running), self._deployments[replica.model].max_batch_size
+            ),
+            "requests": ",".join(str(r.request.request_id) for r in replica.running),
+        }
+        for track in self._chip_tracks(replica):
+            tracer.span(
+                "iteration", ts=now, dur=latency, track=track, cat="decode", args=args
+            )
+
+    def _trace_done(
+        self,
+        tracer: Tracer,
+        record: CompletedDecode,
+        replica: _FleetReplica | None,
+        now: float,
+    ) -> None:
+        """Lifecycle close-out: the flow arrow lands on the serving chip (or
+        the tenant lane for shed requests) and exactly one async lifecycle
+        span per request covers arrival → completion on the *tenant's* lane —
+        the per-tenant Perfetto lanes the observability satellite asks for."""
+        request = record.request
+        tenant_track = self._tenant_track(request.tenant)
+        end_track = (
+            self._chip_tracks(replica)[0] if replica is not None else tenant_track
+        )
+        tracer.instant(
+            "retire" if record.ok else "shed",
+            ts=now,
+            track=end_track,
+            cat="lifecycle",
+            args={"request": request.request_id, "tokens": record.tokens_generated},
+        )
+        tracer.flow(
+            KIND_FLOW_END,
+            self._flow_id(request.request_id),
+            ts=now,
+            track=end_track,
+            name="request",
+        )
+        tracer.async_span(
+            "request",
+            ts=request.arrival_time,
+            dur=now - request.arrival_time,
+            track=tenant_track,
+            flow_id=self._flow_id(request.request_id),
+            cat="lifecycle",
+            args={
+                "request": request.request_id,
+                "status": record.status,
+                "tokens": record.tokens_generated,
+                "preemptions": record.preemptions,
+                "replica": record.replica,
+                "model": request.model,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    def run(self, requests: Sequence[DecodeRequest]) -> ContinuousReport:
+        """Replay one multi-tenant decode workload and return the report.
+
+        Pure virtual time, single-threaded event loop: identical inputs give
+        bit-identical reports at any plan-cache ``jobs`` width, and
+        workloads composed with
+        :func:`~repro.serving.request.merge_decode_workloads` make the run
+        invariant under permutation of the tenant streams too.
+        """
+        ordered = self._check_requests(requests)
+        tracer = get_tracer()
+        traced = tracer.enabled
+        fleet_track = f"{self.trace_group}/fleet"
+        stages = self.num_stages
+
+        replicas = self._make_replicas()
+        records: list[CompletedDecode] = []
+        seq = itertools.count()
+        events: list[tuple[float, int, int, object]] = []
+        for request in ordered:
+            heapq.heappush(
+                events, (request.arrival_time, _EV_ARRIVAL, next(seq), request)
+            )
+
+        stats_before = self.plan_cache.stats.snapshot()
+        counters = {
+            "iterations": 0,
+            "preemptions": 0,
+            "shed": 0,
+            "scale_ups": 0,
+            "scale_downs": 0,
+            "rebinds": 0,
+        }
+        served_by_tenant: dict[str, int] = {}
+        #: Requests the router had no candidate for (every replica busy on
+        #: other models); re-offered in arrival order as capacity frees.
+        unrouted: deque[DecodeRequest] = deque()
+        busy_chip_seconds = 0.0
+        active_chip_seconds = 0.0
+        peak_active = 0
+        last_time = ordered[0].arrival_time if ordered else 0.0
+
+        def active_count() -> int:
+            return sum(1 for replica in replicas if replica.active)
+
+        def integrate(now: float) -> None:
+            nonlocal active_chip_seconds, last_time
+            active_chip_seconds += (now - last_time) * active_count() * stages
+            last_time = now
+
+        def tenant_sample(tenant: str, now: float) -> None:
+            """Per-tenant queue/goodput counters on the tenant's own track."""
+            queued = (
+                sum(
+                    1
+                    for replica in replicas
+                    for _, _, _, req in replica.iq
+                    if req.tenant == tenant
+                )
+                + sum(
+                    1
+                    for replica in replicas
+                    for req in replica.bq
+                    if req.tenant == tenant
+                )
+                + sum(1 for req in unrouted if req.tenant == tenant)
+            )
+            tracer.counter(
+                "tenant",
+                ts=now,
+                track=self._tenant_track(tenant),
+                values={"queued": queued, "served": served_by_tenant.get(tenant, 0)},
+            )
+
+        def fleet_sample(now: float) -> None:
+            tracer.counter(
+                "fleet",
+                ts=now,
+                track=fleet_track,
+                values={"active": active_count(), "rebinds": counters["rebinds"]},
+            )
+
+        def shed_check(request: DecodeRequest, replica: _FleetReplica, now: float) -> bool:
+            """Projected completion vs deadline, priced at this replica
+            class's full-batch iteration latency."""
+            if not self.shed_enabled or request.deadline is None:
+                return False
+            deployment = self._deployments[replica.model]
+            unit = self._cost(
+                replica.model, replica.chip_class, deployment.max_batch_size
+            ).latency
+            projected = now + deployment.total_iterations(request) * unit
+            return projected > request.deadline
+
+        def shed(request: DecodeRequest, now: float) -> None:
+            counters["shed"] += 1
+            record = CompletedDecode(
+                request=request,
+                status=DECODE_SHED,
+                admitted_time=float("nan"),
+                first_token_time=float("nan"),
+                completion_time=now,
+                tokens_generated=0,
+                replica=-1,
+            )
+            records.append(record)
+            if traced:
+                self._trace_done(tracer, record, None, now)
+
+        def admit_one(
+            request: DecodeRequest, replica: _FleetReplica, now: float
+        ) -> _Running:
+            if traced:
+                self._trace_admit(tracer, request, replica, now)
+            deployment = self._deployments[replica.model]
+            return _Running(
+                request=request,
+                admitted_time=now,
+                prefill_remaining=deployment.prefill_iterations(request.prompt_tokens),
+                origin=replica.index,
+            )
+
+        def admit(replica: _FleetReplica, now: float) -> None:
+            """Replica-local admission: EDF interactive (cross-tenant), then
+            preemption of best-effort residents, then resumed preemptions,
+            then best-effort FIFO — the exact policy of ContinuousEngine over
+            this replica's own routed queues."""
+            running = replica.running
+            max_batch = self._deployments[replica.model].max_batch_size
+            while replica.iq and len(running) < max_batch:
+                _, _, _, request = heapq.heappop(replica.iq)
+                if shed_check(request, replica, now):
+                    shed(request, now)
+                    continue
+                running.append(admit_one(request, replica, now))
+            while replica.iq and len(running) >= max_batch:
+                victim_index = None
+                for position in range(len(running) - 1, -1, -1):
+                    if not running[position].request.interactive:
+                        victim_index = position
+                        break
+                if victim_index is None:
+                    break
+                _, _, _, request = heapq.heappop(replica.iq)
+                if shed_check(request, replica, now):
+                    shed(request, now)
+                    continue
+                victim = running.pop(victim_index)
+                victim.preemptions += 1
+                counters["preemptions"] += 1
+                replica.preempted.appendleft(victim)
+                if traced:
+                    tracer.instant(
+                        "preempt",
+                        ts=now,
+                        track=self._chip_tracks(replica)[0],
+                        cat="lifecycle",
+                        args={
+                            "victim": victim.request.request_id,
+                            "for": request.request_id,
+                        },
+                    )
+                running.append(admit_one(request, replica, now))
+            # Preempted work resumes on its own replica only (its KV state
+            # never left these chips), before fresh best-effort admissions.
+            while replica.preempted and len(running) < max_batch:
+                resumed = replica.preempted.popleft()
+                if traced:
+                    tracer.instant(
+                        "resume",
+                        ts=now,
+                        track=self._chip_tracks(replica)[0],
+                        cat="lifecycle",
+                        args={"request": resumed.request.request_id},
+                    )
+                running.append(resumed)
+            while replica.bq and len(running) < max_batch:
+                running.append(admit_one(replica.bq.popleft(), replica, now))
+
+        def retire_finished(replica: _FleetReplica, now: float) -> None:
+            for running in list(replica.running):
+                running.advance(now)
+                if running.done:
+                    replica.running.remove(running)
+                    record = CompletedDecode(
+                        request=running.request,
+                        status=DECODE_OK,
+                        admitted_time=running.admitted_time,
+                        first_token_time=running.first_token_time,
+                        completion_time=now,
+                        tokens_generated=running.tokens_done,
+                        preemptions=running.preemptions,
+                        replica=replica.index,
+                    )
+                    records.append(record)
+                    tenant = running.request.tenant
+                    served_by_tenant[tenant] = served_by_tenant.get(tenant, 0) + 1
+                    if traced:
+                        self._trace_done(tracer, record, replica, now)
+                        tenant_sample(tenant, now)
+
+        def start_iteration(replica: _FleetReplica, now: float) -> None:
+            nonlocal busy_chip_seconds, peak_active
+            if replica.busy or not replica.active:
+                return
+            admit(replica, now)
+            if not replica.running:
+                # Drained: release the chips (demand-driven autoscaling).
+                integrate(now)
+                replica.active = False
+                counters["scale_downs"] += 1
+                if traced:
+                    tracer.instant(
+                        "scale-down",
+                        ts=now,
+                        track=fleet_track,
+                        cat="autoscale",
+                        args={"replica": replica.index, "model": replica.model},
+                    )
+                return
+            cost = self._cost(replica.model, replica.chip_class, len(replica.running))
+            replica.busy = True
+            replica.iter_start = now
+            replica.iter_latency = cost.latency
+            counters["iterations"] += 1
+            busy_chip_seconds += cost.latency * stages
+            if traced:
+                self._trace_iteration(tracer, replica, now, cost.latency)
+            heapq.heappush(
+                events,
+                (
+                    now + cost.latency,
+                    _EV_ITER_END,
+                    next(seq),
+                    (replica.index, replica.epoch),
+                ),
+            )
+
+        def activate(replica: _FleetReplica, now: float) -> None:
+            nonlocal peak_active
+            if replica.active:
+                return
+            integrate(now)
+            replica.active = True
+            counters["scale_ups"] += 1
+            peak_active = max(peak_active, active_count())
+            if traced:
+                tracer.instant(
+                    "scale-up",
+                    ts=now,
+                    track=fleet_track,
+                    cat="autoscale",
+                    args={"replica": replica.index, "model": replica.model},
+                )
+
+        def bind(replica: _FleetReplica, model: str, now: float) -> None:
+            """Bind (or re-bind) an idle replica to ``model``.  A re-bind
+            bumps the binding generation — its compiled programs are already
+            shared in the plan cache, so the switch costs no virtual time."""
+            if replica.busy or replica.running or replica.queued:
+                raise RuntimeError(
+                    f"router bound busy replica {replica.index} to {model!r} "
+                    f"(bound to {replica.model!r}); only idle replicas re-bind"
+                )
+            previous = replica.model
+            replica.model = model
+            if previous:
+                replica.generation += 1
+                counters["rebinds"] += 1
+                if traced:
+                    tracer.instant(
+                        "rebind",
+                        ts=now,
+                        track=fleet_track,
+                        cat="routing",
+                        args={
+                            "replica": replica.index,
+                            "from": previous,
+                            "to": model,
+                            "generation": replica.generation,
+                        },
+                    )
+
+        def place(request: DecodeRequest, now: float) -> bool:
+            """Offer ``request`` to the router; queue it on the chosen
+            replica.  False = no compatible or idle replica right now (the
+            caller parks the request until capacity frees)."""
+            view = self._view(now, replicas, request.tenant)
+            index = self.router.route(request, view)
+            if index is None:
+                return False
+            if not 0 <= index < len(replicas):
+                raise RuntimeError(
+                    f"router {self.router.name!r} returned replica {index}; "
+                    f"fleet has {len(replicas)}"
+                )
+            replica = replicas[index]
+            if replica.model != request.model:
+                bind(replica, request.model, now)
+            self._ensure_programs(request.model, replica.chip_class, request.tenant)
+            if request.interactive:
+                deadline = request.deadline if request.deadline is not None else math.inf
+                heapq.heappush(
+                    replica.iq,
+                    (deadline, request.arrival_time, request.request_id, request),
+                )
+            else:
+                replica.bq.append(request)
+            activate(replica, now)
+            start_iteration(replica, now)
+            return True
+
+        def drain_unrouted(now: float) -> None:
+            """Re-offer parked requests in arrival order whenever capacity
+            may have freed (a replica drained and became rebindable)."""
+            placed_any = False
+            remaining: deque[DecodeRequest] = deque()
+            while unrouted:
+                request = unrouted.popleft()
+                if place(request, now):
+                    placed_any = True
+                else:
+                    remaining.append(request)
+            unrouted.extend(remaining)
+            if placed_any and traced:
+                fleet_sample(now)
+
+        def on_arrival(request: DecodeRequest, now: float) -> None:
+            if traced:
+                self._trace_enqueue(tracer, request)
+            if not place(request, now):
+                # Every replica is busy serving other models: park until a
+                # replica drains and becomes rebindable.
+                unrouted.append(request)
+            if traced:
+                tenant_sample(request.tenant, now)
+                fleet_sample(now)
+
+        while events:
+            now, kind, _, payload = heapq.heappop(events)
+            integrate(now)
+            if kind == _EV_ARRIVAL:
+                on_arrival(payload, now)
+            else:
+                index, epoch = payload
+                replica = replicas[index]
+                if replica.epoch != epoch:
+                    continue
+                replica.busy = False
+                retire_finished(replica, now)
+                start_iteration(replica, now)
+                if unrouted:
+                    drain_unrouted(now)
+                if traced:
+                    fleet_sample(now)
+
+        # Defensive: with no faults every routed request is served or shed at
+        # its admission boundary, but never strand anything — the books must
+        # always balance (completed + shed == requests).
+        for replica in replicas:
+            while replica.iq:
+                _, _, _, request = heapq.heappop(replica.iq)
+                shed(request, last_time)
+            while replica.bq:
+                shed(replica.bq.popleft(), last_time)
+            while replica.preempted:
+                shed(replica.preempted.popleft().request, last_time)
+        while unrouted:
+            shed(unrouted.popleft(), last_time)
+
+        records.sort(key=lambda record: record.request.request_id)
+        first_arrival = ordered[0].arrival_time if ordered else 0.0
+        report = self._report(
+            records,
+            counters=counters,
+            busy_chip_seconds=busy_chip_seconds,
+            active_chip_seconds=active_chip_seconds,
+            active_span=last_time - first_arrival,
+            peak_active=peak_active,
+            stats_before=stats_before,
+        )
+        if traced:
+            self._publish_run_metrics(tracer, report, counters)
+        return report
+
+    # ------------------------------------------------------------------ #
+    def _report(
+        self,
+        records: list[CompletedDecode],
+        *,
+        counters: dict[str, int],
+        busy_chip_seconds: float,
+        active_chip_seconds: float,
+        active_span: float,
+        peak_active: int,
+        stats_before,
+    ) -> ContinuousReport:
+        served = [record for record in records if record.ok]
+        makespan = 0.0
+        if served:
+            makespan = max(r.completion_time for r in served) - min(
+                r.request.arrival_time for r in served
+            )
+        return ContinuousReport(
+            policy=self.policy,
+            model="+".join(sorted(self._deployments)),
+            num_chips=self.num_chips,
+            num_stages=self.num_stages,
+            max_batch_size=max(
+                deployment.max_batch_size for deployment in self._deployments.values()
+            ),
+            completed=tuple(records),
+            makespan=makespan,
+            busy_chip_seconds=busy_chip_seconds,
+            active_chip_seconds=active_chip_seconds,
+            active_span=active_span,
+            iterations=counters["iterations"],
+            cache=self.plan_cache.stats.since(stats_before),
+            warm_compile_seconds=self.warm_compile_seconds,
+            preemptions=counters["preemptions"],
+            shed=counters["shed"],
+            scale_ups=counters["scale_ups"],
+            scale_downs=counters["scale_downs"],
+            peak_active_chips=peak_active * self.num_stages,
+            rebinds=counters["rebinds"],
+        )
+
+    def _publish_run_metrics(
+        self, tracer: Tracer, report: ContinuousReport, counters: dict[str, int]
+    ) -> None:
+        """Fold the run's scalars into the metrics registry, plus one
+        goodput/attainment block per tenant (the per-tenant lanes' numeric
+        counterpart)."""
+        prefix = f"serving.{self.trace_group}"
+        publish_stats(tracer.metrics, prefix, counters)
+        publish_stats(
+            tracer.metrics,
+            prefix,
+            {
+                "completed": report.total_completed,
+                "tokens": report.total_tokens,
+                "fairness_x1000": int(round(report.fairness * 1000))
+                if not math.isnan(report.fairness)
+                else -1,
+            },
+        )
+        publish_stats(tracer.metrics, f"{prefix}.cache", report.cache.as_dict())
+        for tenant, slice_report in report.per_tenant().items():
+            label = tenant or "default"
+            publish_stats(
+                tracer.metrics,
+                f"{prefix}.tenant.{label}",
+                {
+                    "completed": slice_report.total_completed,
+                    "shed": slice_report.shed,
+                    "slo_met": slice_report.slo_met,
+                },
+            )
+        latency = tracer.metrics.histogram(f"{prefix}.latency_s")
+        ttft = tracer.metrics.histogram(f"{prefix}.ttft_s")
+        for record in report.completed:
+            if record.ok:
+                latency.observe(record.latency)
+                ttft.observe(record.time_to_first_token)

@@ -16,6 +16,24 @@ from repro.serving.plan_cache import CacheStats
 from repro.serving.request import CompletedDecode, CompletedRequest
 
 
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index over a set of non-negative allocations.
+
+    ``(Σx)² / (n · Σx²)`` — 1.0 when every tenant gets the same share,
+    ``1/n`` when one tenant gets everything.  An all-zero allocation is
+    perfectly equal (1.0); an empty one has no tenants to compare (``nan``).
+    """
+    if not values:
+        return float("nan")
+    if any(value < 0 for value in values):
+        raise ValueError(f"jain_fairness needs non-negative values, got {list(values)}")
+    total = sum(values)
+    squares = sum(value * value for value in values)
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
 @dataclass
 class ModelStats:
     """Serving statistics for one model."""
@@ -280,6 +298,9 @@ class ContinuousReport:
     peak_active_chips: int
     migrations: int = 0
     """Preempted requests resumed on a different replica (charged re-prefill)."""
+    rebinds: int = 0
+    """Idle replicas re-bound to a different model by the fleet router
+    (always 0 for the single-model engines)."""
     faults: FaultStats = field(default_factory=FaultStats)
 
     # ------------------------------------------------------------------ #
@@ -385,6 +406,68 @@ class ContinuousReport:
         if self.active_span <= 0:
             return 0.0
         return self.active_chip_seconds / self.active_span
+
+    # ------------------------------------------------------------------ #
+    # Per-tenant slices (multi-tenant fleet runs)
+    # ------------------------------------------------------------------ #
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Tenants with at least one request in this run, sorted."""
+        return tuple(sorted({record.request.tenant for record in self.completed}))
+
+    def tenant_slice(self, tenant: str) -> "ContinuousReport":
+        """This report restricted to one tenant's requests.
+
+        Request-derived metrics (goodput, SLO attainment, TTFT/TPOT, token
+        throughput) are exact for the slice — ``makespan`` spans the
+        tenant's own served requests.  Fleet-level resource counters
+        (busy/active chip-seconds, iterations, cache, autoscale events) are
+        zeroed rather than divided: chips and iterations are *shared* on a
+        multi-tenant fleet and any per-tenant split of them would be an
+        arbitrary allocation, not a measurement.  ``shed`` and
+        ``preemptions`` are per-request facts and are sliced exactly.
+        """
+        records = tuple(
+            record for record in self.completed if record.request.tenant == tenant
+        )
+        served = [record for record in records if record.ok]
+        makespan = 0.0
+        if served:
+            makespan = max(r.completion_time for r in served) - min(
+                r.request.arrival_time for r in served
+            )
+        return ContinuousReport(
+            policy=self.policy,
+            model=self.model,
+            num_chips=self.num_chips,
+            num_stages=self.num_stages,
+            max_batch_size=self.max_batch_size,
+            completed=records,
+            makespan=makespan,
+            busy_chip_seconds=0.0,
+            active_chip_seconds=0.0,
+            active_span=0.0,
+            iterations=0,
+            cache=CacheStats(),
+            warm_compile_seconds=0.0,
+            preemptions=sum(record.preemptions for record in records),
+            shed=sum(1 for record in records if not record.ok),
+            scale_ups=0,
+            scale_downs=0,
+            peak_active_chips=0,
+        )
+
+    def per_tenant(self) -> dict[str, "ContinuousReport"]:
+        """One :meth:`tenant_slice` per tenant, keyed by tenant name."""
+        return {tenant: self.tenant_slice(tenant) for tenant in self.tenants}
+
+    @property
+    def fairness(self) -> float:
+        """Jain fairness index over per-tenant goodput (1.0 = equal shares;
+        ``nan`` for runs without any completed records)."""
+        return jain_fairness(
+            [slice.goodput for slice in self.per_tenant().values()]
+        )
 
     # ------------------------------------------------------------------ #
     def summary(self) -> str:

@@ -172,6 +172,7 @@ class PlanCache:
         self._memory: dict[str, CompiledModel] = {}
         self._scopes: dict[str, set[str]] = {}
         self._stats = CacheStats()
+        self._tenant_stats: dict[str, CacheStats] = {}
         self._lock = threading.Lock()
         self._flight = SingleFlight()
 
@@ -207,6 +208,42 @@ class PlanCache:
     def stats(self) -> CacheStats:
         """Lookup counters (live object, not a snapshot)."""
         return self._stats
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Tenants that have attributed lookups, sorted."""
+        with self._lock:
+            return tuple(sorted(self._tenant_stats))
+
+    def tenant_stats(self, tenant: str) -> CacheStats:
+        """Snapshot of the lookups attributed to ``tenant``.
+
+        Plans are shared — the cache key never includes the tenant — but
+        every ``get_or_compile(..., tenant=...)`` call is *attributed*: the
+        tenant whose lookup actually compiled owns the miss, later tenants
+        reusing the same fingerprint own warm hits.  Tenants that never
+        looked anything up report all-zero counters.
+        """
+        with self._lock:
+            stats = self._tenant_stats.get(tenant)
+            return stats.snapshot() if stats is not None else CacheStats()
+
+    def _attribute(self, tenant: str, outcome: str, compiled: CompiledModel) -> None:
+        """Fold one lookup outcome into the tenant's counters (lock held)."""
+        if not tenant:
+            return
+        stats = self._tenant_stats.get(tenant)
+        if stats is None:
+            stats = self._tenant_stats[tenant] = CacheStats()
+        if outcome == HIT_MEMORY:
+            stats.hits_memory += 1
+            stats.saved_seconds += compiled.compile_time_seconds
+        elif outcome == HIT_DISK:
+            stats.hits_disk += 1
+            stats.saved_seconds += compiled.compile_time_seconds
+        else:
+            stats.misses += 1
+            stats.compile_seconds += compiled.compile_time_seconds
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -289,13 +326,14 @@ class PlanCache:
     # ------------------------------------------------------------------ #
     # Main entry point
     # ------------------------------------------------------------------ #
-    def _memory_hit(self, key: str, start: float) -> CacheLookup | None:
+    def _memory_hit(self, key: str, start: float, tenant: str = "") -> CacheLookup | None:
         with self._lock:
             compiled = self._memory.get(key)
             if compiled is None:
                 return None
             self._stats.hits_memory += 1
             self._stats.saved_seconds += compiled.compile_time_seconds
+            self._attribute(tenant, HIT_MEMORY, compiled)
         return CacheLookup(compiled, HIT_MEMORY, key, time.perf_counter() - start)
 
     def _trace_lookup(
@@ -323,6 +361,7 @@ class PlanCache:
         constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
         *,
         scope: str = "",
+        tenant: str = "",
     ) -> CacheLookup:
         """Fetch the compiled program for ``graph`` on ``chip``, compiling on miss.
 
@@ -330,7 +369,9 @@ class PlanCache:
         that cannot fit the chip would waste the same compile time every
         request.  Concurrent misses on one key are single-flighted: exactly
         one caller compiles, the rest receive its program as a memory hit.
-        ``scope`` extends the key (see :func:`plan_key`).
+        ``scope`` extends the key (see :func:`plan_key`); ``tenant`` only
+        *attributes* the lookup (see :meth:`tenant_stats`) — it never enters
+        the key, which is exactly what lets tenants share plans.
         """
         key = plan_key(graph, chip, constraints, scope=scope)
         if scope:
@@ -338,7 +379,7 @@ class PlanCache:
                 self._scopes.setdefault(scope, set()).add(key)
         tracer = get_tracer()
         start = time.perf_counter()
-        hit = self._memory_hit(key, start)
+        hit = self._memory_hit(key, start, tenant)
         if hit is not None:
             if tracer.enabled:
                 self._trace_lookup(tracer, hit, start)
@@ -347,7 +388,7 @@ class PlanCache:
         def miss() -> CacheLookup:
             # Re-check under the flight: we may have become leader just after
             # the previous leader published the entry.
-            hit = self._memory_hit(key, start)
+            hit = self._memory_hit(key, start, tenant)
             if hit is not None:
                 return hit
             compiled = self._load_disk(key)
@@ -356,6 +397,7 @@ class PlanCache:
                     self._memory[key] = compiled
                     self._stats.hits_disk += 1
                     self._stats.saved_seconds += compiled.compile_time_seconds
+                    self._attribute(tenant, HIT_DISK, compiled)
                 return CacheLookup(compiled, HIT_DISK, key, time.perf_counter() - start)
             compiler = self._compiler_for(chip, constraints)
             compiled = compiler.compile(graph)
@@ -366,6 +408,7 @@ class PlanCache:
                 self._stats.compile_seconds += compiled.compile_time_seconds
                 self._stats.sketched_candidates += compiled.sketched_candidates
                 self._stats.materialized_plans += compiled.materialized_plans
+                self._attribute(tenant, COMPILE, compiled)
             return CacheLookup(compiled, COMPILE, key, time.perf_counter() - start)
 
         lookup, leader = self._flight.do(key, miss)
@@ -380,6 +423,7 @@ class PlanCache:
         with self._lock:
             self._stats.hits_memory += 1
             self._stats.saved_seconds += lookup.compiled.compile_time_seconds
+            self._attribute(tenant, HIT_MEMORY, lookup.compiled)
         followed = CacheLookup(
             lookup.compiled, HIT_MEMORY, key, time.perf_counter() - start
         )

@@ -13,7 +13,7 @@ from __future__ import annotations
 import itertools
 import math
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Mapping, Sequence
 
 #: SLO classes of autoregressive requests (continuous batching).
@@ -24,6 +24,36 @@ SLO_BEST_EFFORT = "best-effort"
 
 
 @dataclass(frozen=True)
+class TenantSpec:
+    """One tenant sharing the serving fleet.
+
+    A tenant is a traffic source, not a deployment: several tenants can send
+    requests to the same model, and one tenant can spread across models.  The
+    ``fairness_floor`` states the minimum SLO attainment the operator promised
+    this tenant — the fig30 experiment asserts no tenant collapses below its
+    floor even when another tenant's burst contends for the shared chips.
+    """
+
+    name: str
+    fairness_floor: float = 0.0
+    """Minimum acceptable fraction of deadline-carrying requests served in
+    time (0 = no promise; best-effort-only tenants usually leave this at 0)."""
+    weight: float = 1.0
+    """Relative share used by weighted-fairness reporting (reserved for the
+    learned router; the heuristic routers treat all tenants equally)."""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("TenantSpec requires a name")
+        if not 0.0 <= self.fairness_floor <= 1.0:
+            raise ValueError(
+                f"fairness_floor must be in [0, 1], got {self.fairness_floor}"
+            )
+        if self.weight <= 0:
+            raise ValueError(f"weight must be positive, got {self.weight}")
+
+
+@dataclass(frozen=True)
 class InferenceRequest:
     """One inference request for a served model (a single sample)."""
 
@@ -31,6 +61,8 @@ class InferenceRequest:
     model: str
     arrival_time: float
     """Virtual arrival timestamp in seconds."""
+    tenant: str = ""
+    """Traffic source this request belongs to (empty = single-tenant run)."""
 
     def __post_init__(self) -> None:
         if self.arrival_time < 0:
@@ -136,14 +168,24 @@ def uniform_workload(
 
 
 def merge_workloads(*streams: Iterable[InferenceRequest]) -> list[InferenceRequest]:
-    """Merge several request streams into one arrival-ordered, renumbered stream."""
-    merged = sorted(
-        (req for stream in streams for req in stream),
-        key=lambda req: (req.arrival_time, req.request_id),
-    )
+    """Merge several request streams into one arrival-ordered, renumbered stream.
+
+    Streams from independent generators reuse request ids, so the merged
+    stream is reindexed deterministically: stable by arrival time, then the
+    order the streams were passed in, then position within the stream.
+    Sorting by the *original* ids (the old behaviour) made the merge order
+    depend on ids that collide across streams — two requests with equal
+    ``(arrival_time, request_id)`` tied arbitrarily, corrupting per-request
+    trace flows and retire accounting downstream.
+    """
+    tagged = [
+        (req.arrival_time, stream_index, position, req)
+        for stream_index, stream in enumerate(streams)
+        for position, req in enumerate(stream)
+    ]
+    tagged.sort(key=lambda item: item[:3])
     return [
-        InferenceRequest(index, req.model, req.arrival_time)
-        for index, req in enumerate(merged)
+        replace(req, request_id=index) for index, (_, _, _, req) in enumerate(tagged)
     ]
 
 
@@ -170,6 +212,8 @@ class DecodeRequest:
     slo_class: str = SLO_INTERACTIVE
     deadline: float | None = None
     """Absolute completion deadline (virtual seconds); ``None`` = no SLO."""
+    tenant: str = ""
+    """Traffic source this request belongs to (empty = single-tenant run)."""
 
     def __post_init__(self) -> None:
         if self.arrival_time < 0:
@@ -270,6 +314,7 @@ def decode_workload(
     output_tokens: tuple[int, int] = (4, 48),
     interactive_fraction: float = 0.75,
     slo_seconds: Callable[[int, int], float] | float | None = None,
+    tenant: str = "",
 ) -> list[DecodeRequest]:
     """A deterministic Poisson stream of autoregressive requests.
 
@@ -279,7 +324,8 @@ def decode_workload(
     to its arrival — a constant, or a callable ``(prompt, output) -> seconds``
     so deadlines can scale with the work requested (the fig27 experiment
     passes ``slo_factor × ideal-service-time``).  ``None`` leaves interactive
-    requests deadline-free.
+    requests deadline-free.  ``tenant`` tags every request with its traffic
+    source; merge per-tenant streams with :func:`merge_decode_workloads`.
     """
     if num_requests <= 0:
         raise ValueError(f"num_requests must be positive, got {num_requests}")
@@ -312,6 +358,42 @@ def decode_workload(
                 max_new_tokens=output,
                 slo_class=SLO_INTERACTIVE if interactive else SLO_BEST_EFFORT,
                 deadline=deadline,
+                tenant=tenant,
             )
         )
     return requests
+
+
+def merge_decode_workloads(
+    *streams: Iterable[DecodeRequest],
+) -> list[DecodeRequest]:
+    """Compose per-tenant decode streams into one multi-tenant arrival stream.
+
+    The merged stream is renumbered 0..N-1 in a *permutation-invariant*
+    order — sorted by ``(arrival_time, tenant, model, original id)`` — so
+    shuffling the order the tenant streams are passed in yields the exact
+    same composed workload (the property the router-determinism tests rely
+    on).  Raises when two requests are indistinguishable under that key
+    (same tenant+model streams must come from one generator call, which
+    numbers them uniquely).
+    """
+    merged = [req for stream in streams for req in stream]
+    keyed = sorted(
+        merged,
+        key=lambda req: (req.arrival_time, req.tenant, req.model, req.request_id),
+    )
+    for first, second in zip(keyed, keyed[1:]):
+        if (
+            first.arrival_time == second.arrival_time
+            and first.tenant == second.tenant
+            and first.model == second.model
+            and first.request_id == second.request_id
+        ):
+            raise ValueError(
+                "indistinguishable requests in merge_decode_workloads: two "
+                f"requests with id {first.request_id} for tenant "
+                f"{first.tenant!r} / model {first.model!r} arrive at "
+                f"{first.arrival_time}; draw each (tenant, model) stream "
+                "from a single generator call"
+            )
+    return [replace(req, request_id=index) for index, req in enumerate(keyed)]

@@ -1,0 +1,255 @@
+"""Per-request replica routing for the multi-tenant serving fleet.
+
+The fleet engine (:mod:`repro.serving.fleet`) drives N model-bound replica
+sets over one shared :class:`~repro.serving.worker.WorkerPool`.  A *router*
+makes the first scheduling decision of a request's life: which replica (and
+therefore which chip group and hardware class) it queues on.  Everything
+after that — admission order, preemption, shedding, autoscaling — is the
+replica-local policy inherited from continuous batching, so the policy
+order of a fleet request is::
+
+    route → admit → preempt → shed → autoscale
+
+Routers are deliberately a small, pluggable interface over an immutable
+:class:`FleetView` snapshot: the heuristics here (least-loaded-compatible,
+SLO-aware cost estimate priced from :class:`~repro.serving.worker.
+IterationCost` latencies) can be swapped for a learned tree router — BRAD's
+forest router is the template — without touching the engine, because a
+router only ever reads the view and returns a replica index.
+
+Determinism contract: a router must be a pure function of ``(request,
+view)`` — no randomness, no wall-clock, ties broken by replica index — so
+fleet runs stay bit-identical at any compile parallelism and under
+permutation of the tenant workload streams.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.serving.request import DecodeRequest
+
+
+@dataclass(frozen=True)
+class ReplicaView:
+    """Immutable snapshot of one replica, as the router sees it."""
+
+    index: int
+    model: str
+    """Model the replica is currently bound to (empty = unbound)."""
+    chip_class: str
+    """Name of the hardware class backing this replica's chip group."""
+    queued: int
+    """Requests routed to this replica and still waiting for admission."""
+    resident: int
+    """Requests currently occupying batch slots."""
+    busy: bool
+    """Whether an iteration is in flight right now."""
+
+    @property
+    def load(self) -> int:
+        """Work already committed to this replica (queued + resident)."""
+        return self.queued + self.resident
+
+    @property
+    def rebindable(self) -> bool:
+        """Whether the fleet may re-bind this replica to a different model:
+        only a fully idle replica (no iteration in flight, nothing queued or
+        resident) can switch models — its chips hold no KV state to lose."""
+        return not self.busy and self.queued == 0 and self.resident == 0
+
+
+@dataclass(frozen=True)
+class FleetView:
+    """Immutable fleet snapshot a router decides against.
+
+    The cost callbacks are supplied by the engine and are memoised lookups
+    of simulator-priced :class:`~repro.serving.worker.IterationCost` values
+    — deterministic, virtual-time-free, and identical at any compile
+    parallelism — so a router using them stays bit-reproducible.
+    """
+
+    now: float
+    replicas: tuple[ReplicaView, ...]
+    iteration_latency: Callable[[str, int], float]
+    """``(model, replica_index) -> seconds``: the full-batch decode-iteration
+    latency of ``model`` on that replica's hardware class."""
+    ideal_iterations: Callable[[str, int, int], int]
+    """``(model, prompt_tokens, output_tokens) -> iterations``: the
+    deployment's exact pricing formula (prefill + decode)."""
+    max_batch: Callable[[str], int]
+    """``model -> max_batch_size`` of that model's deployment."""
+
+    def compatible(self, model: str) -> list[ReplicaView]:
+        """Replicas already bound to ``model``, in index order."""
+        return [replica for replica in self.replicas if replica.model == model]
+
+    def rebindable(self) -> list[ReplicaView]:
+        """Replicas idle enough to switch models, in index order."""
+        return [replica for replica in self.replicas if replica.rebindable]
+
+
+class Router(ABC):
+    """Strategy choosing the replica a request queues on.
+
+    Implementations must return the index of a replica that is either bound
+    to ``request.model`` or currently rebindable (the engine re-binds it and
+    charges a ``rebind``), or ``None`` when no such replica exists right now
+    — the engine then parks the request and re-offers it to the router at
+    the next capacity-freeing event.  Returning a busy replica bound to a
+    different model is a contract violation and the engine raises.  Must be
+    deterministic in ``(request, view)``.
+    """
+
+    name = "router"
+
+    @abstractmethod
+    def route(self, request: DecodeRequest, view: FleetView) -> int | None:
+        """The replica index ``request`` should queue on (``None`` = park)."""
+
+
+def _cheapest(candidates: Sequence[tuple[float, int]]) -> int:
+    """Index with the lowest score, ties to the lowest replica index."""
+    return min(candidates)[1]
+
+
+class LeastLoadedRouter(Router):
+    """Least-loaded-compatible with overflow onto idle replicas.
+
+    Routes to the compatible replica with the smallest committed load; when
+    every compatible replica already holds at least ``spill_load`` requests
+    and an idle (rebindable) replica exists, spills onto the lowest-indexed
+    idle one instead — that is what lets a hot model annex chips a cold
+    model is not using.  Model-blind about cost: it never consults the
+    hardware class, which is exactly the blindness
+    :class:`CostAwareRouter` fixes.
+    """
+
+    name = "least-loaded"
+
+    def __init__(self, *, spill_load: int | None = None) -> None:
+        """``spill_load`` defaults to the model's ``max_batch_size`` — spill
+        once every bound replica has a full batch committed."""
+        if spill_load is not None and spill_load < 1:
+            raise ValueError(f"spill_load must be >= 1, got {spill_load}")
+        self.spill_load = spill_load
+
+    def route(self, request: DecodeRequest, view: FleetView) -> int | None:
+        bound = view.compatible(request.model)
+        idle = [replica for replica in view.rebindable() if replica.model != request.model]
+        if not bound:
+            return idle[0].index if idle else None
+        best = min(bound, key=lambda replica: (replica.load, replica.index))
+        spill = self.spill_load if self.spill_load is not None else view.max_batch(request.model)
+        if idle and best.load >= spill:
+            return idle[0].index
+        return best.index
+
+
+class CostAwareRouter(Router):
+    """SLO-aware routing on projected completion, priced per hardware class.
+
+    For each candidate replica the router projects the request's finish
+    time: the backlog already committed there (in full-batch rounds) plus
+    the request's own ideal iterations, both priced at that replica's
+    class-specific iteration latency, plus a re-bind surcharge when taking
+    an idle replica would switch its model.  A deadlined request stays on a
+    *bound* replica whenever the cheapest bound projection still meets its
+    deadline — a re-bind is spent only when the deadline demands it, so
+    idle capacity is preserved for the models that need it; otherwise (and
+    for best-effort traffic) the cheapest projection over all candidates
+    wins, ties to the lowest index.  The class-specific pricing is what
+    keeps latency-sensitive traffic off a slow hardware class while still
+    letting best-effort overflow soak it.
+    """
+
+    name = "cost-aware"
+
+    def __init__(self, *, rebind_cost_iterations: float = 4.0) -> None:
+        """``rebind_cost_iterations`` biases against flapping: annexing an
+        idle replica must beat the best bound replica by this many
+        full-batch iterations of projected time."""
+        if rebind_cost_iterations < 0:
+            raise ValueError(
+                f"rebind_cost_iterations must be >= 0, got {rebind_cost_iterations}"
+            )
+        self.rebind_cost_iterations = rebind_cost_iterations
+
+    def _projection(
+        self, request: DecodeRequest, view: FleetView, replica: ReplicaView
+    ) -> float:
+        latency = view.iteration_latency(request.model, replica.index)
+        work = view.ideal_iterations(
+            request.model, request.prompt_tokens, request.max_new_tokens
+        )
+        rounds = math.ceil(replica.load / view.max_batch(request.model))
+        projected = (rounds + work) * latency
+        if replica.model != request.model:
+            projected += self.rebind_cost_iterations * latency
+        return projected
+
+    def route(self, request: DecodeRequest, view: FleetView) -> int | None:
+        bound = view.compatible(request.model)
+        idle = [replica for replica in view.rebindable() if replica.model != request.model]
+        candidates = bound + idle
+        if not candidates:
+            return None
+
+        def scored(replicas: Sequence[ReplicaView]) -> list[tuple[float, int]]:
+            return [
+                (self._projection(request, view, replica), replica.index)
+                for replica in replicas
+            ]
+
+        if request.deadline is not None and bound:
+            in_time = [
+                (score, index)
+                for score, index in scored(bound)
+                if view.now + score <= request.deadline
+            ]
+            if in_time:
+                return _cheapest(in_time)
+        return _cheapest(scored(candidates))
+
+
+class StaticPartitionRouter(Router):
+    """Fixed per-model fleet partition — the baseline routing defeats.
+
+    Every model owns a static, disjoint set of replicas; requests never
+    cross the partition and idle capacity in one partition cannot absorb
+    another model's burst.  This is exactly the pre-fleet deployment style
+    (one engine per model carved out of the fleet) expressed as a router,
+    which is what makes the fig30 comparison an apples-to-apples ablation
+    of routing alone.
+    """
+
+    name = "static-partition"
+
+    def __init__(self, partition: Mapping[str, Sequence[int]]) -> None:
+        if not partition:
+            raise ValueError("StaticPartitionRouter needs a non-empty partition")
+        seen: dict[int, str] = {}
+        for model, indices in partition.items():
+            if not indices:
+                raise ValueError(f"model {model!r} owns no replicas")
+            for index in indices:
+                if index in seen:
+                    raise ValueError(
+                        f"replica {index} assigned to both {seen[index]!r} "
+                        f"and {model!r}; partitions must be disjoint"
+                    )
+                seen[index] = model
+        self.partition = {model: tuple(indices) for model, indices in partition.items()}
+
+    def route(self, request: DecodeRequest, view: FleetView) -> int:
+        indices = self.partition.get(request.model)
+        if indices is None:
+            raise ValueError(
+                f"model {request.model!r} has no partition; partitioned: "
+                f"{sorted(self.partition)}"
+            )
+        owned = [replica for replica in view.replicas if replica.index in indices]
+        return min(owned, key=lambda replica: (replica.load, replica.index)).index

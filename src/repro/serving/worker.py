@@ -23,6 +23,7 @@ import heapq
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Mapping
 
 from repro.core.constraints import DEFAULT_CONSTRAINTS, SearchConstraints
 from repro.core.parallel import SingleFlight
@@ -104,23 +105,36 @@ class WorkerPool:
         constraints: SearchConstraints = DEFAULT_CONSTRAINTS,
         jobs: int | None = 1,
         interconnect: InterconnectModel | None = None,
+        chip_classes: Mapping[int, ChipSpec] | None = None,
     ) -> None:
         """``jobs`` sets the parallel-compilation width of the pool's own plan
         cache; it is ignored when an external ``plan_cache`` is supplied (the
         cache's compilers are configured by whoever built it).
         ``interconnect`` prices the stage-boundary transfers of sharded
         models (defaults to the chip's ``inter_chip_bandwidth``).
+        ``chip_classes`` makes the pool heterogeneous: it maps chip index →
+        :class:`ChipSpec` for chips that are *not* the default ``chip``
+        class (e.g. the fig22 GPU baseline joining an IPU fleet).  Programs
+        are compiled per class — the plan cache keys on the chip
+        fingerprint — and priced on that class's own simulator.
         """
         if num_chips < 1:
             raise ValueError(f"num_chips must be >= 1, got {num_chips}")
         self.chip = chip
         self.num_chips = num_chips
+        self.chip_classes: dict[int, ChipSpec] = dict(chip_classes or {})
+        for index in self.chip_classes:
+            if not 0 <= index < num_chips:
+                raise ValueError(
+                    f"chip_classes index {index} outside fleet [0, {num_chips})"
+                )
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache(jobs=jobs)
         self.constraints = constraints
         self.interconnect = (
             interconnect if interconnect is not None else default_interconnect(chip)
         )
         self.simulator = ChipSimulator(chip)
+        self._simulators: dict[str, ChipSimulator] = {chip.fingerprint(): self.simulator}
         self._latency_memo: dict[str, tuple[str, str, float]] = {}
         self._sharded_compiler: ShardedCompiler | None = None
         self._sharded_memo: dict[tuple[str, int], ShardedModel] = {}
@@ -170,12 +184,38 @@ class WorkerPool:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(lambda item: self.sharded_model(*item), items))
 
-    def _measure(self, key: str, lookup: CacheLookup) -> tuple[str, str, float]:
+    def chip_for(self, index: int) -> ChipSpec:
+        """The hardware class of chip ``index`` (the default unless overridden)."""
+        if not 0 <= index < self.num_chips:
+            raise ValueError(f"chip index {index} outside fleet [0, {self.num_chips})")
+        return self.chip_classes.get(index, self.chip)
+
+    def hardware_classes(self) -> tuple[ChipSpec, ...]:
+        """Distinct chip classes in the pool, default class first, then by
+        first appearance in chip-index order (deterministic)."""
+        classes = [self.chip]
+        seen = {self.chip.fingerprint()}
+        for index in range(self.num_chips):
+            spec = self.chip_classes.get(index)
+            if spec is not None and spec.fingerprint() not in seen:
+                seen.add(spec.fingerprint())
+                classes.append(spec)
+        return tuple(classes)
+
+    def _simulator_for(self, chip: ChipSpec) -> ChipSimulator:
+        simulator = self._simulators.get(chip.fingerprint())
+        if simulator is None:
+            simulator = self._simulators[chip.fingerprint()] = ChipSimulator(chip)
+        return simulator
+
+    def _measure(
+        self, key: str, lookup: CacheLookup, simulator: ChipSimulator | None = None
+    ) -> tuple[str, str, float]:
         """(status, error, latency) of one compiled program, memoised by key."""
         memo = self._latency_memo.get(key)
         if memo is None:
             memo = self._latency_memo[key] = measure_compilation(
-                self.simulator, lookup.compiled
+                simulator if simulator is not None else self.simulator, lookup.compiled
             )
         return memo
 
@@ -194,7 +234,13 @@ class WorkerPool:
         return cost.status, cost.error, latency
 
     def profile(
-        self, graph: OperatorGraph, *, num_stages: int = 1, scope: str = ""
+        self,
+        graph: OperatorGraph,
+        *,
+        num_stages: int = 1,
+        scope: str = "",
+        chip: ChipSpec | None = None,
+        tenant: str = "",
     ) -> IterationCost:
         """Full cost of running ``graph`` once: latency plus this lookup's
         compile penalty and cache outcome.
@@ -207,16 +253,30 @@ class WorkerPool:
         :func:`~repro.serving.plan_cache.plan_key`) — the fault layer passes
         a per-replica scope after a cold restart, so the re-warm recompiles
         even though an identical unscoped program is resident.
+
+        ``chip`` prices the graph on a non-default hardware class of a
+        heterogeneous pool (single-chip placements only: sharded groups stay
+        on the default class).  ``tenant`` attributes the plan-cache lookup
+        to a traffic source without changing the cache key — how plan
+        sharing across tenants stays visible per tenant.
         """
         if num_stages > 1:
+            if chip is not None and chip.fingerprint() != self.chip.fingerprint():
+                raise ValueError(
+                    "sharded chip groups run on the pool's default class; "
+                    f"cannot shard onto {chip.name!r}"
+                )
             model, penalty, outcome = self._sharded(graph, num_stages, scope=scope)
             if model.ok:
                 return IterationCost("ok", "", model.latency, penalty, outcome)
             return IterationCost(model.status, model.error, 0.0, penalty, outcome)
+        target = chip if chip is not None else self.chip
         lookup = self.plan_cache.get_or_compile(
-            graph, self.chip, self.constraints, scope=scope
+            graph, target, self.constraints, scope=scope, tenant=tenant
         )
-        status, error, latency = self._measure(lookup.key, lookup)
+        status, error, latency = self._measure(
+            lookup.key, lookup, self._simulator_for(target)
+        )
         penalty = lookup.seconds if lookup.outcome == COMPILE else 0.0
         if status != "ok":
             return IterationCost(status, error, 0.0, penalty, lookup.outcome)

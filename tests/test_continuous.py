@@ -19,8 +19,10 @@ from repro.serving import (
     DynamicBatcher,
     PlanCache,
     StaticEngine,
+    TenantSpec,
     WorkerPool,
     decode_workload,
+    merge_decode_workloads,
     uniform_workload,
 )
 
@@ -150,6 +152,55 @@ class TestDecodeRequest:
             decode_workload("tiny", num_requests=1, rate=0.0)
         with pytest.raises(ValueError):
             decode_workload("tiny", num_requests=1, rate=1.0, interactive_fraction=2.0)
+
+    def test_workload_tags_tenant(self):
+        requests = decode_workload(
+            "tiny", num_requests=5, rate=100.0, seed=0, tenant="acme"
+        )
+        assert all(req.tenant == "acme" for req in requests)
+
+
+class TestTenantSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TenantSpec("")
+        with pytest.raises(ValueError):
+            TenantSpec("t", fairness_floor=1.5)
+        with pytest.raises(ValueError):
+            TenantSpec("t", weight=0.0)
+        spec = TenantSpec("t", fairness_floor=0.5, weight=2.0)
+        assert (spec.name, spec.fairness_floor, spec.weight) == ("t", 0.5, 2.0)
+
+
+class TestMergeDecodeWorkloads:
+    def streams(self):
+        return [
+            decode_workload(
+                "tiny", num_requests=12, rate=200.0, seed=1, tenant="acme"
+            ),
+            decode_workload(
+                "tiny", num_requests=8, rate=150.0, seed=2, tenant="globex"
+            ),
+        ]
+
+    def test_renumbers_colliding_ids_in_arrival_order(self):
+        merged = merge_decode_workloads(*self.streams())
+        assert [req.request_id for req in merged] == list(range(20))
+        times = [req.arrival_time for req in merged]
+        assert times == sorted(times)
+        assert {req.tenant for req in merged} == {"acme", "globex"}
+
+    def test_permutation_invariant(self):
+        forward = merge_decode_workloads(*self.streams())
+        backward = merge_decode_workloads(*reversed(self.streams()))
+        assert forward == backward
+
+    def test_rejects_indistinguishable_requests(self):
+        stream = decode_workload(
+            "tiny", num_requests=3, rate=100.0, seed=1, tenant="acme"
+        )
+        with pytest.raises(ValueError, match="indistinguishable"):
+            merge_decode_workloads(stream, stream)
 
 
 class TestDecodeModel:

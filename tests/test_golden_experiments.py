@@ -48,6 +48,7 @@ from repro.experiments import (
     fig26_multichip,
     fig27_continuous,
     fig29_chaos,
+    fig30_multitenant,
     tab02_models,
     tab03_hardware,
 )
@@ -175,6 +176,32 @@ def invariant_fig29(rows: list[dict]) -> None:
     # The sharded kill exercises stage failover onto the spare chip: the
     # replacement group is warm, so recovery costs no recompilation.
     assert by_scenario["sharded/chaos"]["recompiles"] == 0
+
+
+def invariant_fig30(rows: list[dict]) -> None:
+    # The books always balance and the warmed fleet never recompiles.
+    for row in rows:
+        assert row["completed"] + row["shed"] == row["requests"]
+        assert row["recompiles"] == 0
+    by_key = {(row["scheme"], row["tenant"]): row for row in rows}
+    partition, fleet = by_key[("partition", "all")], by_key[("fleet", "all")]
+    # The headline claim: SLO-class routing over one shared pool strictly
+    # beats the static per-model partition on goodput-per-chip (measured
+    # over the common serving window) and on cross-tenant fairness...
+    assert fleet["goodput_per_chip"] > partition["goodput_per_chip"]
+    assert fleet["fairness"] > partition["fairness"]
+    # ...without starving anyone: every tenant's SLO attainment stays at or
+    # above its declared fairness floor under the routed scheme.
+    for (scheme, tenant), row in by_key.items():
+        if scheme == "fleet" and tenant != "all":
+            assert row["slo_attainment"] >= row["fairness_floor"], (
+                f"tenant {tenant} collapsed below its fairness floor"
+            )
+    # The win mechanism is live: the router re-bound at least one replica
+    # across models, and placements are bit-identical at jobs=2.
+    assert fleet["rebinds"] > 0
+    assert fleet["jobs2_identical"] is True
+    assert partition["jobs2_identical"] is None
 
 
 def invariant_ablation(rows: list[dict]) -> None:
@@ -324,6 +351,28 @@ SPECS: dict[str, GoldenSpec] = {
             "recompiles",
         ),
         invariant_fig29,
+    ),
+    "fig30": GoldenSpec(
+        lambda: fig30_multitenant.run(quick=True),
+        (
+            "scheme",
+            "tenant",
+            "model",
+            "chips",
+            "gpu_chips",
+            "requests",
+            "completed",
+            "shed",
+            "slo_met",
+            "tokens",
+            "preempted",
+            "rebinds",
+            "warm_compiles",
+            "recompiles",
+            "placements",
+            "jobs2_identical",
+        ),
+        invariant_fig30,
     ),
     "tab02": GoldenSpec(
         lambda: tab02_models.run(quick=True),

@@ -531,3 +531,103 @@ class TestTracedEngines:
         assert tracer.metrics.histogram(f"{prefix}.latency_s").count == (
             report.total_completed
         )
+
+
+# --------------------------------------------------------------------------- #
+# Traced fleet runs: per-tenant lanes
+# --------------------------------------------------------------------------- #
+class TestTracedFleet:
+    def make_fleet(self, cache, small_chip, fast_constraints):
+        from repro.serving import FleetEngine, TenantSpec
+
+        return FleetEngine(
+            [make_model()],
+            tenants=[TenantSpec("acme"), TenantSpec("globex")],
+            chip=small_chip,
+            num_chips=2,
+            constraints=fast_constraints,
+            plan_cache=cache,
+        )
+
+    def workload(self):
+        from repro.serving import merge_decode_workloads
+
+        return merge_decode_workloads(
+            decode_workload(
+                "tiny", num_requests=8, rate=4000.0, seed=1,
+                slo_seconds=0.01, tenant="acme",
+            ),
+            decode_workload(
+                "tiny", num_requests=6, rate=3000.0, seed=2,
+                slo_seconds=0.01, tenant="globex",
+            ),
+        )
+
+    def run_traced(self, engine, workload):
+        tracer = Tracer()
+        engine.warm()
+        with use_tracer(tracer):
+            report = engine.run(workload)
+        return tracer, report
+
+    def test_request_lifecycles_live_on_tenant_lanes(
+        self, cache, small_chip, fast_constraints
+    ):
+        engine = self.make_fleet(cache, small_chip, fast_constraints)
+        tracer, report = self.run_traced(engine, self.workload())
+        group = engine.trace_group
+        by_lane: dict[str, int] = {}
+        for event in tracer.virtual_events():
+            if event.kind == KIND_ASYNC and event.name == "request":
+                by_lane[event.track] = by_lane.get(event.track, 0) + 1
+        # Exactly one lifecycle span per request, on the owner tenant's lane.
+        assert by_lane == {
+            f"{group}/tenant/acme": 8,
+            f"{group}/tenant/globex": 6,
+        }
+        assert sum(by_lane.values()) == report.total_completed + report.shed
+
+    def test_tenant_lanes_carry_queue_and_served_counters(
+        self, cache, small_chip, fast_constraints
+    ):
+        engine = self.make_fleet(cache, small_chip, fast_constraints)
+        tracer, report = self.run_traced(engine, self.workload())
+        group = engine.trace_group
+        for tenant in ("acme", "globex"):
+            samples = [
+                event
+                for event in tracer.virtual_events()
+                if event.name == "tenant"
+                and event.track == f"{group}/tenant/{tenant}"
+            ]
+            assert samples, f"no counter samples on tenant lane {tenant}"
+            values = samples[-1].args_dict()
+            assert values["served"] == report.tenant_slice(tenant).total_completed
+            assert values["queued"] == 0
+
+    def test_fleet_export_is_byte_stable(
+        self, cache, small_chip, fast_constraints, tmp_path
+    ):
+        """Two identical traced fleet runs export byte-identical Chrome
+        traces — the per-tenant lanes do not disturb export determinism."""
+        workload = self.workload()
+        first_tracer, _ = self.run_traced(
+            self.make_fleet(cache, small_chip, fast_constraints), workload
+        )
+        second_tracer, _ = self.run_traced(
+            self.make_fleet(cache, small_chip, fast_constraints), workload
+        )
+        assert first_tracer.virtual_events() == second_tracer.virtual_events()
+
+        # Wall-domain events (cache lookups) carry real timings, so only the
+        # virtual stream is byte-stable across runs.
+        def export_bytes(tracer, path):
+            filtered = Tracer()
+            for event in tracer.virtual_events():
+                filtered.record(event)
+            return write_chrome_trace(filtered, path).read_bytes()
+
+        first = export_bytes(first_tracer, tmp_path / "a.json")
+        second = export_bytes(second_tracer, tmp_path / "b.json")
+        assert first == second
+        assert validate_chrome_trace(json.loads((tmp_path / "a.json").read_text())) == []

@@ -1,0 +1,217 @@
+"""Tests for fleet request routing (repro.serving.router).
+
+Routers are pure functions of ``(request, view)``, so everything here runs
+against hand-built :class:`FleetView` snapshots — no compilation, no engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving import (
+    SLO_BEST_EFFORT,
+    CostAwareRouter,
+    DecodeRequest,
+    FleetView,
+    LeastLoadedRouter,
+    ReplicaView,
+    Router,
+    StaticPartitionRouter,
+)
+
+
+def replica(
+    index: int,
+    model: str = "m",
+    *,
+    chip_class: str = "ipu",
+    queued: int = 0,
+    resident: int = 0,
+    busy: bool = False,
+) -> ReplicaView:
+    return ReplicaView(
+        index=index,
+        model=model,
+        chip_class=chip_class,
+        queued=queued,
+        resident=resident,
+        busy=busy,
+    )
+
+
+def view(
+    *replicas: ReplicaView,
+    latencies: dict[str, float] | None = None,
+    now: float = 0.0,
+    work: int = 10,
+    max_batch: int = 4,
+) -> FleetView:
+    """A FleetView pricing every model at ``latencies[chip_class]`` seconds
+    per iteration (default 1.0) with uniform work and batch size."""
+    priced = latencies or {}
+    ordered = tuple(replicas)
+    return FleetView(
+        now=now,
+        replicas=ordered,
+        iteration_latency=lambda model, index: priced.get(
+            ordered[index].chip_class, 1.0
+        ),
+        ideal_iterations=lambda model, prompt, output: work,
+        max_batch=lambda model: max_batch,
+    )
+
+
+def request(
+    request_id: int = 0,
+    model: str = "m",
+    *,
+    deadline: float | None = None,
+    slo_class: str | None = None,
+) -> DecodeRequest:
+    return DecodeRequest(
+        request_id=request_id,
+        model=model,
+        arrival_time=0.0,
+        prompt_tokens=16,
+        max_new_tokens=4,
+        slo_class=slo_class or ("interactive" if deadline is not None else SLO_BEST_EFFORT),
+        deadline=deadline,
+    )
+
+
+class TestReplicaView:
+    def test_load_and_rebindable(self):
+        assert replica(0, queued=2, resident=3).load == 5
+        assert replica(0).rebindable
+        assert not replica(0, busy=True).rebindable
+        assert not replica(0, queued=1).rebindable
+        assert not replica(0, resident=1).rebindable
+
+    def test_view_filters(self):
+        snapshot = view(replica(0, "a"), replica(1, "b"), replica(2, "a", busy=True))
+        assert [r.index for r in snapshot.compatible("a")] == [0, 2]
+        assert [r.index for r in snapshot.rebindable()] == [0, 1]
+
+
+class TestLeastLoadedRouter:
+    def test_picks_least_loaded_bound_replica(self):
+        snapshot = view(
+            replica(0, "m", queued=3), replica(1, "m", queued=1), replica(2, "m", queued=2)
+        )
+        assert LeastLoadedRouter().route(request(), snapshot) == 1
+
+    def test_ties_break_to_lowest_index(self):
+        snapshot = view(replica(0, "m", queued=1), replica(1, "m", queued=1))
+        assert LeastLoadedRouter().route(request(), snapshot) == 0
+
+    def test_unbound_model_takes_first_idle(self):
+        snapshot = view(replica(0, "other", busy=True), replica(1, "other"))
+        assert LeastLoadedRouter().route(request(), snapshot) == 1
+
+    def test_parks_when_no_candidate(self):
+        snapshot = view(replica(0, "other", busy=True), replica(1, "other", queued=1))
+        assert LeastLoadedRouter().route(request(), snapshot) is None
+
+    def test_spills_to_idle_when_bound_replicas_are_full(self):
+        busy_bound = replica(0, "m", resident=4)
+        idle = replica(1, "other")
+        assert LeastLoadedRouter().route(request(), view(busy_bound, idle, max_batch=4)) == 1
+        # Below the spill threshold the bound replica keeps the request.
+        light_bound = replica(0, "m", resident=3)
+        assert LeastLoadedRouter().route(request(), view(light_bound, idle, max_batch=4)) == 0
+
+    def test_spill_load_override_and_validation(self):
+        bound = replica(0, "m", resident=2)
+        idle = replica(1, "other")
+        assert LeastLoadedRouter(spill_load=2).route(request(), view(bound, idle)) == 1
+        with pytest.raises(ValueError):
+            LeastLoadedRouter(spill_load=0)
+
+
+class TestCostAwareRouter:
+    def test_prefers_faster_hardware_class(self):
+        snapshot = view(
+            replica(0, "m", chip_class="gpu"),
+            replica(1, "m", chip_class="ipu"),
+            latencies={"gpu": 5.0, "ipu": 1.0},
+        )
+        assert CostAwareRouter().route(request(), snapshot) == 1
+
+    def test_rebind_surcharge_keeps_light_backlog_on_bound_replica(self):
+        # Bound backlog of one round (4 queued / max_batch 4) is cheaper than
+        # paying the 4-iteration re-bind surcharge on the idle replica.
+        bound = replica(0, "m", queued=4)
+        idle = replica(1, "other")
+        assert CostAwareRouter().route(request(), view(bound, idle)) == 0
+
+    def test_heavy_backlog_annexes_idle_replica(self):
+        bound = replica(0, "m", queued=24)
+        idle = replica(1, "other")
+        assert CostAwareRouter().route(request(), view(bound, idle)) == 1
+
+    def test_deadline_holds_request_on_bound_replica_that_meets_it(self):
+        # The idle replica projects cheaper than the backlogged bound one,
+        # but the bound replica still meets the deadline — keep the re-bind
+        # in reserve and stay bound.
+        bound = replica(0, "m", queued=24)  # 6 rounds + 10 work = 16s
+        idle = replica(1, "other")  # 10 work + 4 surcharge = 14s
+        assert CostAwareRouter().route(request(deadline=20.0), view(bound, idle)) == 0
+        # Best-effort traffic with the same shape takes the cheaper idle one.
+        assert CostAwareRouter().route(request(), view(bound, idle)) == 1
+
+    def test_deadline_unreachable_on_bound_replica_falls_through(self):
+        bound = replica(0, "m", queued=24)  # projects 16s > deadline 15
+        idle = replica(1, "other")  # projects 14s
+        assert CostAwareRouter().route(request(deadline=15.0), view(bound, idle)) == 1
+
+    def test_parks_when_no_candidate(self):
+        snapshot = view(replica(0, "other", busy=True))
+        assert CostAwareRouter().route(request(), snapshot) is None
+
+    def test_rebind_cost_validation(self):
+        with pytest.raises(ValueError):
+            CostAwareRouter(rebind_cost_iterations=-1.0)
+
+
+class TestStaticPartitionRouter:
+    def test_routes_within_owned_partition_only(self):
+        router = StaticPartitionRouter({"a": [0, 1], "b": [2]})
+        snapshot = view(
+            replica(0, "a", queued=5), replica(1, "a", queued=1), replica(2, "b")
+        )
+        assert router.route(request(model="a"), snapshot) == 1
+        assert router.route(request(model="b"), snapshot) == 2
+
+    def test_never_crosses_partition_even_when_idle(self):
+        router = StaticPartitionRouter({"a": [0], "b": [1]})
+        snapshot = view(replica(0, "a", queued=9), replica(1, "b"))
+        assert router.route(request(model="a"), snapshot) == 0
+
+    def test_unpartitioned_model_raises(self):
+        router = StaticPartitionRouter({"a": [0]})
+        with pytest.raises(ValueError, match="no partition"):
+            router.route(request(model="zzz"), view(replica(0, "a")))
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            StaticPartitionRouter({})
+        with pytest.raises(ValueError):
+            StaticPartitionRouter({"a": []})
+        with pytest.raises(ValueError, match="disjoint"):
+            StaticPartitionRouter({"a": [0], "b": [0]})
+
+
+class TestPluggableRouter:
+    def test_custom_router_subclasses_the_interface(self):
+        """The router interface is the extension point a learned (e.g. BRAD
+        forest) router would plug into: pure (request, view) -> index."""
+
+        class PinEverything(Router):
+            name = "pin"
+
+            def route(self, req, snapshot):
+                return snapshot.replicas[-1].index
+
+        router = PinEverything()
+        assert isinstance(router, Router)
+        assert router.route(request(), view(replica(0, "m"), replica(1, "m"))) == 1

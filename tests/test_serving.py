@@ -139,6 +139,52 @@ class TestPlanCache:
         assert delta.hits_memory == 1
         assert delta.hit_rate == 1.0
 
+    def test_cross_tenant_sharing_compiles_once(
+        self, cache, small_chip, fast_constraints
+    ):
+        """Two tenants with the same plan fingerprint share one program: the
+        first tenant attributes the compile, the second a pure warm hit."""
+        first = cache.get_or_compile(
+            build_tiny(1), small_chip, fast_constraints, tenant="acme"
+        )
+        second = cache.get_or_compile(
+            build_tiny(1), small_chip, fast_constraints, tenant="globex"
+        )
+        assert first.outcome == COMPILE
+        assert second.outcome == HIT_MEMORY
+        assert second.compiled is first.compiled
+        assert cache.stats.misses == 1
+        acme, globex = cache.tenant_stats("acme"), cache.tenant_stats("globex")
+        assert (acme.misses, acme.hits) == (1, 0)
+        assert (globex.misses, globex.hits) == (0, 1)
+        assert set(cache.tenants) == {"acme", "globex"}
+
+    def test_evicting_one_tenants_scope_keeps_the_shared_plan(
+        self, cache, small_chip, fast_constraints
+    ):
+        """A tenant's cold-restart namespace is scoped; dropping it must not
+        evict the unscoped plan every tenant shares by fingerprint."""
+        shared = cache.get_or_compile(
+            build_tiny(1), small_chip, fast_constraints, tenant="acme"
+        )
+        scoped = cache.get_or_compile(
+            build_tiny(1),
+            small_chip,
+            fast_constraints,
+            scope="acme-restart-gen1",
+            tenant="acme",
+        )
+        assert scoped.key != shared.key
+        dropped = cache.evict_scope("acme-restart-gen1")
+        assert dropped == 1
+        # The shared entry is untouched: globex still gets a warm hit.
+        relookup = cache.get_or_compile(
+            build_tiny(1), small_chip, fast_constraints, tenant="globex"
+        )
+        assert relookup.outcome == HIT_MEMORY
+        assert relookup.compiled is shared.compiled
+        assert cache.tenant_stats("globex").hits == 1
+
 
 # --------------------------------------------------------------------------- #
 # Dynamic batcher
@@ -319,6 +365,32 @@ class TestWorkloads:
             poisson_workload({"x": 0.0}, num_requests=10)
         with pytest.raises(ValueError):
             poisson_workload({"x": 1.0}, num_requests=0)
+
+    def test_merge_workloads_renumbers_colliding_ids(self):
+        # Regression: independent generators both number from 0, and the old
+        # merge sorted by (arrival_time, original id) — requests with equal
+        # keys tied arbitrarily and the duplicated ids corrupted per-request
+        # accounting downstream.  The merge must renumber deterministically.
+        a = poisson_workload({"x": 100.0}, num_requests=20, seed=1)
+        b = poisson_workload({"y": 100.0}, num_requests=20, seed=1)
+        assert {req.request_id for req in a} == {req.request_id for req in b}
+        merged = merge_workloads(a, b)
+        ids = [req.request_id for req in merged]
+        assert ids == list(range(40))
+        times = [req.arrival_time for req in merged]
+        assert times == sorted(times)
+
+    def test_merge_workloads_breaks_arrival_ties_by_stream_order(self):
+        # Same seed, same rate: every arrival time collides pairwise.  Ties
+        # must resolve to the order the streams were passed in, stably.
+        a = poisson_workload({"x": 50.0}, num_requests=10, seed=3)
+        b = poisson_workload({"y": 50.0}, num_requests=10, seed=3)
+        merged = merge_workloads(a, b)
+        for first, second in zip(merged, merged[1:]):
+            if first.arrival_time == second.arrival_time:
+                assert (first.model, second.model) == ("x", "y")
+        # Deterministic: merging again gives the identical stream.
+        assert merge_workloads(a, b) == merged
 
 
 # --------------------------------------------------------------------------- #
