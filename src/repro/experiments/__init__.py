@@ -28,6 +28,7 @@ from repro.experiments import (
     fig27_continuous,
     fig29_chaos,
     fig30_multitenant,
+    fig31_fleet_chaos,
     tab02_models,
     tab03_hardware,
 )
@@ -63,6 +64,7 @@ ALL_EXPERIMENTS = {
     "fig27": fig27_continuous,
     "fig29": fig29_chaos,
     "fig30": fig30_multitenant,
+    "fig31": fig31_fleet_chaos,
     "tab02": tab02_models,
     "tab03": tab03_hardware,
     "ablation": ablation,

@@ -5,6 +5,7 @@ Subcommands::
     python -m repro.obs fig27 --quick --out trace.json     # traced fig27 run
     python -m repro.obs fig29 --quick --out trace.json     # traced chaos replay
     python -m repro.obs fig30 --quick --out trace.json     # traced multi-tenant fleet
+    python -m repro.obs fig31 --quick --out trace.json     # traced fleet-chaos replay
     python -m repro.obs bench --quick --out trace.json     # traced quick bench
     python -m repro.obs summary trace.jsonl                # digest a JSONL log
     python -m repro.obs overhead                           # disabled-tracer cost
@@ -85,6 +86,21 @@ def _cmd_fig30(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fig31(args: argparse.Namespace) -> int:
+    from repro.experiments import fig31_fleet_chaos
+    from repro.experiments.common import print_table
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        rows = fig31_fleet_chaos.run(quick=args.quick, jobs=args.jobs)
+    if not args.summary:
+        print_table(
+            rows, title="Figure 31: fleet chaos — health-aware vs watchdog-only"
+        )
+    _export(tracer, args)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.runner import BenchConfig, run_bench
 
@@ -153,6 +169,14 @@ def main(argv: list[str] | None = None) -> int:
     fig30.add_argument("--jobs", type=int, default=1, help="compilation parallelism")
     _add_export_flags(fig30)
     fig30.set_defaults(fn=_cmd_fig30)
+
+    fig31 = sub.add_parser(
+        "fig31", help="run a traced fig31 fleet-chaos comparison"
+    )
+    fig31.add_argument("--quick", action="store_true", help="small model / short workload")
+    fig31.add_argument("--jobs", type=int, default=1, help="compilation parallelism")
+    _add_export_flags(fig31)
+    fig31.set_defaults(fn=_cmd_fig31)
 
     bench = sub.add_parser("bench", help="run a traced compile benchmark")
     bench.add_argument("--quick", action="store_true", help="truncated models, fast search")

@@ -33,6 +33,16 @@ decode-iteration boundaries under an SLO-aware policy::
     )
     report = engine.run(decode_workload("opt-125m", num_requests=100, rate=5000.0))
     print(report.summary())
+
+A multi-model fleet (:mod:`repro.serving.fleet`) shares the chips across N
+deployments behind a pluggable router, and chaos is supported in *both*
+engines: ``run(faults=FaultSchedule(...), watchdog=Watchdog(...))`` injects
+chip deaths, restarts and link-degradation windows as virtual-time events.
+The fleet engine layers the fleet-scale policies on top — health-aware
+routing (:class:`~repro.serving.router.CostAwareRouter` reads per-replica
+health), cross-model failover of requeued requests, per-tenant retry
+budgets with deadline-aware drops, and brownout admission control — see
+``docs/continuous.md``.
 """
 
 from repro.serving.batcher import (
@@ -58,6 +68,7 @@ from repro.serving.faults import (
     FaultSchedule,
     Watchdog,
     chip_death,
+    group_link_degradation,
     link_degradation,
     restart,
 )
@@ -98,6 +109,10 @@ from repro.serving.request import (
     uniform_workload,
 )
 from repro.serving.router import (
+    HEALTH_DEAD,
+    HEALTH_DEGRADED,
+    HEALTH_HEALTHY,
+    HEALTH_RESTARTING,
     CostAwareRouter,
     FleetView,
     LeastLoadedRouter,
@@ -133,6 +148,10 @@ __all__ = [
     "FaultStats",
     "FleetEngine",
     "FleetView",
+    "HEALTH_DEAD",
+    "HEALTH_DEGRADED",
+    "HEALTH_HEALTHY",
+    "HEALTH_RESTARTING",
     "HIT_DISK",
     "HIT_MEMORY",
     "InferenceRequest",
@@ -163,6 +182,7 @@ __all__ = [
     "decode_workload",
     "dip_and_recovery",
     "goodput_timeline",
+    "group_link_degradation",
     "jain_fairness",
     "link_degradation",
     "merge_decode_workloads",

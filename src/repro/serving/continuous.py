@@ -135,6 +135,10 @@ class _Running:
     re-prefill from scratch (the KV cache never left the original chips)."""
     requeues: int = 0
     """Times progress was discarded (dead replica, or cross-replica resume)."""
+    migrations: int = 0
+    """The subset of ``requeues`` caused by cross-replica migration."""
+    lost_tokens: int = 0
+    """Output tokens generated and then discarded across all requeues."""
 
     @property
     def done(self) -> bool:
@@ -509,6 +513,8 @@ class _DecodeEngineBase:
                     preemptions=running.preemptions,
                     replica=replica.index,
                     requeues=running.requeues,
+                    migrations=running.migrations,
+                    lost_tokens=running.lost_tokens,
                 )
                 records.append(record)
                 if tracer is not None:
@@ -681,10 +687,12 @@ class ContinuousEngine(_DecodeEngineBase):
         # them re-warms its buckets under a fresh plan-cache namespace.
         cold_chips: set[int] = set()
         fault_stats = FaultStats()
-        # Requeue counts and original admission times of requests pulled off
-        # dead replicas, restored when they are re-admitted (or shed).
+        # Requeue counts, loss accounting and original admission times of
+        # requests pulled off dead replicas, restored on re-admission (or shed).
         requeue_counts: dict[int, int] = {}
         first_admits: dict[int, float] = {}
+        migration_counts: dict[int, int] = {}
+        lost_token_counts: dict[int, int] = {}
         records: list[CompletedDecode] = []
         seq = itertools.count()
         events: list[tuple[float, int, int, object]] = []
@@ -763,6 +771,8 @@ class ContinuousEngine(_DecodeEngineBase):
                 tokens_generated=0,
                 replica=-1,
                 requeues=requeue_counts.pop(request.request_id, 0),
+                migrations=migration_counts.pop(request.request_id, 0),
+                lost_tokens=lost_token_counts.pop(request.request_id, 0),
             )
             records.append(record)
             if traced:
@@ -793,6 +803,8 @@ class ContinuousEngine(_DecodeEngineBase):
                 prefill_remaining=self.model.prefill_iterations(request.prompt_tokens),
                 origin=replica.index,
                 requeues=requeue_counts.pop(request.request_id, 0),
+                migrations=migration_counts.pop(request.request_id, 0),
+                lost_tokens=lost_token_counts.pop(request.request_id, 0),
             )
 
         def admit(replica: _Replica, now: float) -> None:
@@ -847,6 +859,8 @@ class ContinuousEngine(_DecodeEngineBase):
                 if migrated:
                     counters["migrations"] += 1
                     resumed.requeues += 1
+                    resumed.migrations += 1
+                    resumed.lost_tokens += resumed.tokens_done
                     resumed.prefill_remaining = self.model.prefill_iterations(
                         resumed.request.prompt_tokens
                     )
@@ -1019,6 +1033,10 @@ class ContinuousEngine(_DecodeEngineBase):
                 fault_stats.lost_tokens += running.tokens_done
                 requeue_counts[running.request.request_id] = running.requeues + 1
                 first_admits[running.request.request_id] = running.admitted_time
+                migration_counts[running.request.request_id] = running.migrations
+                lost_token_counts[running.request.request_id] = (
+                    running.lost_tokens + running.tokens_done
+                )
                 if traced:
                     tracer.instant(
                         "requeue",
@@ -1045,6 +1063,7 @@ class ContinuousEngine(_DecodeEngineBase):
                 fault_stats.requeued += 1
                 fault_stats.lost_tokens += entry.tokens_done
                 entry.requeues += 1
+                entry.lost_tokens += entry.tokens_done
                 entry.prefill_remaining = self.model.prefill_iterations(
                     entry.request.prompt_tokens
                 )
@@ -1154,8 +1173,10 @@ class ContinuousEngine(_DecodeEngineBase):
             if stages > 1:
                 # Iterations started inside a link-degradation window pay
                 # the stretched stage-boundary transfers (wider pipeline
-                # bottleneck); single-chip replicas have no links.
-                factor = schedule.link_factor(now)
+                # bottleneck); single-chip replicas have no links.  Windows
+                # scoped to a chip set only tax replicas backed by those
+                # chips (fleet-wide windows tax everyone, as before).
+                factor = schedule.link_factor(now, replica.chips)
                 if factor > 1.0:
                     latency = self._degraded_latency(
                         bucket_for(len(replica.running), self.model.max_batch_size),

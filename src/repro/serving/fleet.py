@@ -31,9 +31,25 @@ Per-request policy order (see :mod:`repro.serving.router`)::
 
 The pool may be heterogeneous (``chip_classes``: e.g. the fig22 GPU baseline
 joining an IPU fleet); programs are compiled and priced per hardware class,
-and routers see the class through their cost callbacks.  Faults are not
-supported in this engine yet — chaos stays with
-:class:`~repro.serving.continuous.ContinuousEngine`.
+and routers see the class through their cost callbacks.
+
+Chaos is first-class here too: ``run(faults=..., watchdog=...)`` injects
+chip deaths, restarts and (optionally per-chip-group) link-degradation
+windows from :mod:`repro.serving.faults` as virtual-time events.  Under
+chaos the router's fleet view carries per-replica **health** (``healthy`` /
+``degraded-link`` / ``restarting`` / ``dead``) and the live link slowdown,
+so a health-aware router prices sick capacity honestly and routes around
+dying replicas.  When the watchdog detects a death, requests pulled off the
+dead replica re-enter the *router* — not a replica-local queue — so they
+may land on another model's replica (**cross-model failover**, charged a
+full re-prefill), and the failover re-placement may move a binding onto
+spare chips of a different hardware class.  The watchdog adds the
+fleet-scale degraded-mode policy: per-tenant **retry budgets** with
+deadline-aware honest drops (a requeue whose projected completion already
+misses its deadline is shed immediately), and **brownout admission
+control** — below a surviving-capacity watermark, best-effort traffic is
+shed at arrival and interactive admission serves tenants still below their
+fairness floor first.
 
 Everything runs in virtual time: compile cost is wall-clock-only
 (``warm_compile_seconds``), so fleet runs are bit-identical at any compile
@@ -64,12 +80,24 @@ from repro.obs.registry import publish_stats
 from repro.serving.batcher import batch_buckets, bucket_for
 from repro.serving.continuous import (
     _EV_ARRIVAL,
+    _EV_FAULT,
     _EV_ITER_END,
     DecodeModel,
     _Replica,
     _Running,
 )
-from repro.serving.metrics import ContinuousReport
+from repro.serving.faults import (
+    FAULT_CHIP_DEATH,
+    FAULT_LINK_DEGRADATION,
+    FAULT_RESTART,
+    FaultEvent,
+    FaultSchedule,
+    Watchdog,
+    _ChipOnline,
+    _Detect,
+    _LinkRestored,
+)
+from repro.serving.metrics import ContinuousReport, FaultStats
 from repro.serving.plan_cache import PlanCache
 from repro.serving.request import (
     DECODE_OK,
@@ -78,7 +106,16 @@ from repro.serving.request import (
     DecodeRequest,
     TenantSpec,
 )
-from repro.serving.router import CostAwareRouter, FleetView, ReplicaView, Router
+from repro.serving.router import (
+    HEALTH_DEAD,
+    HEALTH_DEGRADED,
+    HEALTH_HEALTHY,
+    HEALTH_RESTARTING,
+    CostAwareRouter,
+    FleetView,
+    ReplicaView,
+    Router,
+)
 from repro.serving.worker import IterationCost, WorkerPool
 
 #: Policy prefix of fleet reports; the router name is appended.
@@ -328,11 +365,24 @@ class FleetEngine:
         return sorted(requests, key=lambda req: (req.arrival_time, req.request_id))
 
     def _view(
-        self, now: float, replicas: list[_FleetReplica], tenant: str = ""
+        self,
+        now: float,
+        replicas: list[_FleetReplica],
+        tenant: str = "",
+        health=None,
     ) -> FleetView:
-        return FleetView(
-            now=now,
-            replicas=tuple(
+        """Immutable router snapshot.  ``health`` is an optional
+        ``(replica, now) -> (state, link_factor)`` callback supplied by a
+        chaos run; without it every replica reports healthy (fault-free runs
+        build the exact view they always did)."""
+        if health is None:
+            state = lambda replica, when: (HEALTH_HEALTHY, 1.0)  # noqa: E731
+        else:
+            state = health
+        views = []
+        for replica in replicas:
+            health_state, link_factor = state(replica, now)
+            views.append(
                 ReplicaView(
                     index=replica.index,
                     model=replica.model,
@@ -340,9 +390,13 @@ class FleetEngine:
                     queued=replica.queued,
                     resident=len(replica.running),
                     busy=replica.busy,
+                    health=health_state,
+                    link_factor=link_factor,
                 )
-                for replica in replicas
-            ),
+            )
+        return FleetView(
+            now=now,
+            replicas=tuple(views),
             iteration_latency=lambda model, index: self._cost(
                 model,
                 replicas[index].chip_class,
@@ -479,22 +533,71 @@ class FleetEngine:
         )
 
     # ------------------------------------------------------------------ #
-    def run(self, requests: Sequence[DecodeRequest]) -> ContinuousReport:
+    def run(
+        self,
+        requests: Sequence[DecodeRequest],
+        *,
+        faults: FaultSchedule | None = None,
+        watchdog: Watchdog | None = None,
+    ) -> ContinuousReport:
         """Replay one multi-tenant decode workload and return the report.
+
+        ``faults`` injects chip deaths, restarts and link-degradation
+        windows (optionally scoped to a chip group) as first-class
+        virtual-time events; ``watchdog`` sets the detection delay and the
+        fleet's degraded-mode policy — degraded-queue shedding, per-tenant
+        retry budgets with deadline-aware honest drops, and brownout
+        admission control (see :class:`~repro.serving.faults.Watchdog`).
+        Both default to a fault-free run, which behaves exactly as before.
 
         Pure virtual time, single-threaded event loop: identical inputs give
         bit-identical reports at any plan-cache ``jobs`` width, and
         workloads composed with
         :func:`~repro.serving.request.merge_decode_workloads` make the run
-        invariant under permutation of the tenant streams too.
+        invariant under permutation of the tenant streams too.  Chaos runs
+        inherit both properties — compile cost (including failover rewarms)
+        stays wall-clock-only.
         """
         ordered = self._check_requests(requests)
+        schedule = (faults if faults is not None else FaultSchedule()).for_fleet(
+            self.num_chips
+        )
+        wd = watchdog if watchdog is not None else Watchdog()
+        chaos = bool(schedule.events)
         tracer = get_tracer()
         traced = tracer.enabled
         fleet_track = f"{self.trace_group}/fleet"
         stages = self.num_stages
 
         replicas = self._make_replicas()
+        #: Chips not backing any replica (the fleet remainder when num_chips
+        #: is not a multiple of num_stages) start life as failover capacity.
+        spares: list[int] = list(range(self.num_replicas * stages, self.num_chips))
+        dead_chips: set[int] = set()
+        #: Chips that came back cold: the next replica re-placed over one of
+        #: them re-warms its buckets under a fresh plan-cache namespace.
+        cold_chips: set[int] = set()
+        #: Chips between restart and chip-online: while any replacement is
+        #: booting, dead replicas report ``restarting`` instead of ``dead``.
+        warming: set[int] = set()
+        fault_stats = FaultStats()
+        # Accounting of requests pulled off dead replicas, restored on
+        # re-admission (or shed): requeue/migration/loss counts, original
+        # admission time, preemption count, and the replica whose death
+        # displaced them (to recognise a cross-replica migration on
+        # re-admission).
+        requeue_counts: dict[int, int] = {}
+        first_admits: dict[int, float] = {}
+        migration_counts: dict[int, int] = {}
+        lost_token_counts: dict[int, int] = {}
+        preempt_counts: dict[int, int] = {}
+        requeue_origins: dict[int, int] = {}
+        #: Progress-losing requeues charged so far, per tenant.
+        retry_spend: dict[str, int] = {}
+        #: Deadline-carrying outcomes per tenant (met / total), feeding the
+        #: brownout fairness-floor ordering.
+        deadlined_total: dict[str, int] = {}
+        deadlined_met: dict[str, int] = {}
         records: list[CompletedDecode] = []
         seq = itertools.count()
         events: list[tuple[float, int, int, object]] = []
@@ -502,6 +605,13 @@ class FleetEngine:
             heapq.heappush(
                 events, (request.arrival_time, _EV_ARRIVAL, next(seq), request)
             )
+        for fault in schedule:
+            heapq.heappush(events, (fault.time, _EV_FAULT, next(seq), fault))
+            if fault.kind == FAULT_LINK_DEGRADATION and math.isfinite(fault.until):
+                heapq.heappush(
+                    events,
+                    (fault.until, _EV_FAULT, next(seq), _LinkRestored(fault.factor)),
+                )
 
         stats_before = self.plan_cache.stats.snapshot()
         counters = {
@@ -511,6 +621,7 @@ class FleetEngine:
             "scale_ups": 0,
             "scale_downs": 0,
             "rebinds": 0,
+            "migrations": 0,
         }
         served_by_tenant: dict[str, int] = {}
         #: Requests the router had no candidate for (every replica busy on
@@ -561,6 +672,81 @@ class FleetEngine:
                 values={"active": active_count(), "rebinds": counters["rebinds"]},
             )
 
+        def fault_sample(now: float) -> None:
+            """Degraded-mode counter track: fleet health at a glance."""
+            tracer.counter(
+                "faults",
+                ts=now,
+                track=fleet_track,
+                values={
+                    "dead_replicas": sum(1 for r in replicas if r.dead),
+                    "spares": len(spares),
+                    "requeued": fault_stats.requeued,
+                    "degraded_sheds": fault_stats.degraded_sheds,
+                    "brownout_sheds": fault_stats.brownout_sheds,
+                    "retry_drops": fault_stats.retry_drops,
+                },
+            )
+
+        def describe(replica: _FleetReplica, now: float) -> tuple[str, float]:
+            """Per-replica health as the router's view reports it."""
+            if replica.dead:
+                return (HEALTH_RESTARTING if warming else HEALTH_DEAD), 1.0
+            factor = schedule.link_factor(now, replica.chips)
+            if factor > 1.0:
+                return HEALTH_DEGRADED, factor
+            return HEALTH_HEALTHY, 1.0
+
+        def brownout() -> bool:
+            """Whether surviving capacity is below the brownout watermark."""
+            if wd.brownout_watermark is None or not dead_chips:
+                return False
+            surviving = (self.num_chips - len(dead_chips)) / self.num_chips
+            return surviving < wd.brownout_watermark
+
+        def note_outcome(request: DecodeRequest, met: bool) -> None:
+            """Track per-tenant deadline attainment (drives brownout order)."""
+            if request.deadline is None:
+                return
+            tenant = request.tenant
+            deadlined_total[tenant] = deadlined_total.get(tenant, 0) + 1
+            if met:
+                deadlined_met[tenant] = deadlined_met.get(tenant, 0) + 1
+
+        def below_floor(tenant: str) -> bool:
+            """Whether ``tenant`` is currently under its promised fairness
+            floor (tenants without a floor, or with no deadline-carrying
+            outcome yet, are never "below")."""
+            spec = self.tenants.get(tenant)
+            if spec is None or spec.fairness_floor <= 0.0:
+                return False
+            total = deadlined_total.get(tenant, 0)
+            if total == 0:
+                return False
+            return deadlined_met.get(tenant, 0) / total < spec.fairness_floor
+
+        def pop_interactive(replica: _FleetReplica) -> tuple:
+            """EDF pop — except under brownout, where interactive admission
+            serves tenants still below their fairness floor first (then EDF):
+            the scarce surviving capacity goes to restoring broken promises
+            before improving already-met ones."""
+            if not brownout() or len(replica.iq) <= 1:
+                return heapq.heappop(replica.iq)
+            best = min(
+                range(len(replica.iq)),
+                key=lambda position: (
+                    0 if below_floor(replica.iq[position][3].tenant) else 1,
+                    replica.iq[position][0],
+                    replica.iq[position][1],
+                    replica.iq[position][2],
+                ),
+            )
+            entry = replica.iq[best]
+            replica.iq[best] = replica.iq[-1]
+            replica.iq.pop()
+            heapq.heapify(replica.iq)
+            return entry
+
         def shed_check(request: DecodeRequest, replica: _FleetReplica, now: float) -> bool:
             """Projected completion vs deadline, priced at this replica
             class's full-batch iteration latency."""
@@ -574,17 +760,26 @@ class FleetEngine:
             return projected > request.deadline
 
         def shed(request: DecodeRequest, now: float) -> None:
+            # A request requeued off a dead replica and shed afterwards
+            # keeps its real first admission time and loss accounting; a
+            # never-admitted shed records NaN / the -1 sentinel as always.
             counters["shed"] += 1
+            requeue_origins.pop(request.request_id, None)
             record = CompletedDecode(
                 request=request,
                 status=DECODE_SHED,
-                admitted_time=float("nan"),
+                admitted_time=first_admits.pop(request.request_id, float("nan")),
                 first_token_time=float("nan"),
                 completion_time=now,
                 tokens_generated=0,
                 replica=-1,
+                preemptions=preempt_counts.pop(request.request_id, 0),
+                requeues=requeue_counts.pop(request.request_id, 0),
+                migrations=migration_counts.pop(request.request_id, 0),
+                lost_tokens=lost_token_counts.pop(request.request_id, 0),
             )
             records.append(record)
+            note_outcome(request, False)
             if traced:
                 self._trace_done(tracer, record, None, now)
 
@@ -594,11 +789,36 @@ class FleetEngine:
             if traced:
                 self._trace_admit(tracer, request, replica, now)
             deployment = self._deployments[replica.model]
+            migrations = migration_counts.pop(request.request_id, 0)
+            origin = requeue_origins.pop(request.request_id, None)
+            if origin is not None and origin != replica.index:
+                # The requeue landed on a different replica than the one
+                # whose death displaced it: that is a cross-replica (often
+                # cross-model) failover migration, charged the same full
+                # re-prefill as any requeue.
+                migrations += 1
+                counters["migrations"] += 1
+                if traced:
+                    tracer.instant(
+                        "migrate",
+                        ts=now,
+                        track=self._chip_tracks(replica)[0],
+                        cat="fault",
+                        args={
+                            "request": request.request_id,
+                            "from": origin,
+                            "to": replica.index,
+                        },
+                    )
             return _Running(
                 request=request,
-                admitted_time=now,
+                admitted_time=first_admits.pop(request.request_id, now),
                 prefill_remaining=deployment.prefill_iterations(request.prompt_tokens),
                 origin=replica.index,
+                preemptions=preempt_counts.pop(request.request_id, 0),
+                requeues=requeue_counts.pop(request.request_id, 0),
+                migrations=migrations,
+                lost_tokens=lost_token_counts.pop(request.request_id, 0),
             )
 
         def admit(replica: _FleetReplica, now: float) -> None:
@@ -609,7 +829,7 @@ class FleetEngine:
             running = replica.running
             max_batch = self._deployments[replica.model].max_batch_size
             while replica.iq and len(running) < max_batch:
-                _, _, _, request = heapq.heappop(replica.iq)
+                _, _, _, request = pop_interactive(replica)
                 if shed_check(request, replica, now):
                     shed(request, now)
                     continue
@@ -622,7 +842,7 @@ class FleetEngine:
                         break
                 if victim_index is None:
                     break
-                _, _, _, request = heapq.heappop(replica.iq)
+                _, _, _, request = pop_interactive(replica)
                 if shed_check(request, replica, now):
                     shed(request, now)
                     continue
@@ -672,8 +892,12 @@ class FleetEngine:
                         tokens_generated=running.tokens_done,
                         preemptions=running.preemptions,
                         replica=replica.index,
+                        requeues=running.requeues,
+                        migrations=running.migrations,
+                        lost_tokens=running.lost_tokens,
                     )
                     records.append(record)
+                    note_outcome(running.request, record.met_slo)
                     tenant = running.request.tenant
                     served_by_tenant[tenant] = served_by_tenant.get(tenant, 0) + 1
                     if traced:
@@ -682,7 +906,7 @@ class FleetEngine:
 
         def start_iteration(replica: _FleetReplica, now: float) -> None:
             nonlocal busy_chip_seconds, peak_active
-            if replica.busy or not replica.active:
+            if replica.busy or not replica.active or replica.dead:
                 return
             admit(replica, now)
             if not replica.running:
@@ -700,17 +924,26 @@ class FleetEngine:
                     )
                 return
             cost = self._cost(replica.model, replica.chip_class, len(replica.running))
+            latency = cost.latency
+            if chaos:
+                # Iterations started inside a link-degradation window pay
+                # the slowdown (host/NIC links for single-chip groups,
+                # stage-boundary transfers for sharded ones); windows scoped
+                # to a chip set only tax replicas backed by those chips.
+                factor = schedule.link_factor(now, replica.chips)
+                if factor > 1.0:
+                    latency *= factor
             replica.busy = True
             replica.iter_start = now
-            replica.iter_latency = cost.latency
+            replica.iter_latency = latency
             counters["iterations"] += 1
-            busy_chip_seconds += cost.latency * stages
+            busy_chip_seconds += latency * stages
             if traced:
-                self._trace_iteration(tracer, replica, now, cost.latency)
+                self._trace_iteration(tracer, replica, now, latency)
             heapq.heappush(
                 events,
                 (
-                    now + cost.latency,
+                    now + latency,
                     _EV_ITER_END,
                     next(seq),
                     (replica.index, replica.epoch),
@@ -738,10 +971,11 @@ class FleetEngine:
             """Bind (or re-bind) an idle replica to ``model``.  A re-bind
             bumps the binding generation — its compiled programs are already
             shared in the plan cache, so the switch costs no virtual time."""
-            if replica.busy or replica.running or replica.queued:
+            if replica.busy or replica.running or replica.queued or replica.dead:
                 raise RuntimeError(
-                    f"router bound busy replica {replica.index} to {model!r} "
-                    f"(bound to {replica.model!r}); only idle replicas re-bind"
+                    f"router bound busy or dead replica {replica.index} to "
+                    f"{model!r} (bound to {replica.model!r}); only idle live "
+                    "replicas re-bind"
                 )
             previous = replica.model
             replica.model = model
@@ -765,8 +999,12 @@ class FleetEngine:
         def place(request: DecodeRequest, now: float) -> bool:
             """Offer ``request`` to the router; queue it on the chosen
             replica.  False = no compatible or idle replica right now (the
-            caller parks the request until capacity frees)."""
-            view = self._view(now, replicas, request.tenant)
+            caller parks the request until capacity frees).  A health-blind
+            router may queue onto a dead replica — the request then waits
+            for failover, exactly the limbo health-aware routing avoids."""
+            view = self._view(
+                now, replicas, request.tenant, health=describe if chaos else None
+            )
             index = self.router.route(request, view)
             if index is None:
                 return False
@@ -787,8 +1025,9 @@ class FleetEngine:
                 )
             else:
                 replica.bq.append(request)
-            activate(replica, now)
-            start_iteration(replica, now)
+            if not replica.dead:
+                activate(replica, now)
+                start_iteration(replica, now)
             return True
 
         def drain_unrouted(now: float) -> None:
@@ -806,13 +1045,398 @@ class FleetEngine:
             if placed_any and traced:
                 fleet_sample(now)
 
+        # ----------------------------- faults ------------------------- #
+        def degraded_shed(now: float) -> None:
+            """Degraded-mode admission: while any replica is dead, cap the
+            fleet's total best-effort backlog at ``degraded_shed_queue`` per
+            surviving active replica, shedding newest-first across all
+            replica-local queues (oldest backlog keeps its slot;
+            interactive traffic is governed by its own deadline check)."""
+            if wd.degraded_shed_queue is None or not any(r.dead for r in replicas):
+                return
+            cap = wd.degraded_shed_queue * max(1, active_count())
+            total = sum(len(replica.bq) for replica in replicas) + sum(
+                1 for request in unrouted if not request.interactive
+            )
+            dropped = False
+            while total > cap:
+                backlogged = [replica for replica in replicas if replica.bq]
+                newest_parked = max(
+                    (
+                        (request.arrival_time, request.request_id)
+                        for request in unrouted
+                        if not request.interactive
+                    ),
+                    default=None,
+                )
+                if backlogged:
+                    victim = max(
+                        backlogged,
+                        key=lambda replica: (
+                            replica.bq[-1].arrival_time,
+                            replica.bq[-1].request_id,
+                        ),
+                    )
+                    newest_queued = (
+                        victim.bq[-1].arrival_time,
+                        victim.bq[-1].request_id,
+                    )
+                else:
+                    victim = None
+                    newest_queued = None
+                if newest_parked is not None and (
+                    newest_queued is None or newest_parked > newest_queued
+                ):
+                    parked = next(
+                        request
+                        for request in reversed(unrouted)
+                        if not request.interactive
+                        and (request.arrival_time, request.request_id)
+                        == newest_parked
+                    )
+                    unrouted.remove(parked)
+                    fault_stats.degraded_sheds += 1
+                    shed(parked, now)
+                elif victim is not None:
+                    fault_stats.degraded_sheds += 1
+                    shed(victim.bq.pop(), now)
+                else:
+                    break
+                total -= 1
+                dropped = True
+            if dropped and traced:
+                fault_sample(now)
+
+        def rewarm(replica: _FleetReplica) -> None:
+            """Re-fetch every bucket program of the replica's bound model
+            under a fresh per-replica namespace: a revived chip's program
+            store is cold, so the compiles are real (visible in the cache
+            counters) but — being wall-clock — never touch virtual time."""
+            replica.generation += 1
+            replica.cache_scope = f"replica{replica.index}-gen{replica.generation}"
+            deployment = self._deployments[replica.model]
+            default_class = (
+                replica.chip_class.fingerprint() == self.pool.chip.fingerprint()
+            )
+            for bucket in batch_buckets(deployment.max_batch_size):
+                cost = self.pool.profile(
+                    self._graph(replica.model, bucket),
+                    num_stages=stages,
+                    chip=None if default_class else replica.chip_class,
+                    scope=replica.cache_scope,
+                )
+                fault_stats.restart_compile_seconds += cost.compile_seconds
+
+        def try_place(now: float) -> None:
+            """Re-place dead, drained replicas onto surviving spare chips.
+
+            This is where the watchdog re-binds capacity across hardware:
+            the spare group may belong to a *different* chip class than the
+            chips that died (heterogeneous fleets are single-stage, so any
+            spare is compatible), in which case the binding's programs are
+            compiled for the new class before it serves again."""
+            for replica in replicas:
+                if not replica.dead or replica.running or len(spares) < stages:
+                    continue
+                spares.sort()
+                group = spares[:stages]
+                del spares[:stages]
+                replica.chips = tuple(group)
+                replica.chip_class = self.pool.chip_for(group[0])
+                replica.dead = False
+                replica.epoch += 1
+                fault_stats.failovers += 1
+                if replica.model:
+                    self._ensure_programs(replica.model, replica.chip_class, "")
+                if any(chip in cold_chips for chip in group):
+                    cold_chips.difference_update(group)
+                    if replica.model:
+                        rewarm(replica)
+                if traced:
+                    tracer.instant(
+                        "failover",
+                        ts=now,
+                        track=fleet_track,
+                        cat="fault",
+                        args={
+                            "replica": replica.index,
+                            "model": replica.model,
+                            "class": replica.chip_class.name,
+                            "chips": ",".join(str(chip) for chip in group),
+                        },
+                    )
+                if replica.queued:
+                    activate(replica, now)
+                    start_iteration(replica, now)
+
+        def requeue_shed_check(
+            request: DecodeRequest, chip_class: ChipSpec, now: float
+        ) -> bool:
+            """Honest deadline check at requeue time: the full re-prefill is
+            priced at the dead replica's class; when even an immediate
+            restart misses the deadline, the retry would only waste
+            surviving capacity."""
+            if not self.shed_enabled or request.deadline is None:
+                return False
+            deployment = self._deployments[request.model]
+            unit = self._cost(
+                request.model, chip_class, deployment.max_batch_size
+            ).latency
+            return now + deployment.total_iterations(request) * unit > request.deadline
+
+        def requeue_one(running: _Running, origin: _FleetReplica, now: float) -> None:
+            """One progress-losing requeue off a dead replica: charge the
+            tenant's retry budget, drop honestly when the budget is spent or
+            the deadline is already unreachable, otherwise re-offer through
+            the router — cross-model failover happens right here, because
+            the router may pick any compatible or rebindable replica."""
+            request = running.request
+            rid = request.request_id
+            fault_stats.lost_tokens += running.tokens_done
+            first_admits[rid] = running.admitted_time
+            migration_counts[rid] = running.migrations
+            lost_token_counts[rid] = running.lost_tokens + running.tokens_done
+            preempt_counts[rid] = running.preemptions
+            tenant = request.tenant
+            spent = retry_spend.get(tenant, 0)
+            exhausted = wd.retry_budget is not None and spent >= wd.retry_budget
+            if exhausted or requeue_shed_check(request, origin.chip_class, now):
+                # Dropped, not retried: the record keeps only the requeues
+                # that actually bought another attempt.
+                requeue_counts[rid] = running.requeues
+                fault_stats.retry_drops += 1
+                if traced:
+                    tracer.instant(
+                        "retry-drop",
+                        ts=now,
+                        track=self._tenant_track(tenant),
+                        cat="fault",
+                        args={
+                            "request": rid,
+                            "reason": "budget" if exhausted else "deadline",
+                        },
+                    )
+                shed(request, now)
+                return
+            retry_spend[tenant] = spent + 1
+            requeue_counts[rid] = running.requeues + 1
+            requeue_origins[rid] = origin.index
+            fault_stats.requeued += 1
+            if traced:
+                tracer.instant(
+                    "requeue",
+                    ts=now,
+                    track=self._tenant_track(tenant),
+                    cat="fault",
+                    args={"request": rid, "lost_tokens": running.tokens_done},
+                )
+            if not place(request, now):
+                unrouted.append(request)
+
+        def on_chip_death(fault: FaultEvent, now: float) -> None:
+            nonlocal busy_chip_seconds
+            if fault.chip in dead_chips:
+                return
+            dead_chips.add(fault.chip)
+            fault_stats.chip_deaths += 1
+            if traced:
+                tracer.instant(
+                    "chip-death",
+                    ts=now,
+                    track=fleet_track,
+                    cat="fault",
+                    args={"chip": fault.chip},
+                )
+            if fault.chip in spares:
+                spares.remove(fault.chip)
+                if traced:
+                    fault_sample(now)
+                return
+            owner = next(
+                (r for r in replicas if fault.chip in r.chips and not r.dead), None
+            )
+            if owner is None:
+                return
+            if owner.busy:
+                # The in-flight iteration dies with the chip: refund the
+                # part of its busy time that never executed; its
+                # iteration-end event is dropped by the epoch bump below.
+                end = owner.iter_start + owner.iter_latency
+                busy_chip_seconds -= max(0.0, end - now) * stages
+                fault_stats.lost_iterations += 1
+                owner.busy = False
+            if owner.active:
+                integrate(now)
+                owner.active = False
+            owner.epoch += 1
+            owner.dead = True
+            # Surviving chips of the group become spares immediately; the
+            # replica's requests stay in limbo until the watchdog notices.
+            for chip in owner.chips:
+                if chip != fault.chip and chip not in dead_chips:
+                    spares.append(chip)
+            owner.chips = ()
+            if owner.cache_scope:
+                # The replica's private program store dies with it.
+                self.plan_cache.evict_scope(owner.cache_scope)
+                owner.cache_scope = ""
+            heapq.heappush(
+                events,
+                (
+                    now + wd.detection_delay,
+                    _EV_FAULT,
+                    next(seq),
+                    _Detect(owner.index, owner.epoch),
+                ),
+            )
+            if traced:
+                fault_sample(now)
+
+        def on_detect(detect: _Detect, now: float) -> None:
+            replica = replicas[detect.replica]
+            if not replica.dead or replica.epoch != detect.epoch:
+                return
+            if traced:
+                tracer.instant(
+                    "detect",
+                    ts=now,
+                    track=fleet_track,
+                    cat="fault",
+                    args={
+                        "replica": replica.index,
+                        "requeued": len(replica.running) + len(replica.preempted),
+                    },
+                )
+            # In-flight and preempted requests lose all progress — their KV
+            # state died with the chips — and re-enter the router for
+            # re-admission (full re-prefill), budget and deadline allowing.
+            inflight = list(replica.running)
+            replica.running = []
+            displaced = list(replica.preempted)
+            replica.preempted.clear()
+            for running in inflight:
+                requeue_one(running, replica, now)
+            for entry in displaced:
+                requeue_one(entry, replica, now)
+            # Queued-but-never-admitted requests held no progress: they
+            # re-route for free (no budget charge, no requeue count).
+            parked = [entry[3] for entry in sorted(replica.iq)] + list(replica.bq)
+            replica.iq = []
+            replica.bq.clear()
+            for request in parked:
+                if not place(request, now):
+                    unrouted.append(request)
+            try_place(now)
+            degraded_shed(now)
+            drain_unrouted(now)
+            for survivor in replicas:
+                if survivor.active and not survivor.busy:
+                    start_iteration(survivor, now)
+            if traced:
+                fault_sample(now)
+
+        def on_restart(fault: FaultEvent, now: float) -> None:
+            fault_stats.restarts += 1
+            if fault.chip in dead_chips:
+                warming.add(fault.chip)
+            if traced:
+                tracer.instant(
+                    "restart",
+                    ts=now,
+                    track=fleet_track,
+                    cat="fault",
+                    args={"chip": fault.chip, "warmup": fault.warmup_delay},
+                )
+            heapq.heappush(
+                events,
+                (
+                    now + fault.warmup_delay,
+                    _EV_FAULT,
+                    next(seq),
+                    _ChipOnline(fault.chip, fault.cold_cache),
+                ),
+            )
+
+        def on_chip_online(online: _ChipOnline, now: float) -> None:
+            warming.discard(online.chip)
+            if online.chip not in dead_chips:
+                return  # restart of a chip that never died: nothing to do
+            dead_chips.discard(online.chip)
+            if online.cold_cache:
+                cold_chips.add(online.chip)
+            spares.append(online.chip)
+            if traced:
+                tracer.instant(
+                    "chip-online",
+                    ts=now,
+                    track=fleet_track,
+                    cat="fault",
+                    args={"chip": online.chip, "cold": online.cold_cache},
+                )
+            try_place(now)
+            drain_unrouted(now)
+            if traced:
+                fault_sample(now)
+
+        def handle_fault(payload: object, now: float) -> None:
+            if isinstance(payload, FaultEvent):
+                if payload.kind == FAULT_CHIP_DEATH:
+                    on_chip_death(payload, now)
+                elif payload.kind == FAULT_RESTART:
+                    on_restart(payload, now)
+                elif traced:
+                    # Link degradation needs no state transition: iterations
+                    # started inside the window pay the factor lazily (see
+                    # start_iteration) and the router's view prices it
+                    # through each replica's health.
+                    tracer.instant(
+                        "link-degraded",
+                        ts=now,
+                        track=fleet_track,
+                        cat="fault",
+                        args={
+                            "factor": payload.factor,
+                            "until": payload.until,
+                            "chips": ",".join(str(chip) for chip in payload.chips)
+                            or "fleet",
+                        },
+                    )
+            elif isinstance(payload, _Detect):
+                on_detect(payload, now)
+            elif isinstance(payload, _ChipOnline):
+                on_chip_online(payload, now)
+            elif isinstance(payload, _LinkRestored) and traced:
+                tracer.instant(
+                    "link-restored",
+                    ts=now,
+                    track=fleet_track,
+                    cat="fault",
+                    args={"factor": payload.factor},
+                )
+
         def on_arrival(request: DecodeRequest, now: float) -> None:
             if traced:
                 self._trace_enqueue(tracer, request)
-            if not place(request, now):
+            if brownout() and not request.interactive:
+                # Brownout admission control: below the surviving-capacity
+                # watermark, best-effort traffic is shed at the door so the
+                # remaining chips serve deadline traffic.
+                fault_stats.brownout_sheds += 1
+                if traced:
+                    tracer.instant(
+                        "brownout-shed",
+                        ts=now,
+                        track=self._tenant_track(request.tenant),
+                        cat="fault",
+                        args={"request": request.request_id},
+                    )
+                shed(request, now)
+            elif not place(request, now):
                 # Every replica is busy serving other models: park until a
                 # replica drains and becomes rebindable.
                 unrouted.append(request)
+            if chaos:
+                degraded_shed(now)
             if traced:
                 tenant_sample(request.tenant, now)
                 fleet_sample(now)
@@ -820,13 +1444,15 @@ class FleetEngine:
         while events:
             now, kind, _, payload = heapq.heappop(events)
             integrate(now)
-            if kind == _EV_ARRIVAL:
+            if kind == _EV_FAULT:
+                handle_fault(payload, now)
+            elif kind == _EV_ARRIVAL:
                 on_arrival(payload, now)
             else:
                 index, epoch = payload
                 replica = replicas[index]
                 if replica.epoch != epoch:
-                    continue
+                    continue  # the iteration was aborted by a chip death
                 replica.busy = False
                 retire_finished(replica, now)
                 start_iteration(replica, now)
@@ -835,9 +1461,10 @@ class FleetEngine:
                 if traced:
                     fleet_sample(now)
 
-        # Defensive: with no faults every routed request is served or shed at
-        # its admission boundary, but never strand anything — the books must
-        # always balance (completed + shed == requests).
+        # Defensive: never strand anything — the books must always balance
+        # (completed + shed == requests), even when the run ends with
+        # replicas dead and their queues full (e.g. the whole fleet killed
+        # after the last arrival and never restarted).
         for replica in replicas:
             while replica.iq:
                 _, _, _, request = heapq.heappop(replica.iq)
@@ -846,6 +1473,9 @@ class FleetEngine:
                 shed(replica.bq.popleft(), last_time)
             while replica.preempted:
                 shed(replica.preempted.popleft().request, last_time)
+            for running in replica.running:
+                shed(running.request, last_time)
+            replica.running = []
         while unrouted:
             shed(unrouted.popleft(), last_time)
 
@@ -859,6 +1489,7 @@ class FleetEngine:
             active_span=last_time - first_arrival,
             peak_active=peak_active,
             stats_before=stats_before,
+            faults=fault_stats,
         )
         if traced:
             self._publish_run_metrics(tracer, report, counters)
@@ -875,6 +1506,7 @@ class FleetEngine:
         active_span: float,
         peak_active: int,
         stats_before,
+        faults: FaultStats | None = None,
     ) -> ContinuousReport:
         served = [record for record in records if record.ok]
         makespan = 0.0
@@ -904,6 +1536,8 @@ class FleetEngine:
             scale_downs=counters["scale_downs"],
             peak_active_chips=peak_active * self.num_stages,
             rebinds=counters["rebinds"],
+            migrations=counters.get("migrations", 0),
+            faults=faults if faults is not None else FaultStats(),
         )
 
     def _publish_run_metrics(
@@ -926,6 +1560,8 @@ class FleetEngine:
             },
         )
         publish_stats(tracer.metrics, f"{prefix}.cache", report.cache.as_dict())
+        if report.faults.any:
+            publish_stats(tracer.metrics, f"{prefix}.faults", report.faults)
         for tenant, slice_report in report.per_tenant().items():
             label = tenant or "default"
             publish_stats(

@@ -171,6 +171,13 @@ class FaultStats:
     """In-flight iterations aborted mid-execution by a chip death."""
     degraded_sheds: int = 0
     """Best-effort requests shed by the watchdog's degraded-mode policy."""
+    brownout_sheds: int = 0
+    """Best-effort requests shed *at arrival* because surviving capacity sat
+    below the watchdog's brownout watermark (fleet engine only)."""
+    retry_drops: int = 0
+    """Requeue casualties dropped honestly instead of retried: the tenant's
+    retry budget was spent, or the projected completion after a full
+    re-prefill already missed the deadline (fleet engine only)."""
     restart_compile_seconds: float = 0.0
 
     @property
@@ -182,12 +189,18 @@ class FaultStats:
         """One-line description of the fault impact."""
         if not self.any:
             return "no faults"
-        return (
+        text = (
             f"{self.chip_deaths} chip death(s), {self.restarts} restart(s), "
             f"{self.failovers} failover(s), {self.requeued} requeued "
             f"({self.lost_tokens} tokens lost), "
             f"{self.degraded_sheds} degraded-mode shed(s)"
         )
+        if self.brownout_sheds or self.retry_drops:
+            text += (
+                f", {self.brownout_sheds} brownout shed(s), "
+                f"{self.retry_drops} retry drop(s)"
+            )
+        return text
 
 
 def goodput_timeline(
@@ -226,6 +239,7 @@ def dip_and_recovery(
     fault_time: float,
     window: float,
     recovery_fraction: float = 0.7,
+    horizon: float | None = None,
 ) -> tuple[float, float, float]:
     """Quantify a fault's goodput dip: ``(baseline, dip_depth, recovery_s)``.
 
@@ -236,12 +250,20 @@ def dip_and_recovery(
     the fault until the first window whose rate climbs back to
     ``recovery_fraction * baseline`` (``inf`` if goodput never recovers,
     0 if it never dipped below that threshold).
+
+    ``horizon`` caps the measured span: completions after it are ignored.
+    Use it to scope the dip to the outage itself — otherwise the natural
+    end-of-run decay (arrivals stop, goodput falls to zero) reads as a
+    bottomless dip in any run that drains its backlog after the last
+    arrival.  ``None`` measures to the last completion.
     """
     served = [r for r in records if r.ok]
     if not served:
         return float("nan"), float("nan"), float("inf")
     start = min(r.request.arrival_time for r in served)
     end = max(r.completion_time for r in served)
+    if horizon is not None:
+        end = min(end, horizon)
     if not (start < fault_time < end):
         # Fault outside the served span: nothing to measure a dip against.
         return float("nan"), 0.0, 0.0
@@ -424,8 +446,12 @@ class ContinuousReport:
         (busy/active chip-seconds, iterations, cache, autoscale events) are
         zeroed rather than divided: chips and iterations are *shared* on a
         multi-tenant fleet and any per-tenant split of them would be an
-        arbitrary allocation, not a measurement.  ``shed`` and
-        ``preemptions`` are per-request facts and are sliced exactly.
+        arbitrary allocation, not a measurement.  ``shed``, ``preemptions``,
+        ``migrations`` and the fault-loss accounting (requeues, lost
+        tokens) are per-request facts and are sliced exactly — a tenant can
+        read exactly how much of its SLO loss was fault-induced.  Fault
+        *mechanism* counters (chip deaths, restarts, failovers, degraded/
+        brownout sheds) stay fleet-level and are zeroed in slices.
         """
         records = tuple(
             record for record in self.completed if record.request.tenant == tenant
@@ -455,6 +481,11 @@ class ContinuousReport:
             scale_ups=0,
             scale_downs=0,
             peak_active_chips=0,
+            migrations=sum(record.migrations for record in records),
+            faults=FaultStats(
+                requeued=sum(record.requeues for record in records),
+                lost_tokens=sum(record.lost_tokens for record in records),
+            ),
         )
 
     def per_tenant(self) -> dict[str, "ContinuousReport"]:

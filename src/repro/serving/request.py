@@ -268,6 +268,14 @@ class CompletedDecode:
     requeues: int = 0
     """Times the request was pulled off a dead replica (or migrated across
     replicas after preemption) and re-admitted with its progress discarded."""
+    migrations: int = 0
+    """The subset of :attr:`requeues` caused by cross-replica migration of a
+    preempted request (as opposed to the chips holding its KV state dying)."""
+    lost_tokens: int = 0
+    """Output tokens this request generated and then lost to requeues — the
+    per-request share of :attr:`~repro.serving.metrics.FaultStats.lost_tokens`,
+    which is what lets a tenant slice see how much of its SLO loss was
+    fault-induced."""
 
     @property
     def ok(self) -> bool:

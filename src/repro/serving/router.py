@@ -21,6 +21,14 @@ Determinism contract: a router must be a pure function of ``(request,
 view)`` — no randomness, no wall-clock, ties broken by replica index — so
 fleet runs stay bit-identical at any compile parallelism and under
 permutation of the tenant workload streams.
+
+Under chaos (:mod:`repro.serving.faults`) the view also carries per-replica
+**health**: ``healthy``, ``degraded-link`` (serving, but ``link_factor``
+times slower), ``restarting`` (replacement chip warming up) or ``dead``.
+:class:`CostAwareRouter` reads it by default — degraded links are priced
+into the projection and dying replicas are routed around instead of waiting
+for failover; ``health_aware=False`` restores the health-blind behaviour
+(the watchdog-only ablation fig31 measures against).
 """
 
 from __future__ import annotations
@@ -31,6 +39,19 @@ from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
 from repro.serving.request import DecodeRequest
+
+#: Health states a replica can report to the router, from best to worst.
+HEALTH_HEALTHY = "healthy"
+"""Fully serving at its class's steady-state iteration latency."""
+HEALTH_DEGRADED = "degraded-link"
+"""Serving, but inside a link-degradation window: iterations run
+``link_factor`` times slower than the steady-state price."""
+HEALTH_RESTARTING = "restarting"
+"""Dead, with a replacement chip already booting (warmup in flight): the
+replica will return, but cannot serve right now."""
+HEALTH_DEAD = "dead"
+"""Dead with no recovery in sight — requests queued here wait for a
+failover re-placement (or are re-routed by a health-aware router)."""
 
 
 @dataclass(frozen=True)
@@ -48,6 +69,12 @@ class ReplicaView:
     """Requests currently occupying batch slots."""
     busy: bool
     """Whether an iteration is in flight right now."""
+    health: str = HEALTH_HEALTHY
+    """One of the ``HEALTH_*`` states (single-model fleets and fault-free
+    runs always report :data:`HEALTH_HEALTHY`)."""
+    link_factor: float = 1.0
+    """Slowdown multiplier of this replica's links right now (>= 1; only
+    above 1 while :attr:`health` is :data:`HEALTH_DEGRADED`)."""
 
     @property
     def load(self) -> int:
@@ -55,11 +82,20 @@ class ReplicaView:
         return self.queued + self.resident
 
     @property
+    def alive(self) -> bool:
+        """Whether the replica can execute iterations right now (healthy or
+        degraded — dead and restarting replicas cannot serve)."""
+        return self.health in (HEALTH_HEALTHY, HEALTH_DEGRADED)
+
+    @property
     def rebindable(self) -> bool:
         """Whether the fleet may re-bind this replica to a different model:
-        only a fully idle replica (no iteration in flight, nothing queued or
-        resident) can switch models — its chips hold no KV state to lose."""
-        return not self.busy and self.queued == 0 and self.resident == 0
+        only a fully idle, *live* replica (no iteration in flight, nothing
+        queued or resident) can switch models — its chips hold no KV state
+        to lose, and dead chips cannot take a binding at all."""
+        return (
+            self.alive and not self.busy and self.queued == 0 and self.resident == 0
+        )
 
 
 @dataclass(frozen=True)
@@ -164,11 +200,21 @@ class CostAwareRouter(Router):
     wins, ties to the lowest index.  The class-specific pricing is what
     keeps latency-sensitive traffic off a slow hardware class while still
     letting best-effort overflow soak it.
+
+    With ``health_aware=True`` (the default) the router also reads the
+    view's health states: dead and restarting replicas are routed *around*
+    instead of queued on (their backlog would sit in limbo until failover),
+    and a degraded replica's projection is stretched by its ``link_factor``
+    so traffic drains toward healthy capacity without abandoning a degraded
+    replica that is still the cheapest option.  ``health_aware=False`` is
+    the watchdog-only ablation: the router prices every replica at its
+    steady-state latency and keeps routing to dying replicas, leaving all
+    recovery to failover — exactly the baseline fig31 measures against.
     """
 
-    name = "cost-aware"
-
-    def __init__(self, *, rebind_cost_iterations: float = 4.0) -> None:
+    def __init__(
+        self, *, rebind_cost_iterations: float = 4.0, health_aware: bool = True
+    ) -> None:
         """``rebind_cost_iterations`` biases against flapping: annexing an
         idle replica must beat the best bound replica by this many
         full-batch iterations of projected time."""
@@ -177,11 +223,21 @@ class CostAwareRouter(Router):
                 f"rebind_cost_iterations must be >= 0, got {rebind_cost_iterations}"
             )
         self.rebind_cost_iterations = rebind_cost_iterations
+        self.health_aware = health_aware
+
+    @property
+    def name(self) -> str:  # noqa: D102 - documented on the class
+        return "cost-aware" if self.health_aware else "cost-aware-blind"
 
     def _projection(
         self, request: DecodeRequest, view: FleetView, replica: ReplicaView
     ) -> float:
         latency = view.iteration_latency(request.model, replica.index)
+        if self.health_aware and replica.link_factor > 1.0:
+            # A degraded replica's iterations really run this much slower;
+            # pricing it in is what steers deadline traffic off the sick
+            # group while still letting it soak best-effort overflow.
+            latency *= replica.link_factor
         work = view.ideal_iterations(
             request.model, request.prompt_tokens, request.max_new_tokens
         )
@@ -193,6 +249,11 @@ class CostAwareRouter(Router):
 
     def route(self, request: DecodeRequest, view: FleetView) -> int | None:
         bound = view.compatible(request.model)
+        if self.health_aware:
+            # Route around dying capacity: a dead or restarting replica's
+            # queue sits in limbo until failover re-places it, so nothing
+            # new should land there while live candidates exist.
+            bound = [replica for replica in bound if replica.alive]
         idle = [replica for replica in view.rebindable() if replica.model != request.model]
         candidates = bound + idle
         if not candidates:

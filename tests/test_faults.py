@@ -23,6 +23,7 @@ from repro.serving import (
     PlanCache,
     Watchdog,
     chip_death,
+    group_link_degradation,
     link_degradation,
     restart,
 )
@@ -158,6 +159,45 @@ class TestFaultSchedule:
         assert schedule.link_factor(4.5) == 2.0
         assert schedule.link_factor(5.0) == 1.0  # window end exclusive
         assert schedule.first_death_time == math.inf
+
+    def test_group_death_kills_the_whole_group_at_once(self):
+        schedule = FaultSchedule.group_death([2, 0, 2], at=1.0, downtime=3.0)
+        assert [(ev.time, ev.kind, ev.chip) for ev in schedule] == [
+            (1.0, FAULT_CHIP_DEATH, 0),
+            (1.0, FAULT_CHIP_DEATH, 2),
+            (4.0, "restart", 0),
+            (4.0, "restart", 2),
+        ]
+        # Without a downtime the group stays dead: no restarts scheduled.
+        assert len(FaultSchedule.group_death([0, 1], at=1.0)) == 2
+        with pytest.raises(ValueError, match="non-empty"):
+            FaultSchedule.group_death([], at=1.0)
+        with pytest.raises(ValueError, match="downtime"):
+            FaultSchedule.group_death([0], at=1.0, downtime=0.0)
+
+    def test_class_outage_is_group_death_over_the_class(self):
+        outage = FaultSchedule.class_outage([2, 3], at=5.0, downtime=2.0)
+        group = FaultSchedule.group_death([2, 3], at=5.0, downtime=2.0)
+        assert outage == group
+
+    def test_group_link_degradation_scopes_by_chip_set(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            group_link_degradation(0.0, 1.0, 2.0, [])
+        schedule = FaultSchedule.of(
+            [
+                group_link_degradation(1.0, 5.0, 4.0, [0, 1]),
+                link_degradation(2.0, 3.0, 2.0),
+            ]
+        )
+        # Inside the scoped window: only the named chips pay the 4x factor.
+        assert schedule.link_factor(1.5, chips=[0]) == 4.0
+        assert schedule.link_factor(1.5, chips=[2]) == 1.0
+        # A fleet-wide window applies to every chip set; the worst
+        # applicable window wins, no stacking.
+        assert schedule.link_factor(2.5, chips=[2]) == 2.0
+        assert schedule.link_factor(2.5, chips=[1]) == 4.0
+        # The chip-blind query (pre-fleet behaviour) sees every window.
+        assert schedule.link_factor(1.5) == 4.0
 
     def test_watchdog_validation(self):
         with pytest.raises(ValueError, match="detection_delay"):

@@ -49,6 +49,7 @@ from repro.experiments import (
     fig27_continuous,
     fig29_chaos,
     fig30_multitenant,
+    fig31_fleet_chaos,
     tab02_models,
     tab03_hardware,
 )
@@ -202,6 +203,49 @@ def invariant_fig30(rows: list[dict]) -> None:
     assert fleet["rebinds"] > 0
     assert fleet["jobs2_identical"] is True
     assert partition["jobs2_identical"] is None
+
+
+def invariant_fig31(rows: list[dict]) -> None:
+    # The books always balance, chaos or not.
+    for row in rows:
+        assert row["completed"] + row["shed"] == row["requests"]
+    by_key = {(row["scheme"], row["tenant"]): row for row in rows}
+    baseline = by_key[("baseline", "all")]
+    watchdog = by_key[("watchdog", "all")]
+    health = by_key[("health-aware", "all")]
+    # The healthy reference saw no chaos and holds every floor.
+    assert baseline["chip_deaths"] == baseline["requeued"] == 0
+    assert baseline["floor_violations"] == 0
+    # The shared schedule fired identically under both chaos schemes: the
+    # two-chip GPU class died, the fleet failed over, brownout admission
+    # engaged while surviving capacity sat below the watermark, and goodput
+    # climbed back in finite virtual time.
+    for row in (watchdog, health):
+        assert row["chip_deaths"] == 2
+        assert row["failovers"] >= 1
+        assert row["brownout_sheds"] > 0
+        assert 0.0 <= row["dip_depth"] <= 1.0
+        assert row["recovery_ms"] != float("inf")
+    # The headline claim: reading per-replica health strictly beats
+    # watchdog-only failover on dip depth AND recovery time...
+    assert health["dip_depth"] < watchdog["dip_depth"]
+    assert health["recovery_ms"] < watchdog["recovery_ms"]
+    assert health["slo_met"] > watchdog["slo_met"]
+    # ...while holding every tenant's fairness floor — which the blind
+    # router does not: it starves a single-pass tenant below its floor.
+    assert health["floor_violations"] == 0
+    assert watchdog["floor_violations"] >= 1
+    for (scheme, tenant), row in by_key.items():
+        if scheme == "health-aware" and tenant != "all":
+            assert row["slo_attainment"] >= row["fairness_floor"], (
+                f"tenant {tenant} collapsed below its fairness floor"
+            )
+    # Cross-model failover engaged: a requeued request was re-admitted on a
+    # different replica than the one that died with it.
+    assert health["migrations"] > 0
+    # Chaos replays are bit-identical across compile parallelism.
+    assert health["jobs2_identical"] is True
+    assert watchdog["jobs2_identical"] is None
 
 
 def invariant_ablation(rows: list[dict]) -> None:
@@ -373,6 +417,34 @@ SPECS: dict[str, GoldenSpec] = {
             "jobs2_identical",
         ),
         invariant_fig30,
+    ),
+    "fig31": GoldenSpec(
+        lambda: fig31_fleet_chaos.run(quick=True),
+        (
+            "scheme",
+            "tenant",
+            "model",
+            "chips",
+            "requests",
+            "completed",
+            "shed",
+            "slo_met",
+            "tokens",
+            "requeued",
+            "migrations",
+            "lost_tokens",
+            "chip_deaths",
+            "failovers",
+            "retry_drops",
+            "brownout_sheds",
+            "degraded_sheds",
+            "floor_violations",
+            "warm_compiles",
+            "recompiles",
+            "placements",
+            "jobs2_identical",
+        ),
+        invariant_fig31,
     ),
     "tab02": GoldenSpec(
         lambda: tab02_models.run(quick=True),

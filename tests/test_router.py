@@ -9,6 +9,10 @@ from __future__ import annotations
 import pytest
 
 from repro.serving import (
+    HEALTH_DEAD,
+    HEALTH_DEGRADED,
+    HEALTH_HEALTHY,
+    HEALTH_RESTARTING,
     SLO_BEST_EFFORT,
     CostAwareRouter,
     DecodeRequest,
@@ -28,6 +32,8 @@ def replica(
     queued: int = 0,
     resident: int = 0,
     busy: bool = False,
+    health: str = HEALTH_HEALTHY,
+    link_factor: float = 1.0,
 ) -> ReplicaView:
     return ReplicaView(
         index=index,
@@ -36,6 +42,8 @@ def replica(
         queued=queued,
         resident=resident,
         busy=busy,
+        health=health,
+        link_factor=link_factor,
     )
 
 
@@ -171,6 +179,64 @@ class TestCostAwareRouter:
     def test_rebind_cost_validation(self):
         with pytest.raises(ValueError):
             CostAwareRouter(rebind_cost_iterations=-1.0)
+
+
+class TestRouterHealth:
+    def test_alive_and_rebindable_by_health_state(self):
+        assert replica(0, health=HEALTH_HEALTHY).alive
+        assert replica(0, health=HEALTH_DEGRADED).alive
+        assert not replica(0, health=HEALTH_RESTARTING).alive
+        assert not replica(0, health=HEALTH_DEAD).alive
+        # A dead chip cannot take a binding, however idle it looks.
+        assert not replica(0, health=HEALTH_DEAD).rebindable
+        assert not replica(0, health=HEALTH_RESTARTING).rebindable
+        assert replica(0, health=HEALTH_DEGRADED).rebindable
+
+    def test_routes_around_dead_bound_replica(self):
+        # The dead replica is empty (cheapest projection on paper); the live
+        # one carries backlog — health-aware routing still avoids the corpse.
+        dead = replica(0, "m", health=HEALTH_DEAD)
+        live = replica(1, "m", queued=8)
+        assert CostAwareRouter().route(request(), view(dead, live)) == 1
+
+    def test_restarting_replica_is_also_avoided(self):
+        warming = replica(0, "m", health=HEALTH_RESTARTING)
+        live = replica(1, "m", queued=8)
+        assert CostAwareRouter().route(request(), view(warming, live)) == 1
+
+    def test_parks_when_every_bound_replica_is_dead(self):
+        snapshot = view(
+            replica(0, "m", health=HEALTH_DEAD),
+            replica(1, "other", busy=True),
+        )
+        assert CostAwareRouter().route(request(), snapshot) is None
+
+    def test_link_factor_priced_into_projection(self):
+        # Equal load: the degraded replica's iterations cost 8x, so the
+        # healthy one wins despite the tie everywhere else.
+        sick = replica(0, "m", health=HEALTH_DEGRADED, link_factor=8.0)
+        healthy = replica(1, "m")
+        assert CostAwareRouter().route(request(), view(sick, healthy)) == 1
+        # A mildly degraded replica can still be the cheapest option: 1.2x
+        # slower beats a healthy replica buried under six rounds of backlog.
+        mild = replica(0, "m", health=HEALTH_DEGRADED, link_factor=1.2)
+        buried = replica(1, "m", queued=24)
+        assert CostAwareRouter().route(request(), view(mild, buried)) == 0
+
+    def test_blind_router_ignores_health(self):
+        # health_aware=False is the watchdog-only ablation: it keeps pricing
+        # the dead replica at steady state and routes straight into it.
+        dead = replica(0, "m", health=HEALTH_DEAD)
+        live = replica(1, "m", queued=8)
+        blind = CostAwareRouter(health_aware=False)
+        assert blind.route(request(), view(dead, live)) == 0
+        sick = replica(0, "m", health=HEALTH_DEGRADED, link_factor=8.0)
+        healthy = replica(1, "m", queued=1)
+        assert blind.route(request(), view(sick, healthy)) == 0
+
+    def test_names_distinguish_the_ablation(self):
+        assert CostAwareRouter().name == "cost-aware"
+        assert CostAwareRouter(health_aware=False).name == "cost-aware-blind"
 
 
 class TestStaticPartitionRouter:
