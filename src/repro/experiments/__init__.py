@@ -1,8 +1,8 @@
 """Experiment harness: one module per table/figure of the paper's evaluation.
 
 Every module exposes ``run(...) -> list[dict]`` (the rows/series the paper
-reports) and a ``main()`` that prints them; see DESIGN.md for the experiment
-index and EXPERIMENTS.md for paper-vs-measured results.
+reports) and a ``main()`` that prints them; see ``docs/architecture.md`` for
+the experiment/figure index (module, golden snapshot, benchmark per figure).
 """
 
 from repro.experiments import (
@@ -29,6 +29,7 @@ from repro.experiments import (
     fig29_chaos,
     fig30_multitenant,
     fig31_fleet_chaos,
+    fig32_forecast,
     tab02_models,
     tab03_hardware,
 )
@@ -65,6 +66,7 @@ ALL_EXPERIMENTS = {
     "fig29": fig29_chaos,
     "fig30": fig30_multitenant,
     "fig31": fig31_fleet_chaos,
+    "fig32": fig32_forecast,
     "tab02": tab02_models,
     "tab03": tab03_hardware,
     "ablation": ablation,

@@ -6,6 +6,7 @@ Subcommands::
     python -m repro.obs fig29 --quick --out trace.json     # traced chaos replay
     python -m repro.obs fig30 --quick --out trace.json     # traced multi-tenant fleet
     python -m repro.obs fig31 --quick --out trace.json     # traced fleet-chaos replay
+    python -m repro.obs fig32 --quick --out trace.json     # traced forecast provisioning
     python -m repro.obs bench --quick --out trace.json     # traced quick bench
     python -m repro.obs summary trace.jsonl                # digest a JSONL log
     python -m repro.obs overhead                           # disabled-tracer cost
@@ -101,6 +102,21 @@ def _cmd_fig31(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fig32(args: argparse.Namespace) -> int:
+    from repro.experiments import fig32_forecast
+    from repro.experiments.common import print_table
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        rows = fig32_forecast.run(quick=args.quick, jobs=args.jobs)
+    if not args.summary:
+        print_table(
+            rows, title="Figure 32: forecast-ahead provisioning vs reactive autoscaling"
+        )
+    _export(tracer, args)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.runner import BenchConfig, run_bench
 
@@ -177,6 +193,14 @@ def main(argv: list[str] | None = None) -> int:
     fig31.add_argument("--jobs", type=int, default=1, help="compilation parallelism")
     _add_export_flags(fig31)
     fig31.set_defaults(fn=_cmd_fig31)
+
+    fig32 = sub.add_parser(
+        "fig32", help="run a traced fig32 forecast-provisioning comparison"
+    )
+    fig32.add_argument("--quick", action="store_true", help="small model / short workload")
+    fig32.add_argument("--jobs", type=int, default=1, help="compilation parallelism")
+    _add_export_flags(fig32)
+    fig32.set_defaults(fn=_cmd_fig32)
 
     bench = sub.add_parser("bench", help="run a traced compile benchmark")
     bench.add_argument("--quick", action="store_true", help="truncated models, fast search")

@@ -73,6 +73,12 @@ from repro.serving.faults import (
     restart,
 )
 from repro.serving.fleet import POLICY_FLEET, FleetEngine
+from repro.serving.forecast import (
+    Forecaster,
+    LinearTrendForecaster,
+    MovingAverageForecaster,
+    RateTracker,
+)
 from repro.serving.metrics import (
     ContinuousReport,
     FaultStats,
@@ -91,6 +97,15 @@ from repro.serving.plan_cache import (
     CacheStats,
     PlanCache,
     plan_key,
+)
+from repro.serving.planner import (
+    Blueprint,
+    BlueprintPlanner,
+    FleetScaler,
+    ForecastScaler,
+    ReactiveScaler,
+    ScalerObservation,
+    TrafficShape,
 )
 from repro.serving.request import (
     DECODE_OK,
@@ -121,12 +136,27 @@ from repro.serving.router import (
     StaticPartitionRouter,
 )
 from repro.serving.scheduler import ServedModel, ServingScheduler
+from repro.serving.traffic import (
+    DiurnalPattern,
+    FlashCrowdPattern,
+    burstiness,
+    bursty_workload,
+    diurnal_workload,
+    expected_arrivals,
+    flash_crowd_workload,
+    mmpp_arrivals,
+    poisson_arrivals,
+    trace_workload,
+    windowed_rates,
+)
 from repro.serving.worker import BatchExecution, IterationCost, WorkerPool
 
 __all__ = [
     "Batch",
     "BatchExecution",
     "BatchReplay",
+    "Blueprint",
+    "BlueprintPlanner",
     "COMPILE",
     "CacheLookup",
     "CacheStats",
@@ -139,6 +169,7 @@ __all__ = [
     "DECODE_SHED",
     "DecodeModel",
     "DecodeRequest",
+    "DiurnalPattern",
     "DynamicBatcher",
     "FAULT_CHIP_DEATH",
     "FAULT_LINK_DEGRADATION",
@@ -146,8 +177,12 @@ __all__ = [
     "FaultEvent",
     "FaultSchedule",
     "FaultStats",
+    "FlashCrowdPattern",
     "FleetEngine",
+    "FleetScaler",
     "FleetView",
+    "ForecastScaler",
+    "Forecaster",
     "HEALTH_DEAD",
     "HEALTH_DEGRADED",
     "HEALTH_HEALTHY",
@@ -157,38 +192,53 @@ __all__ = [
     "InferenceRequest",
     "IterationCost",
     "LeastLoadedRouter",
+    "LinearTrendForecaster",
     "ModelStats",
+    "MovingAverageForecaster",
     "POLICY_CONTINUOUS",
     "POLICY_FLEET",
     "POLICY_STATIC",
     "PlanCache",
+    "RateTracker",
+    "ReactiveScaler",
     "ReplayStats",
     "ReplicaView",
     "Router",
     "SLO_BEST_EFFORT",
     "SLO_INTERACTIVE",
+    "ScalerObservation",
     "ServedModel",
     "ServingReport",
     "ServingScheduler",
     "StaticEngine",
     "StaticPartitionRouter",
     "TenantSpec",
+    "TrafficShape",
     "Watchdog",
     "WorkerPool",
     "batch_buckets",
     "bucket_for",
     "build_model_stats",
+    "burstiness",
+    "bursty_workload",
     "chip_death",
     "decode_workload",
     "dip_and_recovery",
+    "diurnal_workload",
+    "expected_arrivals",
+    "flash_crowd_workload",
     "goodput_timeline",
     "group_link_degradation",
     "jain_fairness",
     "link_degradation",
     "merge_decode_workloads",
     "merge_workloads",
+    "mmpp_arrivals",
     "plan_key",
+    "poisson_arrivals",
     "poisson_workload",
     "restart",
+    "trace_workload",
     "uniform_workload",
+    "windowed_rates",
 ]

@@ -196,10 +196,12 @@ class _Replica:
 #: Event kinds, ordered so same-timestamp faults strike before arrivals and
 #: arrivals precede iteration ends — a chip death at an iteration boundary
 #: kills the in-flight iteration, and a request arriving exactly at a
-#: boundary is admissible there.
+#: boundary is admissible there.  Scaler ticks come last: a capacity
+#: decision taken at time t observes everything that happened at t.
 _EV_FAULT = 0
 _EV_ARRIVAL = 1
 _EV_ITER_END = 2
+_EV_SCALE = 3
 
 
 class _DecodeEngineBase:

@@ -82,6 +82,7 @@ from repro.serving.continuous import (
     _EV_ARRIVAL,
     _EV_FAULT,
     _EV_ITER_END,
+    _EV_SCALE,
     DecodeModel,
     _Replica,
     _Running,
@@ -99,6 +100,7 @@ from repro.serving.faults import (
 )
 from repro.serving.metrics import ContinuousReport, FaultStats
 from repro.serving.plan_cache import PlanCache
+from repro.serving.planner import FleetScaler, ScalerObservation
 from repro.serving.request import (
     DECODE_OK,
     DECODE_SHED,
@@ -120,6 +122,19 @@ from repro.serving.worker import IterationCost, WorkerPool
 
 #: Policy prefix of fleet reports; the router name is appended.
 POLICY_FLEET = "fleet"
+
+#: Payload of a periodic scaler tick (_EV_SCALE).
+_SCALE_TICK = object()
+
+
+@dataclass(frozen=True)
+class _ProvisionReady:
+    """_EV_SCALE payload: a booting replica finishes provisioning.  The
+    ``ready`` stamp must still match the booting table — a cancelled or
+    re-issued boot leaves a stale event behind, which is simply dropped."""
+
+    index: int
+    ready: float
 
 
 @dataclass
@@ -539,6 +554,7 @@ class FleetEngine:
         *,
         faults: FaultSchedule | None = None,
         watchdog: Watchdog | None = None,
+        scaler: FleetScaler | None = None,
     ) -> ContinuousReport:
         """Replay one multi-tenant decode workload and return the report.
 
@@ -549,6 +565,16 @@ class FleetEngine:
         retry budgets with deadline-aware honest drops, and brownout
         admission control (see :class:`~repro.serving.faults.Watchdog`).
         Both default to a fault-free run, which behaves exactly as before.
+
+        ``scaler`` turns provisioning into an explicit, paid-for decision
+        (:class:`~repro.serving.planner.FleetScaler`): only provisioned
+        replicas are routable, new ones become routable
+        ``scaler.provision_delay`` virtual seconds after the scaler asks,
+        and the report charges ``provisioned_chip_seconds`` for every
+        chip-second held — booting included.  Requires a health-aware
+        router (unprovisioned replicas are hidden from routing as
+        ``restarting``).  Without a scaler every replica is routable from
+        the start and provisioning is free, exactly as before.
 
         Pure virtual time, single-threaded event loop: identical inputs give
         bit-identical reports at any plan-cache ``jobs`` width, and
@@ -564,6 +590,18 @@ class FleetEngine:
         )
         wd = watchdog if watchdog is not None else Watchdog()
         chaos = bool(schedule.events)
+        scaling = scaler is not None
+        if scaling and chaos:
+            raise ValueError(
+                "scaler and faults are not yet composable: provisioning and "
+                "failover both re-assign replicas; run them separately"
+            )
+        if scaling and not getattr(self.router, "health_aware", False):
+            raise ValueError(
+                "a scaler needs a health-aware router (unprovisioned replicas "
+                "are hidden from routing as 'restarting'); use e.g. "
+                "CostAwareRouter(health_aware=True)"
+            )
         tracer = get_tracer()
         traced = tracer.enabled
         fleet_track = f"{self.trace_group}/fleet"
@@ -612,6 +650,18 @@ class FleetEngine:
                     events,
                     (fault.until, _EV_FAULT, next(seq), _LinkRestored(fault.factor)),
                 )
+        if scaling and ordered:
+            # First capacity decision one interval after traffic starts (the
+            # first window of arrivals is its observation).
+            heapq.heappush(
+                events,
+                (
+                    ordered[0].arrival_time + scaler.interval,
+                    _EV_SCALE,
+                    next(seq),
+                    _SCALE_TICK,
+                ),
+            )
 
         stats_before = self.plan_cache.stats.snapshot()
         counters = {
@@ -622,6 +672,8 @@ class FleetEngine:
             "scale_downs": 0,
             "rebinds": 0,
             "migrations": 0,
+            "provision_ups": 0,
+            "provision_downs": 0,
         }
         served_by_tenant: dict[str, int] = {}
         #: Requests the router had no candidate for (every replica busy on
@@ -631,13 +683,31 @@ class FleetEngine:
         active_chip_seconds = 0.0
         peak_active = 0
         last_time = ordered[0].arrival_time if ordered else 0.0
+        # Scaler state: routable replicas, boots in flight (index -> ready
+        # time), per-model arrivals since the last tick, arrivals still in
+        # the event heap (the tick-rescheduling fuel gauge), and the
+        # provisioned-capacity integral the report charges.
+        provisioned: set[int] = set(range(len(replicas)))
+        booting: dict[int, float] = {}
+        window_counts: dict[str, int] = {}
+        arrivals_remaining = len(ordered)
+        provisioned_chip_seconds = 0.0
+        peak_provisioned = len(replicas)
+        if scaling:
+            provisioned = set(range(min(max(1, scaler.min_replicas), len(replicas))))
+            peak_provisioned = len(provisioned)
 
         def active_count() -> int:
             return sum(1 for replica in replicas if replica.active)
 
         def integrate(now: float) -> None:
-            nonlocal active_chip_seconds, last_time
-            active_chip_seconds += (now - last_time) * active_count() * stages
+            nonlocal active_chip_seconds, provisioned_chip_seconds, last_time
+            span = now - last_time
+            active_chip_seconds += span * active_count() * stages
+            if scaling:
+                provisioned_chip_seconds += (
+                    span * (len(provisioned) + len(booting)) * stages
+                )
             last_time = now
 
         def tenant_sample(tenant: str, now: float) -> None:
@@ -696,6 +766,17 @@ class FleetEngine:
             if factor > 1.0:
                 return HEALTH_DEGRADED, factor
             return HEALTH_HEALTHY, 1.0
+
+        def provision_describe(
+            replica: _FleetReplica, now: float
+        ) -> tuple[str, float]:
+            """Routing view under a scaler: unprovisioned replicas read as
+            restarting — not routable, not rebindable — until provisioned."""
+            if replica.index not in provisioned:
+                return HEALTH_RESTARTING, 1.0
+            return HEALTH_HEALTHY, 1.0
+
+        health_cb = describe if chaos else (provision_describe if scaling else None)
 
         def brownout() -> bool:
             """Whether surviving capacity is below the brownout watermark."""
@@ -908,6 +989,8 @@ class FleetEngine:
             nonlocal busy_chip_seconds, peak_active
             if replica.busy or not replica.active or replica.dead:
                 return
+            if scaling and replica.index not in provisioned:
+                return  # deprovisioned mid-flight; routing never re-feeds it
             admit(replica, now)
             if not replica.running:
                 # Drained: release the chips (demand-driven autoscaling).
@@ -1002,9 +1085,7 @@ class FleetEngine:
             caller parks the request until capacity frees).  A health-blind
             router may queue onto a dead replica — the request then waits
             for failover, exactly the limbo health-aware routing avoids."""
-            view = self._view(
-                now, replicas, request.tenant, health=describe if chaos else None
-            )
+            view = self._view(now, replicas, request.tenant, health=health_cb)
             index = self.router.route(request, view)
             if index is None:
                 return False
@@ -1441,12 +1522,158 @@ class FleetEngine:
                 tenant_sample(request.tenant, now)
                 fleet_sample(now)
 
+        def provision_sample(now: float) -> None:
+            tracer.counter(
+                "provisioning",
+                ts=now,
+                track=fleet_track,
+                values={"provisioned": len(provisioned), "booting": len(booting)},
+            )
+
+        def apply_target(target: int, now: float) -> None:
+            """Move provisioned+booting toward ``target`` replicas.  Up:
+            lowest-index spares start booting (routable after the delay).
+            Down: cancel the newest boots first (most lead time wasted
+            otherwise), then release idle provisioned replicas highest
+            index first; replicas holding work are never released."""
+            nonlocal peak_provisioned
+            current = len(provisioned) + len(booting)
+            for replica in replicas:
+                if current >= target:
+                    break
+                index = replica.index
+                if index in provisioned or index in booting or replica.dead:
+                    continue
+                counters["provision_ups"] += 1
+                ready = now + scaler.provision_delay
+                if scaler.provision_delay <= 0:
+                    provisioned.add(index)
+                else:
+                    booting[index] = ready
+                    heapq.heappush(
+                        events,
+                        (ready, _EV_SCALE, next(seq), _ProvisionReady(index, ready)),
+                    )
+                current += 1
+                if traced:
+                    tracer.instant(
+                        "provision",
+                        ts=now,
+                        track=fleet_track,
+                        cat="provisioning",
+                        args={"replica": index, "ready": ready},
+                    )
+            while booting and current > target:
+                index = max(booting, key=lambda idx: (booting[idx], idx))
+                del booting[index]
+                counters["provision_downs"] += 1
+                current -= 1
+                if traced:
+                    tracer.instant(
+                        "boot-cancelled",
+                        ts=now,
+                        track=fleet_track,
+                        cat="provisioning",
+                        args={"replica": index},
+                    )
+            if current > target:
+                for replica in sorted(replicas, key=lambda r: r.index, reverse=True):
+                    if current <= target or len(provisioned) <= 1:
+                        break
+                    index = replica.index
+                    if index not in provisioned:
+                        continue
+                    if (
+                        replica.busy
+                        or replica.running
+                        or replica.queued
+                        or replica.active
+                        or replica.dead
+                    ):
+                        continue
+                    provisioned.discard(index)
+                    counters["provision_downs"] += 1
+                    current -= 1
+                    if traced:
+                        tracer.instant(
+                            "deprovision",
+                            ts=now,
+                            track=fleet_track,
+                            cat="provisioning",
+                            args={"replica": index},
+                        )
+            peak_provisioned = max(peak_provisioned, len(provisioned) + len(booting))
+
+        def on_scale_tick(now: float) -> None:
+            queued_total = sum(replica.queued for replica in replicas) + len(unrouted)
+            resident_total = sum(len(replica.running) for replica in replicas)
+            busy_replicas = sum(
+                1
+                for replica in replicas
+                if replica.index in provisioned
+                and (replica.busy or replica.running or replica.queued)
+            )
+            observation = ScalerObservation(
+                now=now,
+                provisioned=len(provisioned),
+                booting=len(booting),
+                num_replicas=len(replicas),
+                queued=queued_total,
+                resident=resident_total,
+                busy=busy_replicas,
+                arrivals=dict(window_counts),
+                interval=scaler.interval,
+            )
+            window_counts.clear()
+            target = max(1, min(scaler.plan(observation), len(replicas)))
+            apply_target(target, now)
+            if traced:
+                provision_sample(now)
+            if unrouted:
+                drain_unrouted(now)
+            # Keep ticking while anything can still need a decision; once
+            # arrivals, queues, residents and boots are all drained the
+            # clock stops advancing and the run can end.
+            if arrivals_remaining or queued_total or resident_total or booting:
+                heapq.heappush(
+                    events,
+                    (now + scaler.interval, _EV_SCALE, next(seq), _SCALE_TICK),
+                )
+
+        def on_provision_ready(payload: _ProvisionReady, now: float) -> None:
+            if booting.get(payload.index) != payload.ready:
+                return  # the boot was cancelled after this event was queued
+            del booting[payload.index]
+            if replicas[payload.index].dead:
+                return
+            provisioned.add(payload.index)
+            if traced:
+                tracer.instant(
+                    "provision-ready",
+                    ts=now,
+                    track=fleet_track,
+                    cat="provisioning",
+                    args={"replica": payload.index},
+                )
+                provision_sample(now)
+            if unrouted:
+                drain_unrouted(now)
+
         while events:
             now, kind, _, payload = heapq.heappop(events)
             integrate(now)
             if kind == _EV_FAULT:
                 handle_fault(payload, now)
+            elif kind == _EV_SCALE:
+                if isinstance(payload, _ProvisionReady):
+                    on_provision_ready(payload, now)
+                else:
+                    on_scale_tick(now)
             elif kind == _EV_ARRIVAL:
+                arrivals_remaining -= 1
+                if scaling:
+                    model = payload.model
+                    window_counts[model] = window_counts.get(model, 0) + 1
                 on_arrival(payload, now)
             else:
                 index, epoch = payload
@@ -1490,6 +1717,16 @@ class FleetEngine:
             peak_active=peak_active,
             stats_before=stats_before,
             faults=fault_stats,
+            # Without a scaler provisioning is on demand and free: what was
+            # active is exactly what was provisioned.
+            provisioned_chip_seconds=provisioned_chip_seconds
+            if scaling
+            else active_chip_seconds,
+            peak_provisioned_chips=(
+                peak_provisioned * self.num_stages
+                if scaling
+                else peak_active * self.num_stages
+            ),
         )
         if traced:
             self._publish_run_metrics(tracer, report, counters)
@@ -1507,6 +1744,8 @@ class FleetEngine:
         peak_active: int,
         stats_before,
         faults: FaultStats | None = None,
+        provisioned_chip_seconds: float = 0.0,
+        peak_provisioned_chips: int = 0,
     ) -> ContinuousReport:
         served = [record for record in records if record.ok]
         makespan = 0.0
@@ -1538,6 +1777,10 @@ class FleetEngine:
             rebinds=counters["rebinds"],
             migrations=counters.get("migrations", 0),
             faults=faults if faults is not None else FaultStats(),
+            provisioned_chip_seconds=provisioned_chip_seconds,
+            peak_provisioned_chips=peak_provisioned_chips,
+            provision_ups=counters.get("provision_ups", 0),
+            provision_downs=counters.get("provision_downs", 0),
         )
 
     def _publish_run_metrics(

@@ -1,0 +1,162 @@
+"""Sliding-window arrival-rate forecasters for forecast-ahead provisioning.
+
+A reactive autoscaler watches *queue depth* — a trailing indicator: by the
+time the queue is deep enough to trigger scale-up, the provisioning delay
+has already been lost and the SLO with it.  These forecasters instead watch
+the *arrival rate* (a leading indicator, via
+:func:`repro.serving.traffic.windowed_rates` or a live
+:class:`RateTracker`) and extrapolate it ``provision_delay`` ahead, so new
+replicas come online *when the load arrives* rather than after.
+
+Two estimators in the BRAD style, both O(window) state and fully
+deterministic:
+
+* :class:`MovingAverageForecaster` — the mean of the last ``window``
+  observations, predicted flat.  Robust to noise, blind to trends.
+* :class:`LinearTrendForecaster` — ordinary least squares over the last
+  ``window`` observations, extrapolated ``steps_ahead`` and clamped at
+  zero.  Sees a flash-crowd ramp while it is still ramping.
+
+:class:`RateTracker` converts a live stream of arrival timestamps into the
+fixed-window rate series the forecasters consume.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+
+
+class Forecaster(ABC):
+    """Sliding-window estimator of a rate series (observations/second).
+
+    Feed one rate per fixed window with :meth:`observe`; :meth:`predict`
+    returns the estimated rate ``steps_ahead`` windows in the future.
+    Implementations keep O(window) state and are deterministic — equal
+    observation sequences give bit-equal predictions.
+    """
+
+    def __init__(self, window: int = 8) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._history: deque[float] = deque(maxlen=window)
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @property
+    def history(self) -> tuple[float, ...]:
+        """The retained observation window, oldest first."""
+        return tuple(self._history)
+
+    def observe(self, rate: float) -> None:
+        """Record one observed rate (must be >= 0)."""
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        self._history.append(float(rate))
+
+    def reset(self) -> None:
+        """Drop all retained observations."""
+        self._history.clear()
+
+    @abstractmethod
+    def predict(self, steps_ahead: int = 1) -> float:
+        """Estimated rate ``steps_ahead`` windows ahead (>= 0).  With no
+        observations yet, returns 0.0 (provision nothing for unseen load)."""
+
+
+class MovingAverageForecaster(Forecaster):
+    """Predicts the mean of the retained window, flat at any horizon."""
+
+    def predict(self, steps_ahead: int = 1) -> float:
+        if steps_ahead < 0:
+            raise ValueError(f"steps_ahead must be >= 0, got {steps_ahead}")
+        if not self._history:
+            return 0.0
+        return sum(self._history) / len(self._history)
+
+
+class LinearTrendForecaster(Forecaster):
+    """Least-squares line over the retained window, extrapolated ahead.
+
+    With fewer than two observations (or a degenerate fit) it falls back to
+    the window mean; predictions are clamped at zero — a decaying trend
+    never asks for negative capacity.
+    """
+
+    def predict(self, steps_ahead: int = 1) -> float:
+        if steps_ahead < 0:
+            raise ValueError(f"steps_ahead must be >= 0, got {steps_ahead}")
+        n = len(self._history)
+        if n == 0:
+            return 0.0
+        mean_rate = sum(self._history) / n
+        if n < 2:
+            return mean_rate
+        # OLS with x = 0..n-1; the forecast point is x = n - 1 + steps_ahead.
+        mean_x = (n - 1) / 2.0
+        sxx = sum((i - mean_x) ** 2 for i in range(n))
+        sxy = sum(
+            (i - mean_x) * (rate - mean_rate)
+            for i, rate in enumerate(self._history)
+        )
+        slope = sxy / sxx if sxx > 0 else 0.0
+        intercept = mean_rate - slope * mean_x
+        return max(0.0, intercept + slope * (n - 1 + steps_ahead))
+
+
+class RateTracker:
+    """Buckets a live stream of arrival timestamps into fixed windows and
+    feeds each completed window's rate to a :class:`Forecaster`.
+
+    Timestamps must be non-decreasing (virtual time).  A window is
+    *completed* — and its rate observed — only once a later timestamp or an
+    explicit :meth:`advance` moves the clock past its end, so the forecaster
+    never sees a partially-filled window.  Empty windows between arrivals
+    observe rate 0.
+    """
+
+    def __init__(self, forecaster: Forecaster, *, window: float) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        self.forecaster = forecaster
+        self.window = window
+        self._window_index = 0
+        self._count = 0
+        self._last_time = 0.0
+
+    @property
+    def pending_count(self) -> int:
+        """Arrivals recorded in the not-yet-completed current window."""
+        return self._count
+
+    def _flush_until(self, window_index: int) -> None:
+        while self._window_index < window_index:
+            self.forecaster.observe(self._count / self.window)
+            self._count = 0
+            self._window_index += 1
+
+    def record(self, timestamp: float) -> None:
+        """Record one arrival at ``timestamp`` (non-decreasing)."""
+        if timestamp < self._last_time:
+            raise ValueError(
+                f"timestamps must be non-decreasing: {timestamp} < {self._last_time}"
+            )
+        self._last_time = timestamp
+        self._flush_until(int(timestamp // self.window))
+        self._count += 1
+
+    def advance(self, now: float) -> None:
+        """Complete every window ending at or before ``now`` (no arrival)."""
+        if now < self._last_time:
+            raise ValueError(
+                f"timestamps must be non-decreasing: {now} < {self._last_time}"
+            )
+        self._last_time = now
+        self._flush_until(int(now // self.window))
+
+    def predict(self, steps_ahead: int = 1) -> float:
+        """Forecast the rate ``steps_ahead`` windows past the current one."""
+        return self.forecaster.predict(steps_ahead)

@@ -324,6 +324,17 @@ class ContinuousReport:
     """Idle replicas re-bound to a different model by the fleet router
     (always 0 for the single-model engines)."""
     faults: FaultStats = field(default_factory=FaultStats)
+    provisioned_chip_seconds: float = 0.0
+    """Chip-seconds the scaler held provisioned (booting included — lead
+    time is paid for).  Runs without a :class:`~repro.serving.planner.
+    FleetScaler` provision on demand, so this equals
+    ``active_chip_seconds`` there."""
+    peak_provisioned_chips: int = 0
+    """High-water mark of provisioned chips (booting included)."""
+    provision_ups: int = 0
+    """Replica provisioning decisions taken by the scaler."""
+    provision_downs: int = 0
+    """Replica releases (including cancelled boots) taken by the scaler."""
 
     # ------------------------------------------------------------------ #
     @property
@@ -428,6 +439,23 @@ class ContinuousReport:
         if self.active_span <= 0:
             return 0.0
         return self.active_chip_seconds / self.active_span
+
+    @property
+    def mean_provisioned_chips(self) -> float:
+        """Average chips held provisioned over the event window."""
+        if self.active_span <= 0:
+            return 0.0
+        return self.provisioned_chip_seconds / self.active_span
+
+    @property
+    def goodput_per_chip_second(self) -> float:
+        """SLO-met completions per provisioned chip-second — the capacity
+        planner's figure of merit: how much good work each chip-second the
+        fleet *paid for* actually produced.  ``nan`` when nothing was
+        provisioned (empty run)."""
+        if self.provisioned_chip_seconds <= 0:
+            return float("nan")
+        return self.slo_met / self.provisioned_chip_seconds
 
     # ------------------------------------------------------------------ #
     # Per-tenant slices (multi-tenant fleet runs)

@@ -1,0 +1,364 @@
+"""Blueprint planner and fleet scalers: capacity decisions ahead of load.
+
+The fleet's existing autoscaling is *demand-driven*: a replica activates
+when a request is routed to it and deactivates when it drains.  That is
+free capacity — in reality replicas take ``provision_delay`` to come up
+(boot a host, load weights, warm caches), and capacity decisions must be
+made *before* the load that needs them.  This module closes that loop in
+the BRAD style:
+
+* :class:`BlueprintPlanner` enumerates candidate fleet *blueprints* —
+  (replicas × num_stages × batch bucket) — prices each against the
+  engine's :class:`~repro.serving.worker.IterationCost` model (the paper's
+  fitted cost model, by way of the plan cache), discards candidates whose
+  request latency misses the SLO or whose sustained capacity misses the
+  predicted rate, and returns the cheapest survivor (fewest chips, ties to
+  lowest latency).
+* :class:`ReactiveScaler` is the baseline: target-tracking on *queue
+  depth* — a trailing indicator, so on bursty traffic every scale-up
+  decision is already ``provision_delay`` too late.
+* :class:`ForecastScaler` feeds per-model observed arrival rates to a
+  :class:`~repro.serving.forecast.Forecaster`, predicts the rate
+  ``provision_delay`` ahead, and provisions the planner's blueprint for
+  the *predicted* load — replicas come up as the burst arrives, not after.
+
+Scalers plug into :meth:`repro.serving.fleet.FleetEngine.run` via the
+``scaler=`` argument; the engine calls :meth:`FleetScaler.plan` on a fixed
+virtual-time tick and applies the returned replica target with the
+configured provisioning delay.  Everything is deterministic: ticks are
+virtual-time events and the scalers hold no wall-clock state.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
+
+from repro.serving.batcher import batch_buckets
+from repro.serving.forecast import Forecaster, LinearTrendForecaster
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (fleet imports us)
+    from repro.serving.continuous import DecodeModel
+    from repro.serving.fleet import FleetEngine
+
+
+# --------------------------------------------------------------------------- #
+# Blueprints: priced fleet configurations
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TrafficShape:
+    """What an average request of a stream looks like — the planner prices
+    blueprints for this shape.  ``slo_seconds`` is the end-to-end deadline
+    an interactive request of the shape carries (``None`` = no SLO gate)."""
+
+    mean_prompt: int = 72
+    mean_output: int = 26
+    slo_seconds: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.mean_prompt < 1 or self.mean_output < 1:
+            raise ValueError("mean_prompt and mean_output must be >= 1")
+        if self.slo_seconds is not None and self.slo_seconds <= 0:
+            raise ValueError(f"slo_seconds must be positive, got {self.slo_seconds}")
+
+
+@dataclass(frozen=True)
+class Blueprint:
+    """One priced fleet configuration for one model.
+
+    ``capacity_rps`` is the sustained rate the configuration serves at the
+    given bucket (requests/s); ``request_latency`` is the end-to-end decode
+    latency of one average request at that bucket (the SLO-gated number)."""
+
+    model: str
+    replicas: int
+    num_stages: int
+    bucket: int
+    iteration_latency: float
+    capacity_rps: float
+    request_latency: float
+
+    @property
+    def chips(self) -> int:
+        """Chips the blueprint provisions (its price)."""
+        return self.replicas * self.num_stages
+
+
+class BlueprintPlanner:
+    """Enumerate and price fleet blueprints against the engine's cost model.
+
+    ``price(model, num_stages, bucket)`` returns the simulated decode-
+    iteration latency of the model's bucket program — for a live engine
+    this is :meth:`~repro.serving.fleet.FleetEngine.iteration_latency`,
+    i.e. the :class:`~repro.serving.worker.IterationCost` the paper's
+    fitted cost model produced (use :meth:`for_engine`).  ``headroom``
+    over-provisions capacity multiplicatively (1.2 = plan for 20% above
+    the predicted rate) to absorb forecast error and arrival noise.
+    """
+
+    def __init__(
+        self,
+        price: Callable[[str, int, int], float],
+        deployments: Sequence["DecodeModel"],
+        *,
+        max_replicas: int,
+        stage_options: Sequence[int] = (1,),
+        headroom: float = 1.2,
+    ) -> None:
+        if max_replicas < 1:
+            raise ValueError(f"max_replicas must be >= 1, got {max_replicas}")
+        if not stage_options or min(stage_options) < 1:
+            raise ValueError(f"stage_options must be >= 1, got {stage_options}")
+        if headroom < 1.0:
+            raise ValueError(f"headroom must be >= 1, got {headroom}")
+        self._price = price
+        self._deployments = {d.name: d for d in deployments}
+        self.max_replicas = max_replicas
+        self.stage_options = tuple(sorted(set(stage_options)))
+        self.headroom = headroom
+
+    @classmethod
+    def for_engine(
+        cls, engine: "FleetEngine", *, headroom: float = 1.2
+    ) -> "BlueprintPlanner":
+        """A planner pricing through ``engine``'s cost table.  Stage count
+        is fixed to the engine's (its chip groups are carved at init), so
+        the enumeration runs over replicas × buckets on that stage shape."""
+        return cls(
+            lambda model, num_stages, bucket: engine.iteration_latency(model, bucket),
+            engine.deployments,
+            max_replicas=engine.num_replicas,
+            stage_options=(engine.num_stages,),
+            headroom=headroom,
+        )
+
+    def candidates(self, model: str, shape: TrafficShape) -> list[Blueprint]:
+        """Every (replicas × num_stages × bucket) blueprint for ``model``,
+        priced for ``shape``, cheapest first (chips, then request latency).
+
+        A replica serving batch bucket ``b`` retires ``b`` requests every
+        ``iters_per_request`` iterations, so its sustained capacity is
+        ``b / (iters_per_request * iteration_latency(b))`` requests/s.
+        """
+        deployment = self._deployments[model]
+        iters = deployment.ideal_iterations(shape.mean_prompt, shape.mean_output)
+        blueprints = []
+        for num_stages in self.stage_options:
+            for bucket in batch_buckets(deployment.max_batch_size):
+                latency = self._price(model, num_stages, bucket)
+                request_latency = iters * latency
+                for replicas in range(1, self.max_replicas + 1):
+                    blueprints.append(
+                        Blueprint(
+                            model=model,
+                            replicas=replicas,
+                            num_stages=num_stages,
+                            bucket=bucket,
+                            iteration_latency=latency,
+                            capacity_rps=replicas * bucket / request_latency,
+                            request_latency=request_latency,
+                        )
+                    )
+        blueprints.sort(key=lambda bp: (bp.chips, bp.request_latency))
+        return blueprints
+
+    def plan(self, model: str, rate: float, shape: TrafficShape) -> Blueprint:
+        """The cheapest blueprint serving ``rate`` requests/s within the SLO.
+
+        Feasible means ``capacity_rps >= rate * headroom`` and, when the
+        shape carries an SLO, ``request_latency <= slo_seconds``.  When no
+        candidate is feasible (the burst exceeds the whole fleet), returns
+        the highest-capacity SLO-respecting candidate — saturate rather
+        than give up — falling back to highest capacity outright if even
+        the SLO gate is unsatisfiable.
+        """
+        if rate < 0:
+            raise ValueError(f"rate must be >= 0, got {rate}")
+        candidates = self.candidates(model, shape)
+        in_slo = [
+            bp
+            for bp in candidates
+            if shape.slo_seconds is None or bp.request_latency <= shape.slo_seconds
+        ]
+        pool = in_slo if in_slo else candidates
+        needed = rate * self.headroom
+        for blueprint in pool:  # cheapest-first order
+            if blueprint.capacity_rps >= needed:
+                return blueprint
+        return max(pool, key=lambda bp: (bp.capacity_rps, -bp.request_latency))
+
+
+# --------------------------------------------------------------------------- #
+# Scalers: the policy the engine ticks
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScalerObservation:
+    """What a scaler sees at one tick (the engine builds this).
+
+    ``provisioned``/``booting`` count replicas; ``queued``/``resident``
+    count requests fleet-wide; ``busy`` counts provisioned replicas that
+    currently hold any work; ``arrivals`` maps model name → arrivals since
+    the previous tick (the leading indicator)."""
+
+    now: float
+    provisioned: int
+    booting: int
+    num_replicas: int
+    queued: int
+    resident: int
+    busy: int
+    arrivals: Mapping[str, int] = field(default_factory=dict)
+    interval: float = 1.0
+
+
+class FleetScaler(ABC):
+    """Periodic capacity policy for :class:`~repro.serving.fleet.FleetEngine`.
+
+    The engine calls :meth:`plan` every ``interval`` virtual seconds and
+    moves the provisioned-replica count toward the returned target: new
+    replicas become routable ``provision_delay`` seconds after the decision
+    (and are charged from the decision), idle surplus replicas are released
+    immediately.  Scalers are single-run stateful — build a fresh one per
+    ``run()`` (forecasters carry observation history across ticks).
+    """
+
+    name = "scaler"
+
+    def __init__(
+        self,
+        *,
+        interval: float,
+        provision_delay: float = 0.0,
+        min_replicas: int = 1,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        if provision_delay < 0:
+            raise ValueError(f"provision_delay must be >= 0, got {provision_delay}")
+        if min_replicas < 1:
+            raise ValueError(f"min_replicas must be >= 1, got {min_replicas}")
+        self.interval = interval
+        self.provision_delay = provision_delay
+        self.min_replicas = min_replicas
+
+    @abstractmethod
+    def plan(self, obs: ScalerObservation) -> int:
+        """Target provisioned-replica count (the engine clamps to the
+        fleet's physical size)."""
+
+
+class ReactiveScaler(FleetScaler):
+    """Queue-depth target tracking — the baseline forecast-ahead beats.
+
+    Scale-up adds one replica per ``scale_up_queue`` queued requests on top
+    of current capacity; scale-down releases everything idle once the queue
+    is empty.  The queue is a *trailing* indicator: it only grows after
+    capacity is already insufficient, so with a provisioning delay the new
+    replicas arrive after the burst needed them.
+    """
+
+    name = "reactive"
+
+    def __init__(
+        self,
+        *,
+        interval: float,
+        provision_delay: float = 0.0,
+        min_replicas: int = 1,
+        scale_up_queue: int = 8,
+    ) -> None:
+        super().__init__(
+            interval=interval,
+            provision_delay=provision_delay,
+            min_replicas=min_replicas,
+        )
+        if scale_up_queue < 1:
+            raise ValueError(f"scale_up_queue must be >= 1, got {scale_up_queue}")
+        self.scale_up_queue = scale_up_queue
+
+    def plan(self, obs: ScalerObservation) -> int:
+        capacity = obs.provisioned + obs.booting
+        if obs.queued > 0:
+            target = capacity + math.ceil(obs.queued / self.scale_up_queue)
+        else:
+            target = obs.busy
+        return max(self.min_replicas, target)
+
+
+class ForecastScaler(FleetScaler):
+    """Forecast-ahead provisioning: predict the arrival rate
+    ``provision_delay`` into the future, plan the cheapest SLO-meeting
+    blueprint for it, and provision that *now* — so capacity lands when
+    the load does.
+
+    One forecaster per model (``make_forecaster`` builds them; default
+    :class:`~repro.serving.forecast.LinearTrendForecaster` so ramps are
+    seen while still ramping), observing each tick's arrival rate.
+    ``shapes`` gives the planner each model's request shape and SLO.
+
+    Two classic autoscaler asymmetries keep the policy fast up and slow
+    down: each model is planned for the *worst* of the near-term
+    (one-tick) and delay-horizon forecasts, and the applied target is the
+    max of the last ``hold_ticks`` raw targets — so a noisy dip in the
+    trend never tears capacity down mid-swell, while a ramp still raises
+    the target the tick it is first seen.
+    """
+
+    name = "forecast"
+
+    def __init__(
+        self,
+        planner: BlueprintPlanner,
+        shapes: Mapping[str, TrafficShape],
+        *,
+        interval: float,
+        provision_delay: float = 0.0,
+        min_replicas: int = 1,
+        make_forecaster: Callable[[], Forecaster] | None = None,
+        hold_ticks: int = 2,
+    ) -> None:
+        super().__init__(
+            interval=interval,
+            provision_delay=provision_delay,
+            min_replicas=min_replicas,
+        )
+        if not shapes:
+            raise ValueError("ForecastScaler needs at least one model shape")
+        if hold_ticks < 1:
+            raise ValueError(f"hold_ticks must be >= 1, got {hold_ticks}")
+        build = (
+            make_forecaster
+            if make_forecaster is not None
+            else (lambda: LinearTrendForecaster(window=8))
+        )
+        self.planner = planner
+        self.shapes = dict(shapes)
+        self.forecasters: dict[str, Forecaster] = {
+            model: build() for model in sorted(self.shapes)
+        }
+        # Look far enough ahead to cover the provisioning delay (at least
+        # one tick: the decision itself only takes effect next interval).
+        self.steps_ahead = max(1, math.ceil(self.provision_delay / self.interval))
+        self.hold_ticks = hold_ticks
+        self._recent_targets: deque[int] = deque(maxlen=hold_ticks)
+
+    def predicted_rate(self, model: str) -> float:
+        """The model's current planning rate (after the latest tick): the
+        worst of the near-term and delay-horizon forecasts."""
+        forecaster = self.forecasters[model]
+        return max(forecaster.predict(1), forecaster.predict(self.steps_ahead))
+
+    def plan(self, obs: ScalerObservation) -> int:
+        target = 0
+        for model in sorted(self.shapes):
+            forecaster = self.forecasters[model]
+            forecaster.observe(obs.arrivals.get(model, 0) / obs.interval)
+            rate = self.predicted_rate(model)
+            if rate <= 0:
+                continue
+            target += self.planner.plan(model, rate, self.shapes[model]).replicas
+        self._recent_targets.append(target)
+        return max(self.min_replicas, max(self._recent_targets))

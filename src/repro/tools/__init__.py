@@ -1,0 +1,5 @@
+"""Repo tooling that keeps the tree's non-code artefacts honest.
+
+Currently one tool: :mod:`repro.tools.docs_check`, the docs-consistency
+gate CI's lint job runs (``python -m repro.tools.docs_check``).
+"""

@@ -1,0 +1,128 @@
+"""Docs-consistency gate: the figure index and internal links must resolve.
+
+Run as ``PYTHONPATH=src python -m repro.tools.docs_check`` (CI's lint job
+does). The gate fails when:
+
+* an experiment registered in ``repro.experiments.ALL_EXPERIMENTS`` has no
+  row in the figure index of ``docs/architecture.md`` (or the index lists
+  an id that is no longer registered),
+* a relative markdown link in ``README.md`` or any ``docs/*.md`` points at
+  a file that does not exist,
+* a backticked repo path (``docs/…``, ``examples/…``, ``benchmarks/…``,
+  ``tests/…``, ``src/…`` with a file extension) in those files points at a
+  file that does not exist, or
+* a ``docs/*.md`` file is never linked from ``README.md``.
+
+Pure stdlib and read-only: safe to run anywhere, deterministic output.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: src/repro/tools/docs_check.py -> repo root.
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: Markdown inline links: [text](target).
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Backticked repo-relative file references with an extension.
+_PATH_REF = re.compile(
+    r"`((?:docs|examples|benchmarks|tests|src)/[A-Za-z0-9_./-]+"
+    r"\.(?:py|md|json|txt|yml|yaml))`"
+)
+
+#: Figure-index rows: a table row whose first cell is a backticked id
+#: without dots (subsystem tables use dotted module names, never matched).
+_INDEX_ROW = re.compile(r"^\|\s*`([a-z0-9_]+)`\s*\|", re.MULTILINE)
+
+
+def indexed_experiments(architecture_text: str) -> set[str]:
+    """Experiment ids listed in the architecture doc's figure index."""
+    return set(_INDEX_ROW.findall(architecture_text))
+
+
+def link_targets(text: str) -> list[str]:
+    """Relative markdown link targets (external URLs and anchors dropped)."""
+    targets = []
+    for target in _LINK.findall(text):
+        if "://" in target or target.startswith(("#", "mailto:")):
+            continue
+        targets.append(target.split("#", 1)[0])
+    return [t for t in targets if t]
+
+
+def path_refs(text: str) -> list[str]:
+    """Backticked repo-relative file references found in ``text``."""
+    return _PATH_REF.findall(text)
+
+
+def _doc_files(root: Path) -> list[Path]:
+    readme = root / "README.md"
+    docs = sorted((root / "docs").glob("*.md")) if (root / "docs").is_dir() else []
+    return ([readme] if readme.exists() else []) + docs
+
+
+def collect_problems(root: Path = REPO_ROOT) -> list[str]:
+    """Every docs-consistency violation under ``root`` (empty = clean)."""
+    problems: list[str] = []
+
+    # 1. The figure index covers exactly the registered experiments.
+    from repro.experiments import ALL_EXPERIMENTS
+
+    architecture = root / "docs" / "architecture.md"
+    if not architecture.exists():
+        problems.append(f"missing {architecture.relative_to(root)}")
+        indexed: set[str] = set()
+    else:
+        indexed = indexed_experiments(architecture.read_text())
+    registered = set(ALL_EXPERIMENTS)
+    for name in sorted(registered - indexed):
+        problems.append(
+            f"docs/architecture.md: registered experiment {name!r} is missing "
+            "from the figure index"
+        )
+    for name in sorted(indexed - registered):
+        problems.append(
+            f"docs/architecture.md: figure index lists {name!r}, which is not "
+            "a registered experiment"
+        )
+
+    # 2. Internal links and backticked path references resolve.
+    for doc in _doc_files(root):
+        rel = doc.relative_to(root)
+        text = doc.read_text()
+        for target in link_targets(text):
+            # Markdown links resolve relative to the linking file.
+            if not (doc.parent / target).exists():
+                problems.append(f"{rel}: broken link target {target!r}")
+        for ref in path_refs(text):
+            if not (root / ref).exists():
+                problems.append(f"{rel}: backticked path {ref!r} does not exist")
+
+    # 3. Every docs page is reachable from the README's docs index.
+    readme = root / "README.md"
+    if readme.exists() and (root / "docs").is_dir():
+        readme_text = readme.read_text()
+        for page in sorted((root / "docs").glob("*.md")):
+            if f"docs/{page.name}" not in readme_text:
+                problems.append(f"README.md: docs/{page.name} is never linked")
+
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    problems = collect_problems()
+    for problem in problems:
+        print(f"docs-check: {problem}", file=sys.stderr)
+    if problems:
+        print(f"docs-check: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("docs-check: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

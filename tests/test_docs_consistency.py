@@ -1,0 +1,119 @@
+"""The docs-consistency gate: passes on this tree, catches each drift mode."""
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.tools.docs_check import (
+    REPO_ROOT,
+    collect_problems,
+    indexed_experiments,
+    link_targets,
+    main,
+    path_refs,
+)
+
+
+def test_repo_tree_is_consistent():
+    assert collect_problems() == []
+
+
+def test_main_exit_code_on_clean_tree(capsys):
+    assert main() == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_repo_root_points_at_the_repo():
+    assert (REPO_ROOT / "README.md").exists()
+    assert (REPO_ROOT / "docs" / "architecture.md").exists()
+
+
+# --- pure parsing helpers ---------------------------------------------------
+
+
+def test_indexed_experiments_parses_table_rows():
+    text = (
+        "| Id | What |\n"
+        "|---|---|\n"
+        "| `fig02` | memory |\n"
+        "| `tab02` | models |\n"
+        "| `repro.core` | dotted module names are not experiment ids |\n"
+        "plain `fig99` outside a table row is not an index entry\n"
+    )
+    assert indexed_experiments(text) == {"fig02", "tab02"}
+
+
+def test_link_targets_keeps_relative_drops_external():
+    text = (
+        "[a](docs/dist.md) [b](https://example.com/x) [c](#anchor) "
+        "[d](docs/continuous.md#fig32) [e](mailto:x@y.z)"
+    )
+    assert link_targets(text) == ["docs/dist.md", "docs/continuous.md"]
+
+
+def test_path_refs_require_known_prefix_and_extension():
+    text = (
+        "`tests/golden/fig02.json` and `examples/quickstart.py` count; "
+        "`src/repro/experiments/` (no extension) and `other/file.py` "
+        "(unknown prefix) do not."
+    )
+    assert path_refs(text) == ["tests/golden/fig02.json", "examples/quickstart.py"]
+
+
+# --- each drift mode is detected against a synthetic tree -------------------
+
+
+def make_tree(tmp_path, architecture, readme="[arch](docs/architecture.md)\n"):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "architecture.md").write_text(architecture)
+    (tmp_path / "README.md").write_text(readme)
+    return tmp_path
+
+
+def full_index():
+    return "".join(f"| `{name}` | x | y | z | w |\n" for name in ALL_EXPERIMENTS)
+
+
+def test_missing_experiment_is_reported(tmp_path):
+    rows = "".join(
+        f"| `{name}` | x |\n" for name in ALL_EXPERIMENTS if name != "fig32"
+    )
+    problems = collect_problems(make_tree(tmp_path, rows))
+    assert any("'fig32' is missing" in p for p in problems)
+
+
+def test_orphan_index_entry_is_reported(tmp_path):
+    problems = collect_problems(make_tree(tmp_path, full_index() + "| `fig99` | x |\n"))
+    assert any("'fig99'" in p and "not a registered experiment" in p for p in problems)
+
+
+def test_missing_architecture_doc_is_reported(tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text("hello\n")
+    problems = collect_problems(tmp_path)
+    assert any("missing" in p and "architecture.md" in p for p in problems)
+
+
+def test_broken_link_is_reported(tmp_path):
+    root = make_tree(
+        tmp_path,
+        full_index(),
+        readme="[arch](docs/architecture.md) [gone](docs/nonexistent.md)\n",
+    )
+    problems = collect_problems(root)
+    assert any("broken link target 'docs/nonexistent.md'" in p for p in problems)
+
+
+def test_links_resolve_relative_to_the_linking_file(tmp_path):
+    root = make_tree(tmp_path, full_index() + "[readme](../README.md)\n")
+    assert collect_problems(root) == []
+
+
+def test_dangling_path_ref_is_reported(tmp_path):
+    root = make_tree(tmp_path, full_index() + "see `tests/golden/fig99.json`\n")
+    problems = collect_problems(root)
+    assert any("'tests/golden/fig99.json' does not exist" in p for p in problems)
+
+
+def test_unlinked_docs_page_is_reported(tmp_path):
+    root = make_tree(tmp_path, full_index())
+    (root / "docs" / "orphan.md").write_text("nobody links me\n")
+    problems = collect_problems(root)
+    assert any("docs/orphan.md is never linked" in p for p in problems)

@@ -34,7 +34,7 @@ from repro.experiments.common import format_table
 
 class TestHarness:
     def test_all_experiments_registered(self):
-        assert len(ALL_EXPERIMENTS) == 25
+        assert len(ALL_EXPERIMENTS) == 26
         for module in ALL_EXPERIMENTS.values():
             assert hasattr(module, "run")
             assert hasattr(module, "main")
